@@ -1,0 +1,117 @@
+// Shared infrastructure for the table-reproduction benches.
+//
+// Each bench binary regenerates one table of the paper, printing the
+// paper's published numbers next to the measured ones so the *shape*
+// comparison (who wins, by what factor, where it saturates) is immediate.
+//
+// Set PSME_BENCH_FAST=1 to run every bench at reduced scale (CI smoke).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/lisp_engine.hpp"
+#include "engine/parallel_engine.hpp"
+#include "engine/sequential_engine.hpp"
+#include "sim/sim_engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace psme::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("PSME_BENCH_FAST");
+  return v && *v && *v != '0';
+}
+
+struct ProgramSpec {
+  std::string label;
+  workloads::Workload workload;
+};
+
+// The three paper programs at bench scale.
+inline std::vector<ProgramSpec> paper_programs() {
+  const bool fast = fast_mode();
+  std::vector<ProgramSpec> specs;
+  specs.push_back({"Weaver", workloads::weaver(fast ? 8 : 34, 2)});
+  specs.push_back({"Rubik", workloads::rubik(fast ? 8 : 40)});
+  specs.push_back({"Tourney", workloads::tourney(fast ? 8 : 13, false)});
+  return specs;
+}
+
+struct SeqOutcome {
+  double seconds = 0;
+  RunStats stats;
+};
+
+inline SeqOutcome run_sequential(const ProgramSpec& spec,
+                                 match::MemoryStrategy memory) {
+  auto program = ops5::Program::from_source(spec.workload.source);
+  EngineOptions opt;
+  opt.memory = memory;
+  opt.max_cycles = 10'000'000;
+  SequentialEngine eng(program, opt);
+  workloads::load(eng, spec.workload);
+  const RunResult r = eng.run();
+  return {r.stats.match_seconds, r.stats};
+}
+
+inline SeqOutcome run_lisp(const ProgramSpec& spec) {
+  auto program = ops5::Program::from_source(spec.workload.source);
+  EngineOptions opt;
+  opt.max_cycles = 10'000'000;
+  LispStyleEngine eng(program, opt);
+  workloads::load(eng, spec.workload);
+  const RunResult r = eng.run();
+  return {r.stats.match_seconds, r.stats};
+}
+
+struct SimOutcome {
+  double match_seconds = 0;   // virtual seconds at 0.75 MIPS
+  double total_seconds = 0;
+  MatchStats stats;
+};
+
+inline SimOutcome run_sim(const ProgramSpec& spec, int procs, int queues,
+                          match::LockScheme scheme, bool pipeline) {
+  auto program = ops5::Program::from_source(spec.workload.source);
+  EngineOptions opt;
+  opt.match_processes = procs;
+  opt.task_queues = queues;
+  opt.lock_scheme = scheme;
+  opt.max_cycles = 10'000'000;
+  sim::SimConfig cfg;
+  cfg.pipeline = pipeline;
+  sim::SimEngine eng(program, opt, cfg);
+  workloads::load(eng, spec.workload);
+  eng.run();
+  return {eng.sim_match_seconds(), eng.sim_total_seconds(),
+          eng.match_stats()};
+}
+
+// The uniprocessor baseline of Tables 4-5/4-6/4-8: one match process,
+// one queue, simple locks, no RHS/match overlap.
+inline SimOutcome run_sim_baseline(const ProgramSpec& spec) {
+  return run_sim(spec, 1, 1, match::LockScheme::Simple, /*pipeline=*/false);
+}
+
+// --- printing -------------------------------------------------------------
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(reproduces %s; paper values in parentheses)\n\n", paper_ref);
+}
+
+inline void print_row_label(const char* label) {
+  std::printf("%-10s", label);
+}
+
+inline void print_cell(double measured, double paper, const char* fmt = "%6.2f") {
+  char buf[64], buf2[64];
+  std::snprintf(buf, sizeof(buf), fmt, measured);
+  std::snprintf(buf2, sizeof(buf2), fmt, paper);
+  std::printf(" %s (%s)", buf, buf2);
+}
+
+}  // namespace psme::bench

@@ -1,0 +1,80 @@
+// Google-benchmark micro-benchmarks for the concurrency primitives: the
+// TTAS spin lock, the task-queue set, and the hash-line lock schemes.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/spinlock.hpp"
+#include "match/line_locks.hpp"
+#include "match/task_queue.hpp"
+
+namespace psme::match {
+namespace {
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  SpinLock lock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.lock());
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+void BM_SpinLockContended(benchmark::State& state) {
+  static SpinLock lock;
+  std::uint64_t local = 0;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(++local);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLockContended)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_TaskQueuePushPop(benchmark::State& state) {
+  TaskQueueSet queues(static_cast<int>(state.range(0)));
+  MatchStats stats;
+  Task t;
+  t.kind = TaskKind::Root;
+  for (auto _ : state) {
+    queues.push(t, 0, stats);
+    Task out;
+    benchmark::DoNotOptimize(queues.try_pop(&out, 0, stats));
+    queues.task_done();
+  }
+  state.counters["probes/op"] =
+      static_cast<double>(stats.queue_probes) /
+      static_cast<double>(stats.queue_acquisitions);
+}
+BENCHMARK(BM_TaskQueuePushPop)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_LineLockSimple(benchmark::State& state) {
+  LineLocks locks(1024, LockScheme::Simple);
+  MatchStats stats;
+  std::uint32_t line = 0;
+  for (auto _ : state) {
+    locks.lock_exclusive(line & 1023, Side::Left, stats);
+    locks.unlock_exclusive(line & 1023);
+    ++line;
+  }
+}
+BENCHMARK(BM_LineLockSimple);
+
+void BM_LineLockMrswEnterLeave(benchmark::State& state) {
+  LineLocks locks(1024, LockScheme::Mrsw);
+  MatchStats stats;
+  std::uint32_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locks.try_enter(line & 1023, Side::Left, stats));
+    locks.lock_modification(line & 1023, Side::Left, stats);
+    locks.unlock_modification(line & 1023);
+    locks.leave(line & 1023);
+    ++line;
+  }
+}
+BENCHMARK(BM_LineLockMrswEnterLeave);
+
+}  // namespace
+}  // namespace psme::match
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Shared sweep for the speed-up tables (4-5, 4-6, 4-8): run the Multimax
+// simulator at the paper's process counts and print speed-ups relative to
+// the uniprocessor (one match process, non-pipelined) baseline.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace psme::bench {
+
+struct SweepColumn {
+  int procs;   // k in "1+k"
+  int queues;  // task queues for this column
+};
+
+struct SpeedupPaperRow {
+  double uniproc_seconds;
+  double speedups[6];
+};
+
+inline void run_speedup_table(const char* title, const char* paper_ref,
+                              match::LockScheme scheme,
+                              const SweepColumn (&cols)[6],
+                              const SpeedupPaperRow (&paper)[3]) {
+  print_header(title, paper_ref);
+
+  std::printf("%-10s %10s |", "PROGRAM", "uniproc");
+  for (const auto& c : cols) std::printf("   1+%-2d", c.procs);
+  std::printf("\n%-10s %10s |", "", "(virt s)");
+  for (const auto& c : cols) std::printf(" %2dQue ", c.queues);
+  std::printf("\n");
+
+  const auto specs = paper_programs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // The table's own uniproc baseline runs under the same lock scheme
+    // (the paper's Table 4-8 baseline is slower than Table 4-6's because
+    // MRSW taxes every activation).
+    const SimOutcome base =
+        run_sim(specs[i], 1, 1, scheme, /*pipeline=*/false);
+    std::printf("%-10s %10.2f |", specs[i].label.c_str(),
+                base.match_seconds);
+    for (const auto& c : cols) {
+      const SimOutcome out =
+          run_sim(specs[i], c.procs, c.queues, scheme, /*pipeline=*/true);
+      std::printf(" %6.2f", base.match_seconds / out.match_seconds);
+    }
+    std::printf("\n%-10s %10.1f |", "", paper[i].uniproc_seconds);
+    for (double s : paper[i].speedups) std::printf(" %6.2f", s);
+    std::printf("   <- paper\n");
+  }
+}
+
+}  // namespace psme::bench

@@ -1,0 +1,57 @@
+// Table 4-9: Contention for the token hash-table line locks — probes
+// before access, split by the side the activation arrived on — under the
+// simple exclusive scheme vs the MRSW scheme, at 6 and 12 match processes.
+#include "bench_common.hpp"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Table 4-9: contention for token hash-table locks",
+               "Table 4-9");
+
+  struct PaperRow {
+    double simple6[2], simple12[2], mrsw6[2], mrsw12[2];  // [left, right]
+  };
+  const PaperRow paper[3] = {
+      {{20.4, 1.0}, {51.2, 1.4}, {4.7, 2.0}, {15.7, 2.1}},
+      {{11.0, 1.1}, {23.0, 1.5}, {3.7, 2.0}, {12.9, 2.1}},
+      {{137.1, 4.9}, {377.7, 15.7}, {49.9, 2.9}, {134.9, 33.3}},
+  };
+
+  std::printf("%-10s | %-17s %-17s | %-17s %-17s\n", "",
+              "simple, 6 procs", "simple, 12 procs", "mrsw, 6 procs",
+              "mrsw, 12 procs");
+  std::printf("%-10s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "PROGRAM",
+              "left", "right", "left", "right", "left", "right", "left",
+              "right");
+
+  const auto specs = paper_programs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    double m[8];
+    int idx = 0;
+    for (const auto scheme :
+         {match::LockScheme::Simple, match::LockScheme::Mrsw}) {
+      for (const int procs : {6, 12}) {
+        const SimOutcome out = run_sim(specs[i], procs, 8, scheme, true);
+        m[idx++] = out.stats.line_contention(Side::Left);
+        m[idx++] = out.stats.line_contention(Side::Right);
+      }
+    }
+    std::printf("%-10s | %8.1f %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f %8.1f\n",
+                specs[i].label.c_str(), m[0], m[1], m[2], m[3], m[4], m[5],
+                m[6], m[7]);
+    std::printf("%-10s | %8.1f %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f %8.1f"
+                "   <- paper\n",
+                "", paper[i].simple6[0], paper[i].simple6[1],
+                paper[i].simple12[0], paper[i].simple12[1],
+                paper[i].mrsw6[0], paper[i].mrsw6[1], paper[i].mrsw12[0],
+                paper[i].mrsw12[1]);
+  }
+  std::printf(
+      "\nShape check: left activations bear the contention; Tourney is an\n"
+      "order of magnitude worse than the others (cross-product lines); the\n"
+      "MRSW scheme cuts contention everywhere without, per Table 4-8,\n"
+      "buying proportional time.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Blocks world: a classic goal-driven planner in OPS5, run on the
+// threaded parallel engine.
+//
+//   $ ./examples/blocks_world
+//
+// The program stacks blocks to satisfy (goal ^on A ^under B) assertions
+// using the MEA strategy (goal-directed: the first condition element of
+// every rule is the active goal, and MEA fires the instantiation whose
+// goal is most recent). It demonstrates negated condition elements
+// ("nothing on top of the block"), modify-driven state change, and running
+// the identical program on PSM-E's control + match-process engine.
+#include <iostream>
+
+#include "psme.hpp"
+
+namespace {
+
+const char* kSource = R"(
+(literalize goal action on under status)
+(literalize block name)
+(literalize support top bottom)   ; top sits on bottom
+
+; A goal is satisfied when the stack already holds.
+(p goal-satisfied
+  (goal ^action stack ^on <a> ^under <b> ^status active)
+  (support ^top <a> ^bottom <b>)
+  -->
+  (modify 1 ^status done)
+  (write stacked <a> on <b> (crlf)))
+
+; Clear the destination: something (other than the block being stacked)
+; sits on <b>; move it to the table.
+(p clear-under
+  (goal ^action stack ^on <a> ^under <b> ^status active)
+  (support ^top { <x> <> <a> } ^bottom <b>)
+  (block ^name <x>)
+  -->
+  (modify 2 ^bottom table)
+  (write cleared <x> off <b> (crlf)))
+
+; Clear the block being moved.
+(p clear-on
+  (goal ^action stack ^on <a> ^under <b> ^status active)
+  (support ^top <x> ^bottom <a>)
+  (block ^name <x>)
+  -->
+  (modify 2 ^bottom table)
+  (write cleared <x> off <a> (crlf)))
+
+; Both clear: do the move.
+(p move-block
+  (goal ^action stack ^on <a> ^under <b> ^status active)
+  (support ^top <a> ^bottom <c>)
+  - (support ^bottom <a>)
+  - (support ^bottom <b>)
+  -->
+  (modify 2 ^bottom <b>))
+
+; When the active goal is done, activate the next pending goal.
+(p next-goal
+  (goal ^action stack ^status pending)
+  - (goal ^status active)
+  -->
+  (modify 1 ^status active))
+
+(p all-done
+  (goal ^action finish)
+  - (goal ^status active)
+  - (goal ^status pending)
+  -->
+  (write tower complete (crlf))
+  (halt))
+)";
+
+}  // namespace
+
+int main() {
+  const auto program = psme::ops5::Program::from_source(kSource);
+
+  psme::EngineConfig config;
+  config.mode = psme::ExecutionMode::ParallelThreads;
+  config.options.strategy = psme::CrStrategy::Mea;
+  config.options.match_processes = 3;
+  config.options.task_queues = 2;
+  config.options.out = &std::cout;
+  psme::Engine engine(program, config);
+
+  // Initial state: C on A, A and B on the table. Build the tower A-B-C
+  // bottom-to-top: goals are activated one at a time (MEA keeps attention
+  // on the active goal).
+  for (const char* name : {"a", "b", "c"}) {
+    engine.make(std::string("(block ^name ") + name + ")");
+  }
+  engine.make("(support ^top c ^bottom a)");
+  engine.make("(support ^top a ^bottom table)");
+  engine.make("(support ^top b ^bottom table)");
+  engine.make("(goal ^action stack ^on c ^under b ^status pending)");
+  engine.make("(goal ^action finish)");
+  // Kick off the first goal; next-goal activates the rest in turn.
+  engine.make("(goal ^action stack ^on b ^under a ^status active)");
+
+  const psme::RunResult result = engine.run();
+  std::cout << "\n" << result.stats.firings << " firings, "
+            << result.stats.cycles << " cycles; final state:\n";
+  for (const psme::Wme* wme : engine.wm().snapshot()) {
+    if (wme->cls == psme::intern("support"))
+      std::cout << "  " << psme::wme_to_string(*wme, program) << "\n";
+  }
+  return 0;
+}

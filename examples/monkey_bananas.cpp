@@ -1,0 +1,110 @@
+// Monkey and bananas: the classic OPS5 planning demo (Brownston et al.,
+// the paper's reference [1]), on the MEA strategy.
+//
+//   $ ./examples/monkey_bananas
+//
+// A monkey must grab bananas hanging from the ceiling: walk to the couch,
+// push it under the bananas, climb on, grab. MEA keeps the engine focused
+// on the most recent active goal, which is what the strategy was designed
+// for; the goal stack is working memory itself.
+#include <iostream>
+
+#include "psme.hpp"
+
+namespace {
+
+const char* kSource = R"(
+(literalize goal action object status)
+(literalize monkey at on holding)
+(literalize thing name at weight)
+
+; --- grab: requires being on the thing under the bananas ---------------
+(p grab-bananas
+  (goal ^action grab ^object bananas ^status active)
+  (monkey ^on couch ^at <p> ^holding nothing)
+  (thing ^name bananas ^at <p>)
+  -->
+  (modify 2 ^holding bananas)
+  (modify 1 ^status done)
+  (write the monkey grabs the bananas (crlf))
+  (halt))
+
+; The monkey must be on the couch, under the bananas: subgoal climbing.
+(p need-to-climb
+  (goal ^action grab ^object bananas ^status active)
+  (monkey ^on floor)
+  - (goal ^action climb ^status active)
+  - (goal ^action climb ^status done)
+  -->
+  (make goal ^action climb ^object couch ^status active))
+
+(p climb-couch
+  (goal ^action climb ^object couch ^status active)
+  (monkey ^at <p> ^on floor)
+  (thing ^name couch ^at <p>)
+  (thing ^name bananas ^at <p>)
+  -->
+  (modify 2 ^on couch)
+  (modify 1 ^status done)
+  (write the monkey climbs onto the couch (crlf)))
+
+; The couch must be under the bananas: subgoal pushing.
+(p need-to-push
+  (goal ^action climb ^object couch ^status active)
+  (thing ^name couch ^at <p>)
+  (thing ^name bananas ^at { <q> <> <p> })
+  - (goal ^action push ^status active)
+  -->
+  (make goal ^action push ^object couch ^status active))
+
+(p push-couch
+  (goal ^action push ^object couch ^status active)
+  (monkey ^at <p> ^on floor)
+  (thing ^name couch ^at <p>)
+  (thing ^name bananas ^at <q>)
+  -->
+  (modify 3 ^at <q>)
+  (modify 2 ^at <q>)
+  (modify 1 ^status done)
+  (write the monkey pushes the couch (crlf)))
+
+; The monkey must be at the couch to push or climb: subgoal walking.
+(p need-to-walk
+  (goal ^action push ^object couch ^status active)
+  (monkey ^at <p> ^on floor)
+  (thing ^name couch ^at { <q> <> <p> })
+  - (goal ^action walk ^status active)
+  -->
+  (make goal ^action walk ^object couch ^status active))
+
+(p walk-to-couch
+  (goal ^action walk ^object couch ^status active)
+  (monkey ^at <p> ^on floor)
+  (thing ^name couch ^at <q>)
+  -->
+  (modify 2 ^at <q>)
+  (modify 1 ^status done)
+  (write the monkey walks to the couch (crlf)))
+)";
+
+}  // namespace
+
+int main() {
+  const auto program = psme::ops5::Program::from_source(kSource);
+  psme::EngineConfig config;
+  config.options.strategy = psme::CrStrategy::Mea;
+  config.options.out = &std::cout;
+  psme::Engine engine(program, config);
+
+  engine.make("(monkey ^at door ^on floor ^holding nothing)");
+  engine.make("(thing ^name couch ^at window ^weight light)");
+  engine.make("(thing ^name bananas ^at ceiling-middle ^weight light)");
+  engine.make("(goal ^action grab ^object bananas ^status active)");
+
+  const psme::RunResult result = engine.run();
+  std::cout << "\nplan executed in " << result.stats.cycles << " cycles ("
+            << (result.reason == psme::StopReason::Halt ? "success"
+                                                        : "incomplete")
+            << ")\n";
+  return result.reason == psme::StopReason::Halt ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Quickstart: define a tiny OPS5 program, run it, inspect the results.
+//
+//   $ ./examples/quickstart
+//
+// This is the paper's Figure 2-1 production embedded in a complete program:
+// a goal asks for red blocks, and the rule marks each matching block
+// selected. The example shows the three things every PSM-E program does:
+// parse a Program, configure an Engine, and read back the trace and
+// working memory.
+#include <iostream>
+
+#include "psme.hpp"
+
+int main() {
+  // 1. The OPS5 source: declarations (literalize) plus productions.
+  const char* source = R"(
+(literalize goal type color)
+(literalize block id color selected)
+
+(p find-colored-block
+  (goal ^type find-block ^color <c>)
+  (block ^id <i> ^color <c> ^selected no)
+  -->
+  (modify 2 ^selected yes)
+  (write selected <i> (crlf)))
+)";
+  const auto program = psme::ops5::Program::from_source(source);
+
+  // 2. Pick an engine. Sequential vs2 (hash memories) is the default;
+  //    ExecutionMode::ParallelThreads / SimulatedMultimax run the same
+  //    program on the parallel matchers.
+  psme::EngineConfig config;
+  config.mode = psme::ExecutionMode::Sequential;
+  config.options.out = &std::cout;  // where (write ...) goes
+  psme::Engine engine(program, config);
+
+  // 3. Load initial working memory and run the recognize-act loop.
+  engine.make("(goal ^type find-block ^color red)");
+  engine.make("(block ^id b1 ^color red ^selected no)");
+  engine.make("(block ^id b2 ^color blue ^selected no)");
+  engine.make("(block ^id b3 ^color red ^selected no)");
+  const psme::RunResult result = engine.run();
+
+  // 4. Inspect what happened.
+  std::cout << "\nfired " << result.stats.firings << " production(s), "
+            << result.stats.match.node_activations
+            << " node activations\n";
+  for (const psme::FiringRecord& rec : engine.trace()) {
+    std::cout << "  "
+              << psme::symbol_name(
+                     program.productions()[rec.prod_index].name)
+              << " [";
+    for (psme::TimeTag t : rec.timetags) std::cout << " " << t;
+    std::cout << " ]\n";
+  }
+  std::cout << "\nfinal working memory:\n";
+  for (const psme::Wme* wme : engine.wm().snapshot()) {
+    std::cout << "  " << psme::wme_to_string(*wme, program) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Tournament scheduler: the paper's problem child, and how to fix it.
+//
+//   $ ./examples/tourney_scheduler [teams]
+//
+// Tourney's culprit productions join condition elements with no common
+// variables — cross products that pile every token of a node onto one
+// hash-table line and convoy the match processes (Section 4.2, Table 4-9).
+// This example schedules a round-robin with the original rules and with
+// the domain-knowledge rewrite, printing the schedule and the contention
+// the two rule styles produce.
+#include <cstdlib>
+#include <iostream>
+
+#include "psme.hpp"
+
+int main(int argc, char** argv) {
+  const int teams = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  for (const bool fixed : {false, true}) {
+    const auto workload = psme::workloads::tourney(teams, fixed);
+    const auto program = psme::ops5::Program::from_source(workload.source);
+
+    psme::EngineConfig config;
+    config.mode = psme::ExecutionMode::SimulatedMultimax;
+    config.options.match_processes = 13;
+    config.options.task_queues = 8;
+    psme::Engine engine(program, config);
+    psme::workloads::load(engine, workload);
+    const psme::RunResult result = engine.run();
+
+    std::cout << (fixed ? "\nrewritten rules" : "original rules") << " ("
+              << program.productions().size() << " productions):\n";
+    std::cout << "  scheduled all pairings in " << result.stats.cycles
+              << " cycles, "
+              << (result.reason == psme::StopReason::Halt ? "halted cleanly"
+                                                          : "stopped early")
+              << "\n";
+    const psme::MatchStats& m = result.stats.match;
+    std::cout << "  hash-line contention: left "
+              << m.line_contention(psme::Side::Left) << ", right "
+              << m.line_contention(psme::Side::Right)
+              << " probes/access (1.0 = uncontended)\n";
+    std::cout << "  match time on 1+13 simulated CPUs: "
+              << result.stats.sim_match_seconds << " s\n";
+  }
+
+  // Show the actual schedule from the unfixed program at small scale.
+  const auto workload = psme::workloads::tourney(teams, false);
+  const auto program = psme::ops5::Program::from_source(workload.source);
+  psme::EngineConfig config;  // sequential
+  psme::Engine engine(program, config);
+  psme::workloads::load(engine, workload);
+  engine.run();
+  const psme::SymbolId week = psme::intern("week");
+  const auto games_slot = program.slot(week, psme::intern("games"));
+  int total_games = 0, weeks_used = 0;
+  for (const psme::Wme* wme : engine.wm().snapshot()) {
+    if (wme->cls != week) continue;
+    const auto games = wme->field(games_slot).as_int();
+    total_games += static_cast<int>(games);
+    if (games > 0) ++weeks_used;
+  }
+  std::cout << "\nschedule: " << total_games << " games ("
+            << teams * (teams - 1) / 2 << " pairings) across " << weeks_used
+            << " weeks\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "analysis/network_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::analysis {
+namespace {
+
+// Collects the production names reachable through each join's successor
+// edges (a shared join serves several productions).
+void collect_productions(const rete::JoinNode* join,
+                         const ops5::Program& program,
+                         std::set<std::string>* out) {
+  for (const rete::Successor& s : join->succs) {
+    if (s.terminal) {
+      out->insert(
+          symbol_name(program.productions()[s.terminal->prod_index].name));
+    } else {
+      collect_productions(s.join, program, out);
+    }
+  }
+}
+
+}  // namespace
+
+NetworkReport analyze_network(const rete::Network& net,
+                              const ops5::Program& program) {
+  NetworkReport report;
+  report.counts = net.counts();
+
+  std::map<std::string, ProductionFinding> by_prod;
+  for (const auto& ap : program.productions()) {
+    ProductionFinding f;
+    f.name = symbol_name(ap.name);
+    f.num_ces = ap.num_ces;
+    by_prod.emplace(f.name, f);
+  }
+
+  for (const auto& join : net.joins()) {
+    JoinFinding f;
+    f.join_id = join->id;
+    f.negative = join->kind == rete::JoinKind::Negative;
+    f.eq_tests = join->eq_tests.size();
+    f.pred_tests = join->preds.size();
+    f.cross_product = join->eq_tests.empty();
+    f.predicate_only = join->eq_tests.empty() && !join->preds.empty();
+    std::set<std::string> prods;
+    collect_productions(join.get(), program, &prods);
+    f.productions.assign(prods.begin(), prods.end());
+    if (f.cross_product) {
+      for (const std::string& p : f.productions) {
+        auto it = by_prod.find(p);
+        if (it != by_prod.end()) ++it->second.cross_product_joins;
+      }
+    }
+    report.joins.push_back(std::move(f));
+  }
+
+  for (const auto& [name, finding] : by_prod) {
+    (void)name;
+    if (finding.cross_product_joins > 0) report.culprits.push_back(finding);
+  }
+  std::sort(report.culprits.begin(), report.culprits.end(),
+            [](const ProductionFinding& a, const ProductionFinding& b) {
+              if (a.cross_product_joins != b.cross_product_joins)
+                return a.cross_product_joins > b.cross_product_joins;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+std::string render_report(const NetworkReport& report) {
+  std::ostringstream os;
+  const auto& c = report.counts;
+  os << "=== network analysis ===\n"
+     << "constant-test nodes: " << c.constant_test_nodes << " ("
+     << c.shared_constant_test_nodes << " shared)\n"
+     << "alpha programs:      " << c.alpha_programs << "\n"
+     << "two-input nodes:     " << c.join_nodes << " (" << c.negative_nodes
+     << " negative, " << c.shared_join_nodes << " shared)\n"
+     << "terminal nodes:      " << c.terminal_nodes << "\n";
+
+  std::size_t cross = 0, pred_only = 0;
+  for (const JoinFinding& f : report.joins) {
+    if (f.cross_product) ++cross;
+    if (f.predicate_only) ++pred_only;
+  }
+  os << "cross-product joins: " << cross << " (" << pred_only
+     << " with only non-hashable predicates)\n";
+
+  if (report.culprits.empty()) {
+    os << "\nno culprit productions: every join carries at least one\n"
+          "equality test, so tokens spread across hash lines.\n";
+    return os.str();
+  }
+  os << "\nculprit productions (condition elements with no common "
+        "variables;\nsee the paper's Section 4.2 — these serialize on one "
+        "hash line):\n";
+  for (const ProductionFinding& f : report.culprits) {
+    os << "  " << f.name << ": " << f.cross_product_joins
+       << " cross-product join(s) across " << f.num_ces
+       << " condition elements\n";
+  }
+  return os.str();
+}
+
+}  // namespace psme::analysis

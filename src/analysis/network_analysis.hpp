@@ -1,0 +1,55 @@
+// Static analysis of a compiled Rete network.
+//
+// Operationalizes the paper's Section 4.2 diagnosis: "a few culprit
+// productions in Tourney that have condition elements with no common
+// variables" resisted all attempts at speed-up. The analyzer walks the
+// network and reports, per production:
+//  - cross-product joins (two-input nodes with no equality tests): every
+//    token of such a node shares one hash line, so its activations
+//    serialize on that line's lock;
+//  - join selectivity structure (equality vs residual predicate tests);
+//  - node sharing actually achieved.
+//
+// `psme_cli --analyze` prints this report; the Tourney workload's culprit
+// productions are what it was built to catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops5/program.hpp"
+#include "rete/network.hpp"
+
+namespace psme::analysis {
+
+struct JoinFinding {
+  std::uint32_t join_id = 0;
+  bool negative = false;
+  bool cross_product = false;       // no equality tests at all
+  bool predicate_only = false;      // only non-hashable predicates
+  std::size_t eq_tests = 0;
+  std::size_t pred_tests = 0;
+  // Productions reachable through this join (names).
+  std::vector<std::string> productions;
+};
+
+struct ProductionFinding {
+  std::string name;
+  int num_ces = 0;
+  int cross_product_joins = 0;  // culprit score
+};
+
+struct NetworkReport {
+  rete::NetworkCounts counts;
+  std::vector<JoinFinding> joins;
+  std::vector<ProductionFinding> culprits;  // productions with >=1 cross
+                                            // product, worst first
+};
+
+NetworkReport analyze_network(const rete::Network& net,
+                              const ops5::Program& program);
+
+// Human-readable rendering of the report.
+std::string render_report(const NetworkReport& report);
+
+}  // namespace psme::analysis

@@ -1,0 +1,8 @@
+#include "common/stats.hpp"
+
+// MatchStats is header-only; this translation unit anchors the header so the
+// library exposes a stable object for it (and keeps the build layout uniform:
+// one .cpp per public header with non-trivial contents).
+namespace psme {
+static_assert(sizeof(MatchStats) > 0);
+}  // namespace psme

@@ -1,0 +1,66 @@
+#include "common/symbol_table.hpp"
+
+#include <cassert>
+#include <mutex>
+
+namespace psme {
+
+SymbolTable& SymbolTable::instance() {
+  static SymbolTable table;
+  return table;
+}
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] =
+      ids_.emplace(std::string(name), static_cast<SymbolId>(names_.size()));
+  if (inserted) names_.push_back(&it->first);
+  return it->second;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  std::shared_lock lock(mu_);
+  assert(id < names_.size());
+  return *names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+SymbolId intern(std::string_view name) {
+  return SymbolTable::instance().intern(name);
+}
+
+const std::string& symbol_name(SymbolId id) {
+  return SymbolTable::instance().name(id);
+}
+
+Value sym(std::string_view name) { return Value::symbol(intern(name)); }
+
+std::string to_string(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Nil: return "nil";
+    case ValueKind::Symbol: return symbol_name(v.as_symbol());
+    case ValueKind::Int: return std::to_string(v.as_int());
+    case ValueKind::Float: {
+      std::string s = std::to_string(v.as_float());
+      // Trim trailing zeros but keep one decimal digit.
+      auto dot = s.find('.');
+      if (dot != std::string::npos) {
+        auto last = s.find_last_not_of('0');
+        s.erase(last == dot ? dot + 2 : last + 1);
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+}  // namespace psme

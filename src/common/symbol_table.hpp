@@ -1,0 +1,44 @@
+// Process-wide interned symbol table.
+//
+// OPS5 symbols (class names, attribute names, symbolic constants) are
+// interned once and referred to by dense SymbolId everywhere else, so
+// symbol comparison in the matcher is a single integer compare — the same
+// property the paper's compiled implementation relies on.
+#pragma once
+
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace psme {
+
+class SymbolTable {
+ public:
+  // The global table used by the parser, printers, and workload generators.
+  static SymbolTable& instance();
+
+  SymbolId intern(std::string_view name);
+  // Returns the symbol's spelling; valid for the table's lifetime.
+  const std::string& name(SymbolId id) const;
+  // Number of interned symbols so far.
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<const std::string*> names_;
+};
+
+// Convenience wrappers over the global table.
+SymbolId intern(std::string_view name);
+const std::string& symbol_name(SymbolId id);
+Value sym(std::string_view name);  // intern + wrap as Value
+
+// Renders a value for diagnostics and the `write` RHS action.
+std::string to_string(const Value& v);
+
+}  // namespace psme

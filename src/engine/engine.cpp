@@ -1,0 +1,31 @@
+#include "engine/engine.hpp"
+
+#include "engine/lisp_engine.hpp"
+#include "engine/parallel_engine.hpp"
+#include "engine/sequential_engine.hpp"
+#include "engine/treat_engine.hpp"
+
+namespace psme {
+
+Engine::Engine(const ops5::Program& program, EngineConfig config) {
+  switch (config.mode) {
+    case ExecutionMode::Sequential:
+      impl_ = std::make_unique<SequentialEngine>(program, config.options);
+      break;
+    case ExecutionMode::LispStyle:
+      impl_ = std::make_unique<LispStyleEngine>(program, config.options);
+      break;
+    case ExecutionMode::ParallelThreads:
+      impl_ = std::make_unique<ParallelEngine>(program, config.options);
+      break;
+    case ExecutionMode::SimulatedMultimax:
+      impl_ =
+          std::make_unique<sim::SimEngine>(program, config.options, config.sim);
+      break;
+    case ExecutionMode::Treat:
+      impl_ = std::make_unique<TreatEngine>(program, config.options);
+      break;
+  }
+}
+
+}  // namespace psme

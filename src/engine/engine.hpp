@@ -1,0 +1,63 @@
+// Engine: the library's front door.
+//
+// Picks an execution mode and constructs the matching engine behind a
+// single interface:
+//
+//   auto program = psme::ops5::Program::from_source(src);
+//   psme::Engine engine(program, {.mode = psme::ExecutionMode::Sequential});
+//   engine.make("(goal ^type find-block ^color red)");
+//   auto result = engine.run();
+//
+// Modes:
+//  - Sequential:        vs1/vs2 uniprocessor engine (options.memory picks)
+//  - LispStyle:         the interpreted Franz-Lisp-equivalent baseline
+//  - ParallelThreads:   control thread + k match std::threads (PSM-E)
+//  - SimulatedMultimax: PSM-E on the virtual-time Encore simulator
+#pragma once
+
+#include <memory>
+
+#include "engine/engine_base.hpp"
+#include "sim/sim_engine.hpp"
+
+namespace psme {
+
+enum class ExecutionMode : std::uint8_t {
+  Sequential,
+  LispStyle,
+  ParallelThreads,
+  SimulatedMultimax,
+  Treat,  // Miranker's TREAT algorithm (no beta memories)
+};
+
+struct EngineConfig {
+  ExecutionMode mode = ExecutionMode::Sequential;
+  EngineOptions options;
+  sim::SimConfig sim;  // used by SimulatedMultimax only
+};
+
+class Engine {
+ public:
+  Engine(const ops5::Program& program, EngineConfig config);
+
+  const Wme* make(std::string_view wme_literal) {
+    return impl_->make(wme_literal);
+  }
+  const Wme* make(SymbolId cls,
+                  const std::vector<std::pair<SymbolId, Value>>& fields) {
+    return impl_->make(cls, fields);
+  }
+  void remove(TimeTag tag) { impl_->remove(tag); }
+  RunResult run() { return impl_->run(); }
+
+  const std::vector<FiringRecord>& trace() const { return impl_->trace(); }
+  const RunStats& stats() const { return impl_->stats(); }
+  const WorkingMemory& wm() const { return impl_->wm(); }
+  const rete::Network& network() const { return impl_->network(); }
+  EngineBase& base() { return *impl_; }
+
+ private:
+  std::unique_ptr<EngineBase> impl_;
+};
+
+}  // namespace psme

@@ -1,0 +1,82 @@
+// Shared control-process logic for the OPS5 engines.
+//
+// EngineBase owns everything except match scheduling: the Rete network,
+// working memory, conflict set, compiled RHS code, and the recognize-act
+// cycle. Subclasses decide how a working-memory change reaches the matcher
+// (inline, task queues + threads, or the Multimax simulator) and what
+// "wait for the match phase to finish" means.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "match/memory.hpp"
+#include "ops5/parser.hpp"
+#include "ops5/program.hpp"
+#include "rete/builder.hpp"
+#include "rete/network.hpp"
+#include "runtime/conflict_set.hpp"
+#include "runtime/rhs.hpp"
+#include "runtime/working_memory.hpp"
+
+namespace psme {
+
+class EngineBase : public RhsEffects {
+ public:
+  EngineBase(const ops5::Program& program, EngineOptions options);
+  ~EngineBase() override = default;
+
+  // Adds a wme before (or between) runs; e.g. "(goal ^type find)".
+  const Wme* make(std::string_view wme_literal);
+  const Wme* make(SymbolId cls,
+                  const std::vector<std::pair<SymbolId, Value>>& fields);
+  // Removes a wme by timetag before (or between) runs.
+  void remove(TimeTag tag);
+
+  // Runs recognize-act cycles until halt / empty conflict set / max_cycles.
+  virtual RunResult run();
+
+  const ops5::Program& program() const { return program_; }
+  const rete::Network& network() const { return *network_; }
+  const WorkingMemory& wm() const { return wm_; }
+  ConflictSet& conflict_set() { return cs_; }
+  const std::vector<FiringRecord>& trace() const { return trace_; }
+  const RunStats& stats() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+
+  // RhsEffects (control process only).
+  void on_make(const Wme* wme) final;
+  void on_remove(const Wme* wme) final;
+  void on_write(const std::string& text) final;
+  void on_halt() final;
+
+ protected:
+  // Delivers one wme change to the matcher. The parallel engine pushes a
+  // root task and returns; the sequential engine matches to fixpoint.
+  virtual void submit_change(const Wme* wme, std::int8_t sign) = 0;
+  // Blocks until the match phase is complete (TaskCount == 0).
+  virtual void wait_quiescent() = 0;
+  // Called at the start / end of run() (spawn / kill the match processes).
+  virtual void begin_run() {}
+  virtual void end_run() {}
+
+  const ops5::Program& program_;
+  EngineOptions options_;
+  std::unique_ptr<rete::Network> network_;
+  WorkingMemory wm_;
+  ConflictSet cs_;
+  std::vector<CompiledRhs> rhs_;
+  std::vector<FiringRecord> trace_;
+  RunStats stats_;
+  bool halted_ = false;
+
+  // Changes submitted before run() starts (consumed by run()).
+  std::vector<std::pair<const Wme*, std::int8_t>> pending_;
+
+ private:
+  bool running_ = false;
+};
+
+}  // namespace psme

@@ -1,0 +1,52 @@
+// Engine configuration and run results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "match/kernel.hpp"
+#include "match/line_locks.hpp"
+#include "runtime/conflict_set.hpp"
+
+namespace psme {
+
+struct EngineOptions {
+  // vs1 (per-node linear lists) or vs2/parallel (global hash tables).
+  match::MemoryStrategy memory = match::MemoryStrategy::Hash;
+  CrStrategy strategy = CrStrategy::Lex;
+
+  // Parallel engines: number of match processes (the "k" in the paper's
+  // "1+k"); 0 means match runs inline on the control thread.
+  int match_processes = 0;
+  int task_queues = 1;
+  match::LockScheme lock_scheme = match::LockScheme::Simple;
+
+  // Token hash tables: number of buckets per side (power of two).
+  std::uint32_t hash_buckets = 512;
+
+  std::uint64_t max_cycles = 1'000'000;
+
+  // Sink for the `write` RHS action; nullptr discards output.
+  std::ostream* out = nullptr;
+
+  // OPS5-style watch levels, printed to `out`:
+  //   0 = silent, 1 = production firings, 2 = + working-memory changes.
+  int watch = 0;
+};
+
+struct FiringRecord {
+  std::uint32_t prod_index = 0;
+  std::vector<TimeTag> timetags;  // positive CEs in order
+  bool operator==(const FiringRecord&) const = default;
+};
+
+enum class StopReason : std::uint8_t { Halt, EmptyConflictSet, MaxCycles };
+
+struct RunResult {
+  StopReason reason = StopReason::EmptyConflictSet;
+  RunStats stats;
+};
+
+}  // namespace psme

@@ -1,0 +1,156 @@
+#include "engine/parallel_engine.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace psme {
+
+ParallelEngine::ParallelEngine(const ops5::Program& program,
+                               EngineOptions options)
+    : EngineBase(program, options),
+      left_table_(options_.hash_buckets),
+      right_table_(options_.hash_buckets),
+      line_locks_(options_.hash_buckets, options_.lock_scheme),
+      queues_(options_.task_queues) {
+  if (options_.match_processes < 1)
+    throw std::invalid_argument(
+        "ParallelEngine requires at least one match process");
+  if (options_.memory != match::MemoryStrategy::Hash)
+    throw std::invalid_argument(
+        "the parallel matcher uses the global hash-table memories (vs2)");
+}
+
+ParallelEngine::~ParallelEngine() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ParallelEngine::begin_run() {
+  shutdown_.store(false, std::memory_order_release);
+  workers_.clear();
+  for (int i = 0; i < options_.match_processes; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  for (int i = 0; i < options_.match_processes; ++i)
+    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+}
+
+void ParallelEngine::end_run() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+    stats_.match.merge(w->stats);
+  }
+}
+
+void ParallelEngine::submit_change(const Wme* wme, std::int8_t sign) {
+  if (!phase_open_) {
+    phase_open_ = true;
+    phase_start_ = std::chrono::steady_clock::now();
+  }
+  match::Task root;
+  root.kind = match::TaskKind::Root;
+  root.sign = sign;
+  root.wme = wme;
+  queues_.push(root, control_hint_++, stats_.match);
+}
+
+void ParallelEngine::wait_quiescent() {
+  std::uint32_t spins = 0;
+  while (!queues_.phase_complete()) {
+    SpinLock::cpu_relax();
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  if (phase_open_) {
+    phase_open_ = false;
+    stats_.match_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      phase_start_)
+            .count();
+  }
+}
+
+void ParallelEngine::worker_main(int index) {
+  Worker& w = *workers_[static_cast<std::size_t>(index)];
+  match::MatchContext ctx;
+  ctx.strategy = match::MemoryStrategy::Hash;
+  ctx.left_table = &left_table_;
+  ctx.right_table = &right_table_;
+  ctx.conflict_set = &cs_;
+  ctx.arena = &w.arena;
+  ctx.stats = &w.stats;
+
+  std::vector<match::Task> emit_buf;
+  unsigned hint = static_cast<unsigned>(index);
+  std::uint32_t idle = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    match::Task task;
+    if (!queues_.try_pop(&task, hint, w.stats)) {
+      // Idle: between phases, or starved. Back off politely so the control
+      // thread (and, on small hosts, other match processes) can run.
+      if (++idle >= 16) {
+        std::this_thread::yield();
+      } else {
+        SpinLock::cpu_relax();
+      }
+      continue;
+    }
+    idle = 0;
+    execute_task(ctx, task, emit_buf, &hint, w.stats);
+  }
+}
+
+void ParallelEngine::execute_task(match::MatchContext& ctx,
+                                  const match::Task& task,
+                                  std::vector<match::Task>& emit_buf,
+                                  unsigned* hint, MatchStats& stats) {
+  emit_buf.clear();
+  switch (task.kind) {
+    case match::TaskKind::Root:
+      match::process_root(ctx, *network_, task, emit_buf);
+      break;
+    case match::TaskKind::Terminal:
+      match::process_terminal(ctx, task);
+      break;
+    case match::TaskKind::JoinLeft:
+    case match::TaskKind::JoinRight: {
+      const std::uint32_t line = match::line_of(task, left_table_);
+      const Side side = task.side();
+      if (line_locks_.scheme() == match::LockScheme::Simple) {
+        line_locks_.lock_exclusive(line, side, stats);
+        match::process_join(ctx, task, emit_buf);
+        line_locks_.unlock_exclusive(line);
+        break;
+      }
+      // MRSW scheme.
+      if (task.join->kind == rete::JoinKind::Negative) {
+        if (!line_locks_.try_enter_exclusive(line, side, stats)) {
+          queues_.requeue(task, (*hint)++, stats);
+          return;  // task still counted in TaskCount
+        }
+        match::process_join(ctx, task, emit_buf);
+        line_locks_.leave_exclusive(line);
+        break;
+      }
+      if (!line_locks_.try_enter(line, side, stats)) {
+        queues_.requeue(task, (*hint)++, stats);
+        return;
+      }
+      line_locks_.lock_modification(line, side, stats);
+      const match::MemUpdate update = match::process_join_update(ctx, task);
+      line_locks_.unlock_modification(line);
+      match::process_join_probe(ctx, task, update, emit_buf);
+      line_locks_.leave(line);
+      break;
+    }
+  }
+  for (const match::Task& t : emit_buf) queues_.push(t, (*hint)++, stats);
+  stats.tasks_executed += 1;
+  queues_.task_done();
+}
+
+}  // namespace psme

@@ -1,0 +1,67 @@
+// PSM-E's threaded engine: one control process (the caller's thread) plus
+// k match processes (std::thread), cooperating through shared memory
+// exactly as in Section 3 of the paper:
+//
+//  - a single shared Rete network;
+//  - global left/right token hash tables with per-line locks (Simple or
+//    MRSW scheme);
+//  - one or more central task queues guarded by spin locks;
+//  - a TaskCount counter for match-phase termination;
+//  - the control process pushes root tokens *while still evaluating the
+//    RHS*, so match pipelines with RHS evaluation.
+//
+// Match processes are started by begin_run() and killed by end_run(),
+// matching the paper's per-run process lifetime.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "engine/engine_base.hpp"
+#include "match/line_locks.hpp"
+#include "match/task_queue.hpp"
+
+namespace psme {
+
+class ParallelEngine : public EngineBase {
+ public:
+  ParallelEngine(const ops5::Program& program, EngineOptions options);
+  ~ParallelEngine() override;
+
+  // Aggregated match-process statistics (valid after run()).
+  const MatchStats& match_stats() const { return stats_.match; }
+
+ protected:
+  void submit_change(const Wme* wme, std::int8_t sign) override;
+  void wait_quiescent() override;
+  void begin_run() override;
+  void end_run() override;
+
+ private:
+  struct Worker {
+    match::BumpArena arena;
+    MatchStats stats;
+    std::thread thread;
+  };
+
+  void worker_main(int index);
+  // Executes one popped task with the appropriate locking; pushes emissions.
+  void execute_task(match::MatchContext& ctx, const match::Task& task,
+                    std::vector<match::Task>& emit_buf, unsigned* hint,
+                    MatchStats& stats);
+
+  match::HashTokenTable left_table_;
+  match::HashTokenTable right_table_;
+  match::LineLocks line_locks_;
+  match::TaskQueueSet queues_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> shutdown_{false};
+  match::BumpArena control_arena_;  // for the control thread (unused by
+                                    // root tasks but required by contexts)
+  unsigned control_hint_ = 0;
+  std::chrono::steady_clock::time_point phase_start_;
+  bool phase_open_ = false;
+};
+
+}  // namespace psme

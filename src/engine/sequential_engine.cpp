@@ -1,0 +1,51 @@
+#include "engine/sequential_engine.hpp"
+
+#include <chrono>
+
+namespace psme {
+
+SequentialEngine::SequentialEngine(const ops5::Program& program,
+                                   EngineOptions options)
+    : EngineBase(program, options) {
+  ctx_.strategy = options_.memory;
+  if (options_.memory == match::MemoryStrategy::Hash) {
+    left_table_ = std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+    right_table_ =
+        std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+    ctx_.left_table = left_table_.get();
+    ctx_.right_table = right_table_.get();
+  } else {
+    list_mems_ =
+        std::make_unique<match::ListMemories>(network_->num_list_memories());
+    ctx_.list_mems = list_mems_.get();
+  }
+  ctx_.conflict_set = &cs_;
+  ctx_.arena = &arena_;
+  ctx_.stats = &stats_.match;
+}
+
+void SequentialEngine::submit_change(const Wme* wme, std::int8_t sign) {
+  match::Task root;
+  root.kind = match::TaskKind::Root;
+  root.sign = sign;
+  root.wme = wme;
+  queue_.push_back(root);
+  drain();
+}
+
+void SequentialEngine::drain() {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  while (!queue_.empty()) {
+    const match::Task task = queue_.front();
+    queue_.pop_front();
+    emit_buf_.clear();
+    match::process_task(ctx_, *network_, task, emit_buf_);
+    for (const match::Task& t : emit_buf_) queue_.push_back(t);
+    stats_.match.tasks_executed += 1;
+  }
+  stats_.match_seconds +=
+      std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace psme

@@ -1,0 +1,74 @@
+// TreatEngine: the TREAT match algorithm (Miranker 1987, the paper's
+// reference [11]) as an alternative to Rete.
+//
+// TREAT stores no beta memories. It keeps one alpha memory per
+// (production, condition element) and maintains the conflict set directly:
+//
+//  - adding a wme to a *positive* CE seeks new instantiations by a nested-
+//    loop join over the production's other alpha memories (with the new
+//    wme pinned to its CE), checking negated CEs by absence;
+//  - removing a wme from a positive CE removes every instantiation that
+//    references the wme (conflict-set sweep);
+//  - adding a wme to a *negated* CE removes the instantiations it now
+//    blocks; removing one re-seeks the production's instantiations.
+//
+// TREAT trades Rete's state maintenance for recomputation on change — the
+// classic space/time trade-off the literature of the period debated. It
+// produces the identical conflict set, so its firing traces match the Rete
+// engines' exactly (the equivalence tests check this), and
+// `bench/rete_vs_treat` compares their match costs on the paper workloads.
+#pragma once
+
+#include <vector>
+
+#include "engine/engine_base.hpp"
+#include "rete/network.hpp"
+
+namespace psme {
+
+class TreatEngine : public EngineBase {
+ public:
+  TreatEngine(const ops5::Program& program, EngineOptions options);
+
+  // Total wme-vs-wme / wme-vs-constant comparisons performed by seeks;
+  // TREAT's cost metric, reported by the comparison bench.
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ protected:
+  void submit_change(const Wme* wme, std::int8_t sign) override;
+  void wait_quiescent() override {}
+
+ private:
+  // Per (production, CE) compiled tests, in CE order.
+  struct CompiledCe {
+    bool negated = false;
+    SymbolId cls = 0;
+    int token_pos = -1;  // position among positive CEs; -1 for negated
+    std::vector<rete::AlphaTest> alpha;  // intra-CE tests
+    // Inter-CE tests against earlier *positive* positions.
+    std::vector<rete::EqTest> eq_tests;
+    std::vector<rete::BetaPred> preds;
+    std::vector<const Wme*> memory;  // this CE's alpha memory
+  };
+  struct CompiledProduction {
+    std::uint32_t index = 0;
+    std::vector<CompiledCe> ces;
+    int num_positive = 0;
+  };
+
+  void compile(const ops5::Program& program);
+  bool alpha_match(const CompiledCe& ce, const Wme* wme);
+  // Inter-CE consistency of `wme` at `ce` given earlier positive bindings.
+  bool consistent(const CompiledCe& ce, const Wme* wme,
+                  const std::vector<const Wme*>& bound);
+  // Does any wme in the negated CE's memory block this binding?
+  bool blocked(const CompiledCe& ce, const std::vector<const Wme*>& bound);
+  // Depth-first seek over positive CEs; `pinned_ce` must take `pinned_wme`.
+  void seek(CompiledProduction& prod, std::size_t ce_index, int pinned_ce,
+            const Wme* pinned_wme, std::vector<const Wme*>& bound);
+
+  std::vector<CompiledProduction> productions_;
+  std::uint64_t comparisons_ = 0;
+};
+
+}  // namespace psme

@@ -1,0 +1,338 @@
+#include "match/kernel.hpp"
+
+#include <cassert>
+
+namespace psme::match {
+namespace {
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 32;
+  return h;
+}
+
+// Do the left token and right wme satisfy the join's variable tests?
+bool beta_match(const rete::JoinNode* j, const Token* t, const Wme* w) {
+  for (const rete::EqTest& eq : j->eq_tests) {
+    if (!(t->wme_at(eq.tok_pos)->field(eq.tok_slot) == w->field(eq.wme_slot)))
+      return false;
+  }
+  for (const rete::BetaPred& p : j->preds) {
+    if (!ops5::eval_pred(p.op, w->field(p.wme_slot),
+                         t->wme_at(p.tok_pos)->field(p.tok_slot)))
+      return false;
+  }
+  return true;
+}
+
+struct BucketPair {
+  Bucket* own;
+  Bucket* opp;
+};
+
+BucketPair resolve_buckets(MatchContext& ctx, const Task& task,
+                           std::uint64_t hash) {
+  if (ctx.strategy == MemoryStrategy::Hash) {
+    Bucket& l = ctx.left_table->bucket(hash);
+    Bucket& r = ctx.right_table->bucket(hash);
+    return task.side() == Side::Left ? BucketPair{&l, &r} : BucketPair{&r, &l};
+  }
+  Bucket& l = ctx.list_mems->at(task.join->left_mem);
+  Bucket& r = ctx.list_mems->at(task.join->right_mem);
+  return task.side() == Side::Left ? BucketPair{&l, &r} : BucketPair{&r, &l};
+}
+
+// Is `e` an entry of this node with this key? (Hash mode prefilter; list
+// buckets contain only the node's own entries.)
+inline bool entry_of_node(const MatchContext& ctx, const Entry* e,
+                          const rete::JoinNode* j, std::uint64_t hash) {
+  if (ctx.strategy != MemoryStrategy::Hash) return true;
+  return e->node_id == j->id && e->hash == hash;
+}
+
+inline bool same_payload(const Task& task, const Entry* e) {
+  return task.side() == Side::Left ? token_content_equal(e->token, task.token)
+                                   : e->wme == task.wme;
+}
+
+// Emits one token to every successor of the join.
+void emit_to_successors(MatchContext&, const rete::JoinNode* j,
+                        const Token* token, std::int8_t sign,
+                        std::vector<Task>& out) {
+  for (const rete::Successor& s : j->succs) {
+    Task t;
+    t.sign = sign;
+    t.token = token;
+    if (s.terminal) {
+      t.kind = TaskKind::Terminal;
+      t.terminal = s.terminal;
+    } else {
+      t.kind = TaskKind::JoinLeft;
+      t.join = s.join;
+    }
+    out.push_back(t);
+  }
+}
+
+}  // namespace
+
+std::uint64_t task_hash(const Task& task) {
+  const rete::JoinNode* j = task.join;
+  std::uint64_t h = hash_combine(0x517cc1b727220a95ull, j->id);
+  if (task.side() == Side::Left) {
+    for (const rete::EqTest& eq : j->eq_tests)
+      h = hash_combine(
+          h, task.token->wme_at(eq.tok_pos)->field(eq.tok_slot).hash());
+  } else {
+    for (const rete::EqTest& eq : j->eq_tests)
+      h = hash_combine(h, task.wme->field(eq.wme_slot).hash());
+  }
+  return h;
+}
+
+void process_root(MatchContext& ctx, const rete::Network& net,
+                  const Task& task, std::vector<Task>& out,
+                  ActivationCost* cost) {
+  ctx.stats->wme_changes += 1;
+  ctx.stats->node_activations += 1;
+  const Wme* wme = task.wme;
+  const auto* alphas = net.alphas_for_class(wme->cls);
+  if (!alphas) return;
+  const Token* unit_token = nullptr;  // lazily built length-1 token
+  for (const rete::AlphaProgram* prog : *alphas) {
+    bool pass = true;
+    for (const rete::AlphaTest& t : prog->tests) {
+      if (cost) cost->alpha_tests += 1;
+      if (!rete::eval_alpha_test(t, wme->fields.data())) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (const rete::AlphaDest& dest : prog->dests) {
+      Task t;
+      t.sign = task.sign;
+      t.join = dest.join;
+      if (dest.side == Side::Right) {
+        t.kind = TaskKind::JoinRight;
+        t.wme = wme;
+      } else {
+        t.kind = TaskKind::JoinLeft;
+        if (!unit_token) unit_token = ctx.arena->make_token(nullptr, wme);
+        t.token = unit_token;
+      }
+      out.push_back(t);
+    }
+    for (const rete::TerminalNode* term : prog->terminal_dests) {
+      Task t;
+      t.kind = TaskKind::Terminal;
+      t.sign = task.sign;
+      t.terminal = term;
+      if (!unit_token) unit_token = ctx.arena->make_token(nullptr, wme);
+      t.token = unit_token;
+      out.push_back(t);
+    }
+  }
+}
+
+MemUpdate process_join_update(MatchContext& ctx, const Task& task,
+                              ActivationCost* cost) {
+  ctx.stats->node_activations += 1;
+  const rete::JoinNode* j = task.join;
+  MemUpdate up;
+  if (ctx.strategy == MemoryStrategy::Hash) {
+    up.hash = task_hash(task);
+    if (cost) cost->hash_computed = true;
+  }
+  BucketPair b = resolve_buckets(ctx, task, up.hash);
+  const int si = side_index(task.side());
+
+  if (task.sign > 0) {
+    // Conjugate check: a parked `-` for the same payload annihilates us.
+    Entry* prev = nullptr;
+    for (Entry* e = b.own->extra_deletes; e; e = e->next) {
+      if (entry_of_node(ctx, e, j, up.hash) && same_payload(task, e)) {
+        if (prev) {
+          prev->next = e->next;
+        } else {
+          b.own->extra_deletes = e->next;
+        }
+        ctx.stats->conjugate_hits += 1;
+        up.outcome = MemUpdate::Outcome::Annihilated;
+        return up;
+      }
+      prev = e;
+    }
+    Entry* e = ctx.arena->make_entry();
+    e->token = task.token;
+    e->wme = task.wme;
+    e->hash = up.hash;
+    e->node_id = j->id;
+    e->next = b.own->head;
+    b.own->head = e;
+    up.outcome = MemUpdate::Outcome::Inserted;
+    up.entry = e;
+    return up;
+  }
+
+  // Delete: locate the stored entry with the same payload.
+  std::uint32_t examined = 0;
+  Entry* prev = nullptr;
+  for (Entry* e = b.own->head; e; e = e->next) {
+    ++examined;
+    if (entry_of_node(ctx, e, j, up.hash) && same_payload(task, e)) {
+      if (prev) {
+        prev->next = e->next;
+      } else {
+        b.own->head = e->next;
+      }
+      // Count the delete search (the chain was non-empty: we found e).
+      ctx.stats->same_del_examined[si] += examined;
+      ctx.stats->same_del_activations[si] += 1;
+      if (cost) cost->same_examined += examined;
+      up.outcome = MemUpdate::Outcome::Removed;
+      up.entry = e;
+      return up;
+    }
+    prev = e;
+  }
+  if (examined > 0) {
+    ctx.stats->same_del_examined[si] += examined;
+    ctx.stats->same_del_activations[si] += 1;
+    if (cost) cost->same_examined += examined;
+  }
+  // Not found: the `+` has not arrived yet; park on the extra-deletes list.
+  Entry* e = ctx.arena->make_entry();
+  e->token = task.token;
+  e->wme = task.wme;
+  e->hash = up.hash;
+  e->node_id = j->id;
+  e->next = b.own->extra_deletes;
+  b.own->extra_deletes = e;
+  up.outcome = MemUpdate::Outcome::ParkedDelete;
+  return up;
+}
+
+void process_join_probe(MatchContext& ctx, const Task& task,
+                        const MemUpdate& update, std::vector<Task>& out,
+                        ActivationCost* cost) {
+  if (update.outcome == MemUpdate::Outcome::Annihilated ||
+      update.outcome == MemUpdate::Outcome::ParkedDelete) {
+    return;
+  }
+  const rete::JoinNode* j = task.join;
+  BucketPair b = resolve_buckets(ctx, task, update.hash);
+  const int si = side_index(task.side());
+  const Side side = task.side();
+
+  if (j->kind == rete::JoinKind::Positive) {
+    std::uint32_t examined = 0;
+    std::uint32_t pairs = 0;
+    for (Entry* e = b.opp->head; e; e = e->next) {
+      ++examined;
+      if (!entry_of_node(ctx, e, j, update.hash)) continue;
+      const Token* left = side == Side::Left ? task.token : e->token;
+      const Wme* right = side == Side::Left ? e->wme : task.wme;
+      if (!beta_match(j, left, right)) continue;
+      const Token* extended = ctx.arena->make_token(left, right);
+      emit_to_successors(ctx, j, extended, task.sign, out);
+      ++pairs;
+    }
+    if (examined > 0) {
+      ctx.stats->opp_examined[si] += examined;
+      ctx.stats->opp_activations[si] += 1;
+    }
+    ctx.stats->emissions += pairs;
+    if (cost) {
+      cost->opp_examined += examined;
+      cost->emissions += pairs;
+    }
+    return;
+  }
+
+  // Negative node.
+  if (side == Side::Left) {
+    if (task.sign > 0) {
+      // Count matching right wmes; pass the token through iff none.
+      std::uint32_t examined = 0;
+      std::int32_t count = 0;
+      for (Entry* e = b.opp->head; e; e = e->next) {
+        ++examined;
+        if (!entry_of_node(ctx, e, j, update.hash)) continue;
+        if (beta_match(j, task.token, e->wme)) ++count;
+      }
+      if (examined > 0) {
+        ctx.stats->opp_examined[si] += examined;
+        ctx.stats->opp_activations[si] += 1;
+      }
+      if (cost) cost->opp_examined += examined;
+      update.entry->neg_count.store(count, std::memory_order_relaxed);
+      if (count == 0) {
+        emit_to_successors(ctx, j, task.token, +1, out);
+        ctx.stats->emissions += 1;
+        if (cost) cost->emissions += 1;
+      }
+    } else {
+      // Delete of a left token: emit `-` iff it was currently passing.
+      if (update.entry->neg_count.load(std::memory_order_relaxed) == 0) {
+        emit_to_successors(ctx, j, update.entry->token, -1, out);
+        ctx.stats->emissions += 1;
+        if (cost) cost->emissions += 1;
+      }
+    }
+    return;
+  }
+
+  // Right activation of a negative node: adjust counts of matching left
+  // tokens; emissions happen on 0<->1 transitions.
+  std::uint32_t examined = 0;
+  for (Entry* e = b.opp->head; e; e = e->next) {
+    ++examined;
+    if (ctx.strategy == MemoryStrategy::Hash &&
+        (e->node_id != j->id || e->hash != update.hash))
+      continue;
+    if (!beta_match(j, e->token, task.wme)) continue;
+    if (task.sign > 0) {
+      const std::int32_t prev =
+          e->neg_count.fetch_add(1, std::memory_order_relaxed);
+      if (prev == 0) {
+        emit_to_successors(ctx, j, e->token, -1, out);
+        ctx.stats->emissions += 1;
+        if (cost) cost->emissions += 1;
+      }
+    } else {
+      const std::int32_t prev =
+          e->neg_count.fetch_sub(1, std::memory_order_relaxed);
+      if (prev == 1) {
+        emit_to_successors(ctx, j, e->token, +1, out);
+        ctx.stats->emissions += 1;
+        if (cost) cost->emissions += 1;
+      }
+    }
+  }
+  if (examined > 0) {
+    ctx.stats->opp_examined[si] += examined;
+    ctx.stats->opp_activations[si] += 1;
+  }
+  if (cost) cost->opp_examined += examined;
+}
+
+void process_join(MatchContext& ctx, const Task& task, std::vector<Task>& out,
+                  ActivationCost* cost) {
+  const MemUpdate up = process_join_update(ctx, task, cost);
+  process_join_probe(ctx, task, up, out, cost);
+}
+
+void process_terminal(MatchContext& ctx, const Task& task,
+                      ActivationCost* cost) {
+  (void)cost;
+  ctx.stats->node_activations += 1;
+  if (task.sign > 0) {
+    ctx.conflict_set->insert(task.terminal->prod_index, task.token);
+  } else {
+    ctx.conflict_set->remove(task.terminal->prod_index, task.token);
+  }
+}
+
+}  // namespace psme::match

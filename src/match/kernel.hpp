@@ -1,0 +1,117 @@
+// The semantic core of the matcher, shared by every engine.
+//
+// These functions implement exactly one node activation each, with explicit
+// locking preconditions instead of internal locks, so the three drivers —
+// the sequential token loop, the threaded worker loop (real spin locks),
+// and the Multimax simulator (virtual-time locks) — execute the *same*
+// match semantics and can only differ in scheduling.
+//
+// Locking contract (hash backend, parallel drivers):
+//  - line_of() gives the line a Join task will touch; the driver must hold
+//    that line before calling process_join (simple scheme), or hold the
+//    line in side mode + the modification lock around the memory-update
+//    phase (MRSW scheme, via process_join_update / process_join_probe).
+//  - Root and Terminal tasks touch no line.
+//
+// Sequential drivers call the same entry points with no locks held.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "match/memory.hpp"
+#include "match/task.hpp"
+#include "ops5/program.hpp"
+#include "rete/network.hpp"
+#include "runtime/conflict_set.hpp"
+
+namespace psme::match {
+
+enum class MemoryStrategy : std::uint8_t { List, Hash };  // vs1 / vs2
+
+// Everything a node activation touches. One per worker for stats/arena;
+// memory structures and the conflict set are shared.
+struct MatchContext {
+  MemoryStrategy strategy = MemoryStrategy::Hash;
+  // Hash backend (shared).
+  HashTokenTable* left_table = nullptr;
+  HashTokenTable* right_table = nullptr;
+  // List backend (shared).
+  ListMemories* list_mems = nullptr;
+  // Shared conflict set.
+  ConflictSet* conflict_set = nullptr;
+  // Per-worker.
+  BumpArena* arena = nullptr;
+  MatchStats* stats = nullptr;
+};
+
+// Cost facts of one activation, fed to the simulator's cost model.
+struct ActivationCost {
+  std::uint32_t alpha_tests = 0;
+  std::uint32_t same_examined = 0;
+  std::uint32_t opp_examined = 0;
+  std::uint32_t emissions = 0;
+  bool hash_computed = false;
+};
+
+// (node, equality-key) hash for a Join task; defines its hash-table line.
+std::uint64_t task_hash(const Task& task);
+inline std::uint32_t line_of(const Task& task, const HashTokenTable& table) {
+  return table.line_of(task_hash(task));
+}
+
+// --- Full activations (line held exclusively, or sequential) -------------
+
+// Root task: run the alpha programs for the wme's class; schedules join /
+// terminal activations into `out`.
+void process_root(MatchContext& ctx, const rete::Network& net,
+                  const Task& task, std::vector<Task>& out,
+                  ActivationCost* cost = nullptr);
+
+// Join (positive or negative) activation, both phases under one lock.
+void process_join(MatchContext& ctx, const Task& task, std::vector<Task>& out,
+                  ActivationCost* cost = nullptr);
+
+// Terminal activation (conflict set has its own internal lock).
+void process_terminal(MatchContext& ctx, const Task& task,
+                      ActivationCost* cost = nullptr);
+
+// --- Split activation for the MRSW locking scheme -------------------------
+
+// Phase 1 — memory update; caller holds the line in side mode AND the
+// modification lock.
+struct MemUpdate {
+  enum class Outcome : std::uint8_t {
+    Inserted,      // + token added to memory
+    Annihilated,   // + met a parked -, both discarded (no probe needed)
+    Removed,       // - token found and unlinked (probe for - emissions)
+    ParkedDelete,  // - parked on the extra-deletes list (no probe)
+  };
+  Outcome outcome = Outcome::Inserted;
+  Entry* entry = nullptr;  // inserted or removed entry
+  std::uint64_t hash = 0;
+};
+MemUpdate process_join_update(MatchContext& ctx, const Task& task,
+                              ActivationCost* cost = nullptr);
+
+// Phase 2 — probe the opposite memory and emit; caller holds the line in
+// side mode (modification lock NOT required: the opposite chain cannot
+// change while this side holds the line, and own-chain mutations are done).
+void process_join_probe(MatchContext& ctx, const Task& task,
+                        const MemUpdate& update, std::vector<Task>& out,
+                        ActivationCost* cost = nullptr);
+
+// Dispatches a non-root task with both phases under the caller's lock.
+inline void process_task(MatchContext& ctx, const rete::Network& net,
+                         const Task& task, std::vector<Task>& out,
+                         ActivationCost* cost = nullptr) {
+  switch (task.kind) {
+    case TaskKind::Root: process_root(ctx, net, task, out, cost); break;
+    case TaskKind::JoinLeft:
+    case TaskKind::JoinRight: process_join(ctx, task, out, cost); break;
+    case TaskKind::Terminal: process_terminal(ctx, task, cost); break;
+  }
+}
+
+}  // namespace psme::match

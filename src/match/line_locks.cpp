@@ -1,0 +1,74 @@
+#include "match/line_locks.hpp"
+
+#include <cassert>
+
+namespace psme::match {
+
+LineLocks::LineLocks(std::uint32_t num_lines, LockScheme scheme)
+    : scheme_(scheme), lines_(num_lines) {}
+
+void LineLocks::lock_exclusive(std::uint32_t line, Side side,
+                               MatchStats& stats) {
+  const int si = side_index(side);
+  stats.line_probes[si] += lines_[line].simple.lock();
+  stats.line_acquisitions[si] += 1;
+}
+
+void LineLocks::unlock_exclusive(std::uint32_t line) {
+  lines_[line].simple.unlock();
+}
+
+bool LineLocks::try_enter(std::uint32_t line, Side side, MatchStats& stats) {
+  Line& l = lines_[line];
+  const int si = side_index(side);
+  const std::uint8_t mine = side == Side::Left ? kLeft : kRight;
+  stats.line_probes[si] += l.guard.lock();
+  stats.line_acquisitions[si] += 1;
+  if (l.flag == kUnused || l.flag == mine) {
+    l.flag = mine;
+    ++l.users;
+    l.guard.unlock();
+    return true;
+  }
+  l.guard.unlock();
+  return false;
+}
+
+void LineLocks::leave(std::uint32_t line) {
+  Line& l = lines_[line];
+  l.guard.lock();
+  assert(l.users > 0);
+  if (--l.users == 0) l.flag = kUnused;
+  l.guard.unlock();
+}
+
+bool LineLocks::try_enter_exclusive(std::uint32_t line, Side side,
+                                    MatchStats& stats) {
+  Line& l = lines_[line];
+  const int si = side_index(side);
+  stats.line_probes[si] += l.guard.lock();
+  stats.line_acquisitions[si] += 1;
+  if (l.flag == kUnused) {
+    l.flag = kExclusive;
+    l.users = 1;
+    l.guard.unlock();
+    return true;
+  }
+  l.guard.unlock();
+  return false;
+}
+
+void LineLocks::leave_exclusive(std::uint32_t line) { leave(line); }
+
+void LineLocks::lock_modification(std::uint32_t line, Side side,
+                                  MatchStats& stats) {
+  const int si = side_index(side);
+  stats.line_probes[si] += lines_[line].modification.lock();
+  stats.line_acquisitions[si] += 1;
+}
+
+void LineLocks::unlock_modification(std::uint32_t line) {
+  lines_[line].modification.unlock();
+}
+
+}  // namespace psme::match

@@ -1,0 +1,112 @@
+// Token memories for the matcher.
+//
+// Two backends, matching the paper's uniprocessor versions:
+//  - vs1: per-node linear lists (ListMemories) — every activation scans the
+//    whole node memory;
+//  - vs2/parallel: two global hash tables (left and right), keyed by
+//    (join-node id, values bound by the node's equality tests). A "line" is
+//    the pair of same-index buckets in the two tables plus their
+//    extra-deletes lists (Section 3.2); matching left/right tokens land on
+//    the same line by construction, so per-line locks serialize exactly the
+//    work that conflicts.
+//
+// Every bucket carries an extra-deletes chain holding `-` tokens that
+// arrived before their `+` partner (conjugate pairs, Section 3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "runtime/token.hpp"
+
+namespace psme::match {
+
+// A memory entry; lives in either a main chain or an extra-deletes chain.
+// Left entries reference a Token, right entries a Wme. `neg_count` is the
+// number of matching right wmes for a negative node's left entry.
+struct Entry {
+  Entry* next = nullptr;
+  const Token* token = nullptr;
+  const Wme* wme = nullptr;
+  std::uint64_t hash = 0;     // full (node, key-values) hash; 0 in list mode
+  std::uint32_t node_id = 0;  // owning join node (hash backend)
+  std::atomic<std::int32_t> neg_count{0};
+};
+
+struct Bucket {
+  Entry* head = nullptr;
+  Entry* extra_deletes = nullptr;
+};
+
+// One side's global hash table (vs2 / parallel backend).
+class HashTokenTable {
+ public:
+  explicit HashTokenTable(std::uint32_t bucket_count_pow2)
+      : buckets_(bucket_count_pow2), mask_(bucket_count_pow2 - 1) {}
+
+  Bucket& bucket(std::uint64_t hash) { return buckets_[hash & mask_]; }
+  Bucket& bucket_at(std::uint32_t idx) { return buckets_[idx]; }
+  std::uint32_t line_of(std::uint64_t hash) const {
+    return static_cast<std::uint32_t>(hash & mask_);
+  }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(buckets_.size());
+  }
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::uint64_t mask_;
+};
+
+// Per-node memories (vs1 backend): index by JoinNode::{left_mem,right_mem}.
+class ListMemories {
+ public:
+  explicit ListMemories(std::uint32_t count) : buckets_(count) {}
+  Bucket& at(std::uint32_t idx) { return buckets_[idx]; }
+
+ private:
+  std::vector<Bucket> buckets_;
+};
+
+// Bump allocator for tokens and entries. Allocations live for the whole run
+// (matcher state persists across cycles); everything is reclaimed when the
+// arena dies. Each worker owns its own arena, so allocation never
+// synchronizes between match processes.
+class BumpArena {
+ public:
+  Token* make_token(const Token* parent, const Wme* wme) {
+    Token* t = alloc<Token>();
+    t->parent = parent;
+    t->wme = wme;
+    t->len = parent ? parent->len + 1 : 1;
+    return t;
+  }
+  Entry* make_entry() { return alloc<Entry>(); }
+
+  std::size_t bytes_allocated() const { return bytes_; }
+
+ private:
+  template <typename T>
+  T* alloc() {
+    static_assert(std::is_trivially_destructible_v<T>);
+    constexpr std::size_t size = (sizeof(T) + 15u) & ~std::size_t{15};
+    if (used_ + size > kBlockSize || blocks_.empty()) {
+      blocks_.emplace_back(new std::byte[kBlockSize]);
+      used_ = 0;
+    }
+    std::byte* p = blocks_.back().get() + used_;
+    used_ += size;
+    bytes_ += size;
+    return new (p) T();
+  }
+
+  static constexpr std::size_t kBlockSize = 1u << 16;
+  std::deque<std::unique_ptr<std::byte[]>> blocks_;
+  std::size_t used_ = kBlockSize + 1;  // force first block
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace psme::match

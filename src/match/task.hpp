@@ -1,0 +1,34 @@
+// The matcher's unit of work (the paper's "task", Section 3.1).
+//
+// A task is an independently schedulable node activation:
+//  - Root: one wme change; runs the (grouped) constant-test node activations
+//    for the wme's class and schedules the resulting join activations;
+//  - JoinLeft / JoinRight: one activation of a coalesced memory+two-input
+//    node — update own-side memory, probe the opposite memory, schedule
+//    matching pairs as new tasks;
+//  - Terminal: insert/delete one instantiation in the conflict set.
+#pragma once
+
+#include <cstdint>
+
+#include "rete/network.hpp"
+#include "runtime/token.hpp"
+
+namespace psme::match {
+
+enum class TaskKind : std::uint8_t { Root, JoinLeft, JoinRight, Terminal };
+
+struct Task {
+  TaskKind kind = TaskKind::Root;
+  std::int8_t sign = +1;  // +1 add, -1 delete
+  const rete::JoinNode* join = nullptr;
+  const rete::TerminalNode* terminal = nullptr;
+  const Token* token = nullptr;  // JoinLeft / Terminal payload
+  const Wme* wme = nullptr;      // Root / JoinRight payload
+
+  Side side() const {
+    return kind == TaskKind::JoinRight ? Side::Right : Side::Left;
+  }
+};
+
+}  // namespace psme::match

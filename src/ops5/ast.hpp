@@ -1,0 +1,93 @@
+// Abstract syntax for the OPS5 subset implemented by PSM-E.
+//
+// Supported LHS forms: positive and negated condition elements; constant,
+// variable, predicate (`= <> < <= > >= <=>`), disjunction (`<< a b >>`),
+// and conjunction (`{ ... }`) field tests. Supported RHS actions:
+// make / modify / remove / write / bind / halt, with `(compute ...)`-style
+// left-associative arithmetic in value positions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace psme::ops5 {
+
+enum class PredOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge, SameType };
+
+const char* pred_name(PredOp op);
+
+// Evaluates `lhs OP rhs` with OPS5 semantics (ordering predicates are only
+// satisfiable between numbers).
+bool eval_pred(PredOp op, const Value& lhs, const Value& rhs);
+
+// One primitive test applied to a condition-element field. The right-hand
+// side of the relation is either a constant or a variable reference.
+struct TestAtom {
+  PredOp op = PredOp::Eq;
+  bool is_var = false;
+  Value constant;    // when !is_var
+  std::string var;   // when is_var
+};
+
+// The pattern written after one ^attr in a condition element.
+struct FieldPattern {
+  std::string attr;
+  // Non-empty disjunction means `<< v1 v2 ... >>`: field equals any listed
+  // constant. Mutually exclusive with `tests`.
+  std::vector<Value> disjunction;
+  // Conjunction of primitive tests (one element for the common simple case).
+  std::vector<TestAtom> tests;
+};
+
+struct ConditionElement {
+  bool negated = false;
+  std::string cls;
+  std::vector<FieldPattern> fields;
+};
+
+// A value expression on the RHS: a left-associative chain
+// term (op term)*, where each term is a constant or a variable.
+struct RhsTerm {
+  bool is_var = false;
+  Value constant;
+  std::string var;
+};
+
+struct RhsExpr {
+  RhsTerm first;
+  std::vector<std::pair<char, RhsTerm>> rest;  // op in {+,-,*,/,%}
+  bool simple() const { return rest.empty(); }
+};
+
+enum class ActionKind : std::uint8_t { Make, Modify, Remove, Write, Bind, Halt };
+
+struct Action {
+  ActionKind kind;
+  std::string cls;                                        // Make
+  int ce_index = 0;                                       // Modify/Remove (1-based)
+  std::vector<std::pair<std::string, RhsExpr>> assigns;   // Make/Modify
+  std::vector<RhsExpr> write_args;                        // Write
+  std::string bind_var;                                   // Bind
+  RhsExpr bind_value;                                     // Bind
+};
+
+struct Production {
+  std::string name;
+  std::vector<ConditionElement> lhs;
+  std::vector<Action> rhs;
+};
+
+struct Declaration {
+  std::string cls;
+  std::vector<std::string> attrs;
+};
+
+struct SourceFile {
+  std::vector<Declaration> declarations;
+  std::vector<Production> productions;
+};
+
+}  // namespace psme::ops5

@@ -1,0 +1,155 @@
+#include "ops5/lexer.hpp"
+
+#include <cctype>
+
+namespace psme::ops5 {
+namespace {
+
+bool is_atom_char(char c) {
+  // OPS5 atoms are liberal; we exclude the structural characters.
+  return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+         c != ')' && c != '{' && c != '}' && c != '^' && c != ';' &&
+         c != '<' && c != '>';
+}
+
+bool is_number(std::string_view s, bool* is_float) {
+  std::size_t i = 0;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+  bool digits = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digits = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  *is_float = dot;
+  return digits;
+}
+
+}  // namespace
+
+std::vector<Tok> lex(std::string_view src) {
+  std::vector<Tok> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind k, std::string text = {}) {
+    out.push_back(Tok{k, std::move(text), 0, 0.0, line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == ';') {  // comment to end of line
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokKind::LParen); ++i; continue;
+      case ')': push(TokKind::RParen); ++i; continue;
+      case '{': push(TokKind::LBrace); ++i; continue;
+      case '}': push(TokKind::RBrace); ++i; continue;
+      case '^': push(TokKind::Caret); ++i; continue;
+      default: break;
+    }
+    if (c == '<') {
+      // <<, <=>, <=, <>, <var>, or bare <.
+      if (i + 1 < n && src[i + 1] == '<') {
+        push(TokKind::LDisj);
+        i += 2;
+        continue;
+      }
+      if (i + 2 < n && src[i + 1] == '=' && src[i + 2] == '>') {
+        push(TokKind::Sym, "<=>");
+        i += 3;
+        continue;
+      }
+      if (i + 1 < n && src[i + 1] == '=') {
+        push(TokKind::Sym, "<=");
+        i += 2;
+        continue;
+      }
+      if (i + 1 < n && src[i + 1] == '>') {
+        push(TokKind::Sym, "<>");
+        i += 2;
+        continue;
+      }
+      // Try to scan a variable: '<' atom '>'.
+      std::size_t j = i + 1;
+      while (j < n && is_atom_char(src[j])) ++j;
+      if (j > i + 1 && j < n && src[j] == '>') {
+        push(TokKind::Var, std::string(src.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        continue;
+      }
+      push(TokKind::Sym, "<");
+      ++i;
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && src[i + 1] == '>') {
+        push(TokKind::RDisj);
+        i += 2;
+        continue;
+      }
+      if (i + 1 < n && src[i + 1] == '=') {
+        push(TokKind::Sym, ">=");
+        i += 2;
+        continue;
+      }
+      push(TokKind::Sym, ">");
+      ++i;
+      continue;
+    }
+    if (c == '-') {
+      // `-->`, negative number, or standalone minus.
+      if (src.substr(i, 3) == "-->") {
+        push(TokKind::Arrow);
+        i += 3;
+        continue;
+      }
+      if (i + 1 < n && (std::isdigit(static_cast<unsigned char>(src[i + 1])) ||
+                        src[i + 1] == '.')) {
+        // fall through to atom scan, which will parse the number
+      } else {
+        push(TokKind::Minus);
+        ++i;
+        continue;
+      }
+    }
+    // General atom: scan maximal run of atom characters.
+    std::size_t j = i;
+    while (j < n && is_atom_char(src[j])) ++j;
+    if (j == i) throw LexError("unexpected character '" + std::string(1, c) + "'", line);
+    std::string_view word = src.substr(i, j - i);
+    bool flt = false;
+    if (is_number(word, &flt)) {
+      Tok t{flt ? TokKind::Float : TokKind::Int, std::string(word), 0, 0.0, line};
+      if (flt) {
+        t.float_val = std::stod(t.text);
+      } else {
+        t.int_val = std::stoll(t.text);
+      }
+      out.push_back(t);
+    } else {
+      push(TokKind::Sym, std::string(word));
+    }
+    i = j;
+  }
+  push(TokKind::End);
+  return out;
+}
+
+}  // namespace psme::ops5

@@ -1,0 +1,56 @@
+// Lexer for the OPS5 surface syntax.
+//
+// Handles the quirky OPS5 token set: `^attr` operators, `<x>` variables
+// versus the relational operators `<`, `<=`, `<>`, `<=>`, `<<` (disjunction
+// open) and `>`, `>=`, `>>`; `-` as condition-element negation versus a
+// negative number versus arithmetic minus; `;` comments.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace psme::ops5 {
+
+enum class TokKind : std::uint8_t {
+  LParen,
+  RParen,
+  LBrace,     // {  conjunctive field test
+  RBrace,     // }
+  LDisj,      // <<
+  RDisj,      // >>
+  Caret,      // ^
+  Arrow,      // -->
+  Minus,      // standalone -, CE negation or subtraction
+  Sym,        // symbolic atom (also predicates =, <>, <, etc. and + * //)
+  Var,        // <x>
+  Int,
+  Float,
+  End,
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;       // spelling for Sym/Var (Var without angle brackets)
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  int line = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& msg, int line)
+      : std::runtime_error("lex error (line " + std::to_string(line) +
+                           "): " + msg),
+        line(line) {}
+  int line;
+};
+
+// Tokenizes the whole source; the final token has kind End.
+std::vector<Tok> lex(std::string_view src);
+
+}  // namespace psme::ops5

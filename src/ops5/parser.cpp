@@ -1,0 +1,316 @@
+#include "ops5/parser.hpp"
+
+#include <cassert>
+
+#include "common/symbol_table.hpp"
+#include "ops5/lexer.hpp"
+
+namespace psme::ops5 {
+
+const char* pred_name(PredOp op) {
+  switch (op) {
+    case PredOp::Eq: return "=";
+    case PredOp::Ne: return "<>";
+    case PredOp::Lt: return "<";
+    case PredOp::Le: return "<=";
+    case PredOp::Gt: return ">";
+    case PredOp::Ge: return ">=";
+    case PredOp::SameType: return "<=>";
+  }
+  return "?";
+}
+
+bool eval_pred(PredOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case PredOp::Eq: return lhs == rhs;
+    case PredOp::Ne: return lhs != rhs;
+    case PredOp::SameType: return lhs.same_type(rhs);
+    case PredOp::Lt:
+    case PredOp::Le:
+    case PredOp::Gt:
+    case PredOp::Ge: break;
+  }
+  if (!lhs.is_number() || !rhs.is_number()) return false;
+  switch (op) {
+    case PredOp::Lt: return lhs.num_lt(rhs);
+    case PredOp::Le: return lhs.num_le(rhs);
+    case PredOp::Gt: return rhs.num_lt(lhs);
+    case PredOp::Ge: return rhs.num_le(lhs);
+    default: return false;
+  }
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  SourceFile parse_file() {
+    SourceFile file;
+    while (peek().kind != TokKind::End) {
+      expect(TokKind::LParen, "top-level form");
+      const Tok& head = expect_sym("form name");
+      if (head.text == "literalize") {
+        file.declarations.push_back(parse_literalize());
+      } else if (head.text == "p") {
+        file.productions.push_back(parse_production());
+      } else {
+        fail("unknown top-level form '" + head.text +
+             "' (expected literalize or p)");
+      }
+    }
+    return file;
+  }
+
+  WmeLiteral parse_wme() {
+    WmeLiteral lit;
+    expect(TokKind::LParen, "wme literal");
+    lit.cls = expect_sym("class name").text;
+    while (peek().kind == TokKind::Caret) {
+      advance();
+      std::string attr = expect_sym("attribute name").text;
+      Value value = parse_constant();  // sequenced after the attr name
+      lit.fields.emplace_back(std::move(attr), value);
+    }
+    expect(TokKind::RParen, "end of wme literal");
+    return lit;
+  }
+
+ private:
+  const Tok& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Tok& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, peek().line);
+  }
+  const Tok& expect(TokKind k, const char* what) {
+    if (peek().kind != k) fail(std::string("expected ") + what);
+    return advance();
+  }
+  const Tok& expect_sym(const char* what) {
+    if (peek().kind != TokKind::Sym) fail(std::string("expected ") + what);
+    return advance();
+  }
+
+  Declaration parse_literalize() {
+    Declaration d;
+    d.cls = expect_sym("class name").text;
+    while (peek().kind == TokKind::Sym) d.attrs.push_back(advance().text);
+    expect(TokKind::RParen, ") after literalize");
+    return d;
+  }
+
+  Production parse_production() {
+    Production p;
+    p.name = expect_sym("production name").text;
+    while (peek().kind != TokKind::Arrow) {
+      if (peek().kind == TokKind::End) fail("unterminated production (missing -->)");
+      bool negated = false;
+      if (peek().kind == TokKind::Minus) {
+        advance();
+        negated = true;
+      }
+      p.lhs.push_back(parse_condition_element(negated));
+    }
+    advance();  // -->
+    while (peek().kind == TokKind::LParen) p.rhs.push_back(parse_action());
+    expect(TokKind::RParen, ") at end of production");
+    if (p.lhs.empty()) fail("production '" + p.name + "' has empty LHS");
+    if (p.lhs.front().negated)
+      fail("production '" + p.name +
+           "': first condition element must be positive");
+    bool any_positive = false;
+    for (const auto& ce : p.lhs) any_positive |= !ce.negated;
+    if (!any_positive)
+      fail("production '" + p.name + "' has no positive condition element");
+    return p;
+  }
+
+  ConditionElement parse_condition_element(bool negated) {
+    ConditionElement ce;
+    ce.negated = negated;
+    expect(TokKind::LParen, "( starting condition element");
+    ce.cls = expect_sym("condition-element class").text;
+    while (peek().kind == TokKind::Caret) {
+      advance();
+      FieldPattern fp;
+      fp.attr = expect_sym("attribute name").text;
+      parse_field_pattern(fp);
+      ce.fields.push_back(std::move(fp));
+    }
+    expect(TokKind::RParen, ") ending condition element");
+    return ce;
+  }
+
+  void parse_field_pattern(FieldPattern& fp) {
+    if (peek().kind == TokKind::LDisj) {
+      advance();
+      while (peek().kind != TokKind::RDisj) {
+        if (peek().kind == TokKind::End) fail("unterminated << ... >>");
+        fp.disjunction.push_back(parse_constant());
+      }
+      advance();
+      if (fp.disjunction.empty()) fail("empty disjunction << >>");
+      return;
+    }
+    if (peek().kind == TokKind::LBrace) {
+      advance();
+      while (peek().kind != TokKind::RBrace) {
+        if (peek().kind == TokKind::End) fail("unterminated { ... }");
+        fp.tests.push_back(parse_test_atom());
+      }
+      advance();
+      if (fp.tests.empty()) fail("empty conjunction { }");
+      return;
+    }
+    fp.tests.push_back(parse_test_atom());
+  }
+
+  TestAtom parse_test_atom() {
+    TestAtom t;
+    if (peek().kind == TokKind::Sym) {
+      const std::string& s = peek().text;
+      PredOp op;
+      bool is_pred = true;
+      if (s == "=") op = PredOp::Eq;
+      else if (s == "<>") op = PredOp::Ne;
+      else if (s == "<") op = PredOp::Lt;
+      else if (s == "<=") op = PredOp::Le;
+      else if (s == ">") op = PredOp::Gt;
+      else if (s == ">=") op = PredOp::Ge;
+      else if (s == "<=>") op = PredOp::SameType;
+      else is_pred = false;
+      if (is_pred) {
+        advance();
+        t.op = op;
+      }
+    }
+    if (peek().kind == TokKind::Var) {
+      t.is_var = true;
+      t.var = advance().text;
+    } else {
+      t.constant = parse_constant();
+    }
+    return t;
+  }
+
+  Value parse_constant() {
+    switch (peek().kind) {
+      case TokKind::Int: return Value::integer(advance().int_val);
+      case TokKind::Float: return Value::real(advance().float_val);
+      case TokKind::Sym: return sym(advance().text);
+      default: fail("expected a constant value");
+    }
+  }
+
+  RhsTerm parse_rhs_term() {
+    RhsTerm t;
+    if (peek().kind == TokKind::Var) {
+      t.is_var = true;
+      t.var = advance().text;
+    } else {
+      t.constant = parse_constant();
+    }
+    return t;
+  }
+
+  // Values on the RHS: a bare term, or (compute term (op term)*).
+  RhsExpr parse_rhs_expr() {
+    RhsExpr e;
+    if (peek().kind == TokKind::LParen && peek(1).kind == TokKind::Sym &&
+        peek(1).text == "compute") {
+      advance();  // (
+      advance();  // compute
+      e.first = parse_rhs_term();
+      while (peek().kind != TokKind::RParen) {
+        char op;
+        if (peek().kind == TokKind::Minus) {
+          op = '-';
+          advance();
+        } else {
+          const Tok& o = expect_sym("arithmetic operator");
+          if (o.text == "+") op = '+';
+          else if (o.text == "*") op = '*';
+          else if (o.text == "//") op = '/';
+          else if (o.text == "\\\\" || o.text == "mod") op = '%';
+          else fail("unknown arithmetic operator '" + o.text + "'");
+        }
+        e.rest.emplace_back(op, parse_rhs_term());
+      }
+      advance();  // )
+      return e;
+    }
+    e.first = parse_rhs_term();
+    return e;
+  }
+
+  Action parse_action() {
+    expect(TokKind::LParen, "( starting action");
+    Action a;
+    const Tok& head = expect_sym("action name");
+    if (head.text == "make") {
+      a.kind = ActionKind::Make;
+      a.cls = expect_sym("class name").text;
+      parse_assignments(a);
+    } else if (head.text == "modify") {
+      a.kind = ActionKind::Modify;
+      a.ce_index = static_cast<int>(expect(TokKind::Int, "CE index").int_val);
+      parse_assignments(a);
+    } else if (head.text == "remove") {
+      a.kind = ActionKind::Remove;
+      a.ce_index = static_cast<int>(expect(TokKind::Int, "CE index").int_val);
+    } else if (head.text == "write") {
+      a.kind = ActionKind::Write;
+      while (peek().kind != TokKind::RParen) {
+        if (peek().kind == TokKind::LParen && peek(1).kind == TokKind::Sym &&
+            peek(1).text == "crlf") {
+          advance();
+          advance();
+          expect(TokKind::RParen, ") after crlf");
+          RhsExpr e;
+          e.first.constant = sym("\n");
+          a.write_args.push_back(std::move(e));
+          continue;
+        }
+        a.write_args.push_back(parse_rhs_expr());
+      }
+    } else if (head.text == "bind") {
+      a.kind = ActionKind::Bind;
+      if (peek().kind != TokKind::Var) fail("bind expects a variable");
+      a.bind_var = advance().text;
+      a.bind_value = parse_rhs_expr();
+    } else if (head.text == "halt") {
+      a.kind = ActionKind::Halt;
+    } else {
+      fail("unknown action '" + head.text + "'");
+    }
+    expect(TokKind::RParen, ") ending action");
+    return a;
+  }
+
+  void parse_assignments(Action& a) {
+    while (peek().kind == TokKind::Caret) {
+      advance();
+      std::string attr = expect_sym("attribute name").text;
+      a.assigns.emplace_back(std::move(attr), parse_rhs_expr());
+    }
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SourceFile parse_source(std::string_view src) {
+  return Parser(src).parse_file();
+}
+
+WmeLiteral parse_wme_literal(std::string_view src) {
+  return Parser(src).parse_wme();
+}
+
+}  // namespace psme::ops5

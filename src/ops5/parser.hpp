@@ -1,0 +1,32 @@
+// Recursive-descent parser for OPS5 source.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ops5/ast.hpp"
+
+namespace psme::ops5 {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line)
+      : std::runtime_error("parse error (line " + std::to_string(line) +
+                           "): " + msg),
+        line(line) {}
+  int line;
+};
+
+// Parses a whole source file of (literalize ...) and (p ...) forms.
+SourceFile parse_source(std::string_view src);
+
+// Parses a single working-memory element literal like "(goal ^type t ^n 3)".
+// Used by Engine::make and tests. Values must be constants.
+struct WmeLiteral {
+  std::string cls;
+  std::vector<std::pair<std::string, Value>> fields;
+};
+WmeLiteral parse_wme_literal(std::string_view src);
+
+}  // namespace psme::ops5

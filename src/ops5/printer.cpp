@@ -1,0 +1,162 @@
+#include "ops5/printer.hpp"
+
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::ops5 {
+namespace {
+
+void render_value(std::ostringstream& os, const Value& v) {
+  os << to_string(v);
+}
+
+void render_test_atom(std::ostringstream& os, const TestAtom& t) {
+  if (t.op != PredOp::Eq) os << pred_name(t.op) << " ";
+  if (t.is_var) {
+    os << "<" << t.var << ">";
+  } else {
+    render_value(os, t.constant);
+  }
+}
+
+void render_field(std::ostringstream& os, const FieldPattern& f) {
+  os << " ^" << f.attr << " ";
+  if (!f.disjunction.empty()) {
+    os << "<< ";
+    for (const Value& v : f.disjunction) {
+      render_value(os, v);
+      os << " ";
+    }
+    os << ">>";
+    return;
+  }
+  if (f.tests.size() == 1 && f.tests[0].op == PredOp::Eq) {
+    render_test_atom(os, f.tests[0]);
+    return;
+  }
+  os << "{ ";
+  for (const TestAtom& t : f.tests) {
+    render_test_atom(os, t);
+    os << " ";
+  }
+  os << "}";
+}
+
+void render_term(std::ostringstream& os, const RhsTerm& t) {
+  if (t.is_var) {
+    os << "<" << t.var << ">";
+  } else {
+    render_value(os, t.constant);
+  }
+}
+
+void render_expr(std::ostringstream& os, const RhsExpr& e) {
+  if (e.simple()) {
+    render_term(os, e.first);
+    return;
+  }
+  os << "(compute ";
+  render_term(os, e.first);
+  for (const auto& [op, term] : e.rest) {
+    switch (op) {
+      case '+': os << " + "; break;
+      case '-': os << " - "; break;
+      case '*': os << " * "; break;
+      case '/': os << " // "; break;
+      case '%': os << " mod "; break;
+      default: os << " ? "; break;
+    }
+    render_term(os, term);
+  }
+  os << ")";
+}
+
+}  // namespace
+
+std::string to_source(const ConditionElement& ce) {
+  std::ostringstream os;
+  if (ce.negated) os << "- ";
+  os << "(" << ce.cls;
+  for (const FieldPattern& f : ce.fields) render_field(os, f);
+  os << ")";
+  return os.str();
+}
+
+std::string to_source(const Action& action) {
+  std::ostringstream os;
+  switch (action.kind) {
+    case ActionKind::Make:
+      os << "(make " << action.cls;
+      for (const auto& [attr, expr] : action.assigns) {
+        os << " ^" << attr << " ";
+        render_expr(os, expr);
+      }
+      os << ")";
+      break;
+    case ActionKind::Modify:
+      os << "(modify " << action.ce_index;
+      for (const auto& [attr, expr] : action.assigns) {
+        os << " ^" << attr << " ";
+        render_expr(os, expr);
+      }
+      os << ")";
+      break;
+    case ActionKind::Remove:
+      os << "(remove " << action.ce_index << ")";
+      break;
+    case ActionKind::Write: {
+      os << "(write";
+      for (const RhsExpr& e : action.write_args) {
+        os << " ";
+        if (e.simple() && !e.first.is_var && e.first.constant.is_symbol() &&
+            symbol_name(e.first.constant.as_symbol()) == "\n") {
+          os << "(crlf)";
+          continue;
+        }
+        render_expr(os, e);
+      }
+      os << ")";
+      break;
+    }
+    case ActionKind::Bind:
+      os << "(bind <" << action.bind_var << "> ";
+      render_expr(os, action.bind_value);
+      os << ")";
+      break;
+    case ActionKind::Halt:
+      os << "(halt)";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_source(const Production& prod) {
+  std::ostringstream os;
+  os << "(p " << prod.name << "\n";
+  for (const ConditionElement& ce : prod.lhs)
+    os << "  " << to_source(ce) << "\n";
+  os << "  -->\n";
+  for (const Action& a : prod.rhs) os << "  " << to_source(a) << "\n";
+  os << ")";
+  return os.str();
+}
+
+std::string to_source(const Declaration& decl) {
+  std::ostringstream os;
+  os << "(literalize " << decl.cls;
+  for (const std::string& a : decl.attrs) os << " " << a;
+  os << ")";
+  return os.str();
+}
+
+std::string to_source(const SourceFile& file) {
+  std::ostringstream os;
+  for (const Declaration& d : file.declarations)
+    os << to_source(d) << "\n";
+  os << "\n";
+  for (const Production& p : file.productions) os << to_source(p) << "\n\n";
+  return os.str();
+}
+
+}  // namespace psme::ops5

@@ -1,0 +1,21 @@
+// Renders parsed OPS5 back to source text.
+//
+// The output re-parses to a semantically identical program (the round-trip
+// property tests check traces and network shape), which makes it usable
+// for program archival, `psme_cli --format`, and debugging generated
+// workloads.
+#pragma once
+
+#include <string>
+
+#include "ops5/ast.hpp"
+
+namespace psme::ops5 {
+
+std::string to_source(const SourceFile& file);
+std::string to_source(const Declaration& decl);
+std::string to_source(const Production& prod);
+std::string to_source(const ConditionElement& ce);
+std::string to_source(const Action& action);
+
+}  // namespace psme::ops5

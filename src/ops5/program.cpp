@@ -1,0 +1,190 @@
+#include "ops5/program.hpp"
+
+#include "common/symbol_table.hpp"
+#include "ops5/parser.hpp"
+
+namespace psme::ops5 {
+
+Program Program::from_source(std::string_view src) {
+  return from_ast(parse_source(src));
+}
+
+Program Program::from_ast(SourceFile file) {
+  Program p;
+  p.file_ = std::make_unique<SourceFile>(std::move(file));
+  p.analyze();
+  return p;
+}
+
+const ClassInfo& Program::class_of(SymbolId cls) const {
+  const ClassInfo* info = find_class(cls);
+  if (!info)
+    throw SemanticError("unknown class '" + symbol_name(cls) + "'");
+  return *info;
+}
+
+std::uint16_t Program::slot(SymbolId cls, SymbolId attr) const {
+  const ClassInfo& info = class_of(cls);
+  auto it = info.slots.find(attr);
+  if (it == info.slots.end())
+    throw SemanticError("class '" + symbol_name(cls) +
+                        "' has no attribute '" + symbol_name(attr) + "'");
+  return it->second;
+}
+
+ClassInfo& Program::ensure_class(SymbolId cls) {
+  auto it = class_index_.find(cls);
+  if (it != class_index_.end()) return classes_[it->second];
+  class_index_.emplace(cls, classes_.size());
+  ClassInfo& info = classes_.emplace_back();
+  info.cls = cls;
+  return info;
+}
+
+std::uint16_t Program::ensure_slot(SymbolId cls, SymbolId attr) {
+  ClassInfo& info = ensure_class(cls);
+  auto it = info.slots.find(attr);
+  if (it != info.slots.end()) return it->second;
+  const auto slot = static_cast<std::uint16_t>(info.slot_attrs.size());
+  info.slot_attrs.push_back(attr);
+  info.slots.emplace(attr, slot);
+  return slot;
+}
+
+void Program::analyze() {
+  // Declarations first: literalize fixes the slot order.
+  for (const Declaration& d : file_->declarations) {
+    const SymbolId cls = intern(d.cls);
+    for (const std::string& a : d.attrs) ensure_slot(cls, intern(a));
+  }
+  // All attributes referenced in productions must be declared. Real OPS5
+  // demands literalize; we keep that contract (it also keeps wme layout
+  // independent of rule order).
+  for (const Production& p : file_->productions) {
+    for (const ConditionElement& ce : p.lhs) {
+      const SymbolId cls = intern(ce.cls);
+      if (!find_class(cls))
+        throw SemanticError("production '" + p.name + "': class '" + ce.cls +
+                            "' is not literalized");
+      for (const FieldPattern& f : ce.fields) slot(cls, intern(f.attr));
+    }
+    for (const Action& a : p.rhs) {
+      if (a.kind == ActionKind::Make) {
+        const SymbolId cls = intern(a.cls);
+        if (!find_class(cls))
+          throw SemanticError("production '" + p.name + "': class '" + a.cls +
+                              "' is not literalized");
+        for (const auto& [attr, _] : a.assigns) slot(cls, intern(attr));
+      }
+    }
+  }
+  for (const Production& p : file_->productions) analyze_production(p);
+}
+
+void Program::analyze_production(const Production& p) {
+  AnalyzedProduction ap;
+  ap.name = intern(p.name);
+  ap.ast = &p;
+  ap.num_ces = static_cast<int>(p.lhs.size());
+  ap.token_pos_of_ce.resize(p.lhs.size(), -1);
+
+  for (std::size_t i = 0; i < p.lhs.size(); ++i) {
+    const ConditionElement& ce = p.lhs[i];
+    const SymbolId cls = intern(ce.cls);
+    if (!ce.negated) ap.token_pos_of_ce[i] = ap.num_positive++;
+    ap.specificity += 1;  // the class test
+
+    for (const FieldPattern& f : ce.fields) {
+      const std::uint16_t s = slot(cls, intern(f.attr));
+      if (!f.disjunction.empty()) {
+        ap.specificity += 1;
+        continue;
+      }
+      for (const TestAtom& t : f.tests) {
+        ap.specificity += 1;
+        if (!t.is_var) continue;
+        const SymbolId var = intern(t.var);
+        auto it = ap.bindings.find(var);
+        if (it == ap.bindings.end()) {
+          // First occurrence: must be an equality occurrence, which binds.
+          if (t.op != PredOp::Eq)
+            throw SemanticError("production '" + p.name + "': variable <" +
+                                t.var + "> used with predicate '" +
+                                pred_name(t.op) + "' before being bound");
+          VarBinding b;
+          b.ce_index = static_cast<int>(i);
+          b.token_pos = ap.token_pos_of_ce[i];
+          b.slot = s;
+          ap.bindings.emplace(var, b);
+        } else if (it->second.token_pos < 0 &&
+                   it->second.ce_index != static_cast<int>(i)) {
+          throw SemanticError(
+              "production '" + p.name + "': variable <" + t.var +
+              "> is bound inside a negated condition element and is local "
+              "to it");
+        }
+      }
+    }
+  }
+
+  // RHS validation: indices refer to positive CEs; variables are bound on
+  // the LHS (in a positive CE) or by an earlier bind.
+  std::unordered_map<SymbolId, bool> bound_locals;
+  auto check_term = [&](const RhsTerm& t) {
+    if (!t.is_var) return;
+    const SymbolId var = intern(t.var);
+    if (bound_locals.count(var)) return;
+    auto it = ap.bindings.find(var);
+    if (it == ap.bindings.end())
+      throw SemanticError("production '" + p.name + "': unbound variable <" +
+                          t.var + "> on RHS");
+    if (it->second.token_pos < 0)
+      throw SemanticError("production '" + p.name + "': variable <" + t.var +
+                          "> bound in a negated condition element cannot be "
+                          "used on the RHS");
+  };
+  auto check_expr = [&](const RhsExpr& e) {
+    check_term(e.first);
+    for (const auto& [op, t] : e.rest) {
+      (void)op;
+      check_term(t);
+    }
+  };
+  for (const Action& a : p.rhs) {
+    switch (a.kind) {
+      case ActionKind::Make:
+        for (const auto& [attr, e] : a.assigns) {
+          (void)attr;
+          check_expr(e);
+        }
+        break;
+      case ActionKind::Modify:
+      case ActionKind::Remove: {
+        if (a.ce_index < 1 || a.ce_index > ap.num_ces)
+          throw SemanticError("production '" + p.name +
+                              "': modify/remove index out of range");
+        if (ap.token_pos_of_ce[a.ce_index - 1] < 0)
+          throw SemanticError("production '" + p.name +
+                              "': cannot modify/remove a negated condition "
+                              "element");
+        for (const auto& [attr, e] : a.assigns) {
+          (void)attr;
+          check_expr(e);
+        }
+        break;
+      }
+      case ActionKind::Write:
+        for (const RhsExpr& e : a.write_args) check_expr(e);
+        break;
+      case ActionKind::Bind:
+        check_expr(a.bind_value);
+        bound_locals[intern(a.bind_var)] = true;
+        break;
+      case ActionKind::Halt: break;
+    }
+  }
+
+  productions_.push_back(std::move(ap));
+}
+
+}  // namespace psme::ops5

@@ -1,0 +1,89 @@
+// Semantic analysis of a parsed OPS5 source file.
+//
+// Produces the symbol-resolved `Program` shared by every engine:
+//  - class/attribute slot layout (from `literalize`, as in real OPS5 — a wme
+//    is a fixed-width record, attribute access is a compiled slot index);
+//  - per-production variable-binding resolution (first equality occurrence
+//    in a positive CE binds; later occurrences test);
+//  - LHS specificity counts for LEX/MEA conflict resolution;
+//  - validation (modify/remove indices, variables bound before use,
+//    variables in negated CEs local to them, declared attributes only).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.hpp"
+#include "ops5/ast.hpp"
+
+namespace psme::ops5 {
+
+class SemanticError : public std::runtime_error {
+ public:
+  explicit SemanticError(const std::string& msg)
+      : std::runtime_error("semantic error: " + msg) {}
+};
+
+struct ClassInfo {
+  SymbolId cls = 0;
+  std::vector<SymbolId> slot_attrs;                   // slot -> attr symbol
+  std::unordered_map<SymbolId, std::uint16_t> slots;  // attr symbol -> slot
+};
+
+// Where a production variable gets its value.
+struct VarBinding {
+  int ce_index = -1;     // condition element of first (binding) occurrence
+  int token_pos = -1;    // position among positive CEs; -1 if in a negated CE
+  std::uint16_t slot = 0;
+};
+
+struct AnalyzedProduction {
+  SymbolId name = 0;
+  const Production* ast = nullptr;
+  int num_ces = 0;
+  int num_positive = 0;
+  // ce index -> token position (index among positive CEs), -1 for negated.
+  std::vector<int> token_pos_of_ce;
+  // variable symbol -> binding site.
+  std::unordered_map<SymbolId, VarBinding> bindings;
+  int specificity = 0;  // number of LHS tests, for LEX/MEA ordering
+};
+
+class Program {
+ public:
+  // Parse + analyze in one step; throws LexError/ParseError/SemanticError.
+  static Program from_source(std::string_view src);
+  static Program from_ast(SourceFile file);
+
+  const ClassInfo* find_class(SymbolId cls) const {
+    auto it = class_index_.find(cls);
+    return it == class_index_.end() ? nullptr : &classes_[it->second];
+  }
+  const ClassInfo& class_of(SymbolId cls) const;
+  // Slot of attr within cls; throws SemanticError if undeclared.
+  std::uint16_t slot(SymbolId cls, SymbolId attr) const;
+
+  const std::vector<ClassInfo>& classes() const { return classes_; }
+  const std::vector<AnalyzedProduction>& productions() const {
+    return productions_;
+  }
+  const SourceFile& source() const { return *file_; }
+
+ private:
+  void analyze();
+  ClassInfo& ensure_class(SymbolId cls);
+  std::uint16_t ensure_slot(SymbolId cls, SymbolId attr);
+  void analyze_production(const Production& p);
+
+  std::unique_ptr<SourceFile> file_;  // stable address for ast pointers
+  std::vector<ClassInfo> classes_;
+  std::unordered_map<SymbolId, std::size_t> class_index_;
+  std::vector<AnalyzedProduction> productions_;
+};
+
+}  // namespace psme::ops5

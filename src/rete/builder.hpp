@@ -1,0 +1,16 @@
+// Compiles an analyzed OPS5 program into a Rete network with node sharing.
+#pragma once
+
+#include <memory>
+
+#include "ops5/program.hpp"
+#include "rete/network.hpp"
+
+namespace psme::rete {
+
+// Builds the network for all productions in the program. Identical constant-
+// test chains and identical join-node prefixes are shared across productions,
+// as in the paper's Figure 2-2.
+std::unique_ptr<Network> build_network(const ops5::Program& program);
+
+}  // namespace psme::rete

@@ -1,0 +1,59 @@
+#include "rete/network.hpp"
+
+namespace psme::rete {
+
+bool AlphaTest::operator==(const AlphaTest& o) const {
+  if (kind != o.kind || slot != o.slot) return false;
+  switch (kind) {
+    case AlphaTestKind::ConstPred:
+      return op == o.op && constant == o.constant &&
+             constant.kind() == o.constant.kind();
+    case AlphaTestKind::SlotPred:
+      return op == o.op && other_slot == o.other_slot;
+    case AlphaTestKind::Disjunction: {
+      if (disjuncts.size() != o.disjuncts.size()) return false;
+      for (std::size_t i = 0; i < disjuncts.size(); ++i)
+        if (!(disjuncts[i] == o.disjuncts[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool eval_alpha_test(const AlphaTest& t, const Value* fields) {
+  switch (t.kind) {
+    case AlphaTestKind::ConstPred:
+      return ops5::eval_pred(t.op, fields[t.slot], t.constant);
+    case AlphaTestKind::SlotPred:
+      return ops5::eval_pred(t.op, fields[t.slot], fields[t.other_slot]);
+    case AlphaTestKind::Disjunction:
+      for (const Value& v : t.disjuncts)
+        if (fields[t.slot] == v) return true;
+      return false;
+  }
+  return false;
+}
+
+const ConstantTestNode* Network::class_root(SymbolId cls) const {
+  auto it = ct_roots_.find(cls);
+  return it == ct_roots_.end() ? nullptr : it->second;
+}
+
+NetworkCounts Network::counts() const {
+  NetworkCounts c;
+  c.alpha_programs = alphas_.size();
+  c.join_nodes = joins_.size();
+  c.terminal_nodes = terminals_.size();
+  for (const auto& j : joins_) {
+    if (j->kind == JoinKind::Negative) ++c.negative_nodes;
+    if (j->succs.size() > 1) ++c.shared_join_nodes;
+  }
+  for (const auto& n : ct_nodes_) {
+    ++c.constant_test_nodes;
+    if (n->children.size() + n->outputs.size() > 1)
+      ++c.shared_constant_test_nodes;
+  }
+  return c;
+}
+
+}  // namespace psme::rete

@@ -1,0 +1,87 @@
+#include "rete/printer.hpp"
+
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::rete {
+namespace {
+
+std::string test_to_string(const AlphaTest& t, const ops5::ClassInfo& info) {
+  std::ostringstream os;
+  const std::string attr = symbol_name(info.slot_attrs[t.slot]);
+  switch (t.kind) {
+    case AlphaTestKind::ConstPred:
+      os << "^" << attr << " " << ops5::pred_name(t.op) << " "
+         << to_string(t.constant);
+      break;
+    case AlphaTestKind::SlotPred:
+      os << "^" << attr << " " << ops5::pred_name(t.op) << " ^"
+         << symbol_name(info.slot_attrs[t.other_slot]);
+      break;
+    case AlphaTestKind::Disjunction: {
+      os << "^" << attr << " << ";
+      for (const Value& v : t.disjuncts) os << to_string(v) << " ";
+      os << ">>";
+      break;
+    }
+  }
+  return os.str();
+}
+
+void print_ct_node(std::ostringstream& os, const ConstantTestNode* node,
+                   const ops5::ClassInfo& info, int depth) {
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const AlphaProgram* out : node->outputs) {
+    os << indent << "-> alpha#" << out->id << " (" << out->dests.size()
+       << " join dest(s), " << out->terminal_dests.size() << " terminal(s))\n";
+  }
+  for (const ConstantTestNode* child : node->children) {
+    os << indent << "[" << test_to_string(child->test, info) << "]\n";
+    print_ct_node(os, child, info, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string print_network(const Network& net, const ops5::Program& program) {
+  std::ostringstream os;
+  os << "=== Rete network ===\n";
+  for (const auto& cls : program.classes()) {
+    const ConstantTestNode* root = net.class_root(cls.cls);
+    if (!root) continue;
+    os << "class " << symbol_name(cls.cls) << ":\n";
+    print_ct_node(os, root, cls, 1);
+  }
+  os << "joins:\n";
+  for (const auto& j : net.joins()) {
+    os << "  join#" << j->id
+       << (j->kind == JoinKind::Negative ? " (negative)" : "")
+       << " left_len=" << static_cast<int>(j->left_len) << " eq={";
+    for (const EqTest& t : j->eq_tests)
+      os << "tok[" << static_cast<int>(t.tok_pos) << "][" << t.tok_slot
+         << "]=wme[" << t.wme_slot << "] ";
+    os << "} preds=" << j->preds.size() << " succs=[";
+    for (const Successor& s : j->succs) {
+      if (s.terminal) {
+        os << "p:"
+           << symbol_name(
+                  program.productions()[s.terminal->prod_index].name)
+           << " ";
+      } else {
+        os << "join#" << s.join->id << " ";
+      }
+    }
+    os << "]\n";
+  }
+  const NetworkCounts c = net.counts();
+  os << "counts: ct_nodes=" << c.constant_test_nodes
+     << " shared_ct=" << c.shared_constant_test_nodes
+     << " alphas=" << c.alpha_programs << " joins=" << c.join_nodes
+     << " negative=" << c.negative_nodes
+     << " shared_joins=" << c.shared_join_nodes
+     << " terminals=" << c.terminal_nodes << "\n";
+  return os.str();
+}
+
+}  // namespace psme::rete

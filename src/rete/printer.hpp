@@ -1,0 +1,15 @@
+// Text rendering of a Rete network, for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ops5/program.hpp"
+#include "rete/network.hpp"
+
+namespace psme::rete {
+
+// Renders the whole network: constant-test tree per class, join chains,
+// terminals, and the sharing statistics.
+std::string print_network(const Network& net, const ops5::Program& program);
+
+}  // namespace psme::rete

@@ -1,0 +1,167 @@
+#include "runtime/conflict_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/symbol_table.hpp"
+
+namespace psme {
+
+ConflictSet::Key ConflictSet::key_of(std::uint32_t prod_index,
+                                     const Token* token) {
+  Key k;
+  k.prod_index = prod_index;
+  k.wmes.resize(token->len);
+  const Token* t = token;
+  for (std::uint32_t i = token->len; i-- > 0;) {
+    k.wmes[i] = t->wme;
+    t = t->parent;
+  }
+  return k;
+}
+
+void ConflictSet::insert(std::uint32_t prod_index, const Token* token) {
+  insert(prod_index, key_of(prod_index, token).wmes);
+}
+
+void ConflictSet::remove(std::uint32_t prod_index, const Token* token) {
+  remove(prod_index, key_of(prod_index, token).wmes);
+}
+
+void ConflictSet::insert(std::uint32_t prod_index,
+                         std::vector<const Wme*> wmes) {
+  Key k{prod_index, std::move(wmes)};
+  SpinGuard g(lock_);
+  auto pd = pending_deletes_.find(k);
+  if (pd != pending_deletes_.end()) {
+    ++conjugate_hits_;
+    if (--pd->second == 0) pending_deletes_.erase(pd);
+    return;
+  }
+  auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    ++it->second.refcount;
+    return;
+  }
+  Instantiation inst;
+  inst.prod_index = prod_index;
+  inst.wmes = k.wmes;
+  inst.tags_desc.reserve(inst.wmes.size());
+  for (const Wme* w : inst.wmes) inst.tags_desc.push_back(w->timetag);
+  std::sort(inst.tags_desc.begin(), inst.tags_desc.end(),
+            std::greater<TimeTag>());
+  inst.refcount = 1;
+  entries_.emplace(std::move(k), std::move(inst));
+}
+
+void ConflictSet::remove(std::uint32_t prod_index,
+                         std::vector<const Wme*> wmes) {
+  Key k{prod_index, std::move(wmes)};
+  SpinGuard g(lock_);
+  auto it = entries_.find(k);
+  if (it == entries_.end()) {
+    ++pending_deletes_[k];
+    return;
+  }
+  if (--it->second.refcount == 0) entries_.erase(it);
+}
+
+bool ConflictSet::contains(std::uint32_t prod_index,
+                           const std::vector<const Wme*>& wmes) const {
+  Key k{prod_index, wmes};
+  SpinGuard g(lock_);
+  auto it = entries_.find(k);
+  return it != entries_.end() && it->second.refcount > 0;
+}
+
+std::size_t ConflictSet::remove_containing(const Wme* wme) {
+  SpinGuard g(lock_);
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool hit = std::find(it->second.wmes.begin(), it->second.wmes.end(),
+                               wme) != it->second.wmes.end();
+    if (hit) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool ConflictSet::dominates(const Instantiation& a, const Instantiation& b,
+                            CrStrategy strategy) const {
+  if (strategy == CrStrategy::Mea) {
+    // MEA: recency of the wme matching the first condition element first.
+    const TimeTag ta = a.wmes.empty() ? 0 : a.wmes.front()->timetag;
+    const TimeTag tb = b.wmes.empty() ? 0 : b.wmes.front()->timetag;
+    if (ta != tb) return ta > tb;
+  }
+  // LEX recency: compare descending-sorted timetag lists lexicographically;
+  // on a common prefix, the longer list dominates.
+  const std::size_t n = std::min(a.tags_desc.size(), b.tags_desc.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.tags_desc[i] != b.tags_desc[i])
+      return a.tags_desc[i] > b.tags_desc[i];
+  }
+  if (a.tags_desc.size() != b.tags_desc.size())
+    return a.tags_desc.size() > b.tags_desc.size();
+  // Specificity: number of LHS tests.
+  const int sa = program_.productions()[a.prod_index].specificity;
+  const int sb = program_.productions()[b.prod_index].specificity;
+  if (sa != sb) return sa > sb;
+  // Deterministic tie-break (OPS5 says "arbitrary"): production name, then
+  // in-order timetags.
+  if (a.prod_index != b.prod_index) {
+    const std::string& na =
+        symbol_name(program_.productions()[a.prod_index].name);
+    const std::string& nb =
+        symbol_name(program_.productions()[b.prod_index].name);
+    if (na != nb) return na < nb;
+    return a.prod_index < b.prod_index;
+  }
+  return a.tags_in_order() < b.tags_in_order();
+}
+
+std::optional<Instantiation> ConflictSet::select_and_fire(
+    CrStrategy strategy) {
+  SpinGuard g(lock_);
+  Instantiation* best = nullptr;
+  for (auto& [key, inst] : entries_) {
+    (void)key;
+    if (inst.fired || inst.refcount <= 0) continue;
+    if (!best || dominates(inst, *best, strategy)) best = &inst;
+  }
+  if (!best) return std::nullopt;
+  best->fired = true;
+  return *best;
+}
+
+std::vector<Instantiation> ConflictSet::snapshot() const {
+  SpinGuard g(lock_);
+  std::vector<Instantiation> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, inst] : entries_) {
+    (void)key;
+    if (inst.refcount > 0) out.push_back(inst);
+  }
+  return out;
+}
+
+std::size_t ConflictSet::size() const {
+  SpinGuard g(lock_);
+  return entries_.size();
+}
+
+std::size_t ConflictSet::pending_deletes() const {
+  SpinGuard g(lock_);
+  std::size_t n = 0;
+  for (const auto& [key, count] : pending_deletes_) {
+    (void)key;
+    n += count;
+  }
+  return n;
+}
+
+}  // namespace psme

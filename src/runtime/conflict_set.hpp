@@ -1,0 +1,108 @@
+// The conflict set and OPS5 conflict resolution.
+//
+// Terminal-node activations insert or delete production instantiations here.
+// Because parallel match can deliver a `-` before its `+` (conjugate pairs),
+// deletions of not-yet-present instantiations are parked and annihilate the
+// later insertion, mirroring the token-memory extra-deletes lists.
+//
+// Conflict resolution implements OPS5's LEX and MEA strategies with
+// refraction, plus a deterministic total-order tie-break so that every
+// engine — sequential, threaded, simulated — fires the same instantiation
+// given the same conflict set (the cross-engine equivalence tests rely on
+// this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "common/value.hpp"
+#include "ops5/program.hpp"
+#include "runtime/token.hpp"
+
+namespace psme {
+
+enum class CrStrategy : std::uint8_t { Lex, Mea };
+
+struct Instantiation {
+  std::uint32_t prod_index = 0;
+  std::vector<const Wme*> wmes;        // positive CEs in order
+  std::vector<TimeTag> tags_desc;      // timetags sorted descending (LEX key)
+  std::int32_t refcount = 0;           // transient duplicates during parallel match
+  bool fired = false;                  // refraction
+
+  std::vector<TimeTag> tags_in_order() const {
+    std::vector<TimeTag> t;
+    t.reserve(wmes.size());
+    for (const Wme* w : wmes) t.push_back(w->timetag);
+    return t;
+  }
+};
+
+class ConflictSet {
+ public:
+  explicit ConflictSet(const ops5::Program& program) : program_(program) {}
+
+  // Terminal activation entry points. Thread-safe (internal spin lock).
+  void insert(std::uint32_t prod_index, const Token* token);
+  void remove(std::uint32_t prod_index, const Token* token);
+  // Same, from an explicit wme list (used by the lisp-style engine).
+  void insert(std::uint32_t prod_index, std::vector<const Wme*> wmes);
+  void remove(std::uint32_t prod_index, std::vector<const Wme*> wmes);
+
+  // TREAT-style maintenance: membership query, and bulk removal of every
+  // instantiation that references a wme (TREAT has no beta memories, so
+  // deletions are handled directly on the conflict set).
+  bool contains(std::uint32_t prod_index,
+                const std::vector<const Wme*>& wmes) const;
+  std::size_t remove_containing(const Wme* wme);
+
+  // Picks the dominant unfired instantiation under the strategy and marks it
+  // fired. Returns nullopt if the conflict set is empty (of unfired,
+  // positive-refcount entries). Must be called at quiescence (control
+  // process only).
+  std::optional<Instantiation> select_and_fire(CrStrategy strategy);
+
+  // Snapshot of live instantiations (refcount > 0), unsorted. For tests.
+  std::vector<Instantiation> snapshot() const;
+  std::size_t size() const;
+  std::size_t pending_deletes() const;
+  std::uint64_t conjugate_hits() const { return conjugate_hits_; }
+
+  // Comparison: returns true if a dominates b under the strategy.
+  // Exposed for unit tests.
+  bool dominates(const Instantiation& a, const Instantiation& b,
+                 CrStrategy strategy) const;
+
+ private:
+  struct Key {
+    std::uint32_t prod_index;
+    std::vector<const Wme*> wmes;
+    bool operator==(const Key& o) const {
+      return prod_index == o.prod_index && wmes == o.wmes;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = 0x9e3779b97f4a7c15ull ^ k.prod_index;
+      for (const Wme* w : k.wmes) {
+        h ^= reinterpret_cast<std::uintptr_t>(w) + 0x9e3779b97f4a7c15ull +
+             (h << 6) + (h >> 2);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  static Key key_of(std::uint32_t prod_index, const Token* token);
+
+  const ops5::Program& program_;
+  mutable SpinLock lock_;
+  std::unordered_map<Key, Instantiation, KeyHash> entries_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> pending_deletes_;
+  std::uint64_t conjugate_hits_ = 0;
+};
+
+}  // namespace psme

@@ -1,0 +1,40 @@
+// Beta tokens: the ordered lists of wmes flowing through the Rete network.
+//
+// Tokens are immutable parent-chained records (the classic Rete
+// representation): extending a match by one wme allocates a single node.
+// Two tokens are *content-equal* when their wme pointer sequences agree;
+// parallel delete processing uses content equality because the `-` path
+// rebuilds its own chain objects.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/wme.hpp"
+
+namespace psme {
+
+struct Token {
+  const Token* parent = nullptr;  // nullptr for length-1 tokens
+  const Wme* wme = nullptr;
+  std::uint32_t len = 1;
+
+  // wme at 0-based position `pos` from the front (CE order).
+  const Wme* wme_at(std::uint32_t pos) const {
+    const Token* t = this;
+    for (std::uint32_t hops = len - 1 - pos; hops > 0; --hops) t = t->parent;
+    return t->wme;
+  }
+};
+
+inline bool token_content_equal(const Token* a, const Token* b) {
+  if (a == b) return true;
+  if (!a || !b || a->len != b->len) return false;
+  while (a) {
+    if (a->wme != b->wme) return false;
+    a = a->parent;
+    b = b->parent;
+  }
+  return true;
+}
+
+}  // namespace psme

@@ -1,0 +1,22 @@
+#include "runtime/wme.hpp"
+
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+
+namespace psme {
+
+std::string wme_to_string(const Wme& w, const ops5::Program& program) {
+  std::ostringstream os;
+  os << "(" << symbol_name(w.cls);
+  const ops5::ClassInfo& info = program.class_of(w.cls);
+  for (std::size_t s = 0; s < w.fields.size(); ++s) {
+    if (w.fields[s].is_nil()) continue;
+    os << " ^" << symbol_name(info.slot_attrs[s]) << " "
+       << to_string(w.fields[s]);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace psme

@@ -1,0 +1,32 @@
+// Working-memory elements.
+//
+// A wme is a timetagged, fixed-width record: its class fixes the slot layout
+// (from `literalize`), matching the paper's compiled representation where
+// attribute access is a constant offset. Wmes are immutable once created —
+// OPS5 `modify` is remove + make with a fresh timetag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+#include "ops5/program.hpp"
+
+namespace psme {
+
+using TimeTag = std::uint64_t;
+
+struct Wme {
+  TimeTag timetag = 0;
+  SymbolId cls = 0;
+  std::vector<Value> fields;  // indexed by slot
+
+  const Value& field(std::uint16_t slot) const { return fields[slot]; }
+};
+
+// Renders "(class ^attr value ...)" using the program's slot layout,
+// skipping nil fields.
+std::string wme_to_string(const Wme& w, const ops5::Program& program);
+
+}  // namespace psme

@@ -1,0 +1,66 @@
+#include "runtime/working_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/symbol_table.hpp"
+
+namespace psme {
+
+const Wme* WorkingMemory::make(SymbolId cls, std::vector<Value> fields) {
+  const ops5::ClassInfo& info = program_.class_of(cls);
+  if (fields.size() != info.slot_attrs.size())
+    throw std::invalid_argument("wme field count mismatch for class " +
+                                symbol_name(cls));
+  auto wme = std::make_unique<Wme>();
+  wme->timetag = next_tag_++;
+  wme->cls = cls;
+  wme->fields = std::move(fields);
+  const Wme* raw = wme.get();
+  live_.emplace(raw->timetag, std::move(wme));
+  return raw;
+}
+
+std::vector<Value> WorkingMemory::build_fields(
+    SymbolId cls,
+    const std::vector<std::pair<SymbolId, Value>>& pairs) const {
+  const ops5::ClassInfo& info = program_.class_of(cls);
+  std::vector<Value> fields(info.slot_attrs.size());
+  for (const auto& [attr, value] : pairs) {
+    auto it = info.slots.find(attr);
+    if (it == info.slots.end())
+      throw std::invalid_argument("class " + symbol_name(cls) +
+                                  " has no attribute " + symbol_name(attr));
+    fields[it->second] = value;
+  }
+  return fields;
+}
+
+void WorkingMemory::remove(const Wme* wme) {
+  auto it = live_.find(wme->timetag);
+  if (it == live_.end() || it->second.get() != wme)
+    throw std::logic_error("removing a wme that is not live");
+  retired_.push_back(std::move(it->second));
+  live_.erase(it);
+}
+
+const Wme* WorkingMemory::find(TimeTag tag) const {
+  auto it = live_.find(tag);
+  return it == live_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Wme*> WorkingMemory::snapshot() const {
+  std::vector<const Wme*> out;
+  out.reserve(live_.size());
+  for (const auto& [tag, wme] : live_) {
+    (void)tag;
+    out.push_back(wme.get());
+  }
+  std::sort(out.begin(), out.end(), [](const Wme* a, const Wme* b) {
+    return a->timetag < b->timetag;
+  });
+  return out;
+}
+
+}  // namespace psme

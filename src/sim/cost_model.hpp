@@ -1,0 +1,87 @@
+// Instruction-cost model for the simulated Encore Multimax.
+//
+// Virtual time is denominated in NS32032 instructions; the paper's machine
+// executes ~0.75 million instructions per second per processor. The
+// constants are calibrated against the paper's published grain sizes:
+// a constant-test node activation costs ~3 instructions (Section 3.1) and
+// whole tasks average 100-700 instructions (Section 5; 175-1300 us per
+// task at VAX/NS32032 speeds, Section 4.1).
+#pragma once
+
+#include <cstdint>
+
+namespace psme::sim {
+
+using VTime = std::uint64_t;  // virtual time, in instructions
+
+struct CostModel {
+  double mips = 0.75;  // instructions per microsecond
+
+  // Spin locks: a waiting process re-probes the (cached) lock word every
+  // `probe_interval`; a successful acquisition costs `lock_acquire`.
+  VTime probe_interval = 5;
+  VTime lock_acquire = 3;
+
+  // Task queues (critical-section lengths; Section 3.2).
+  VTime queue_pop = 8;
+  VTime queue_push = 7;
+  VTime task_dispatch = 14;  // fetch token, decode destination
+
+  // Constant-test / alpha level ("3 machine instructions" per test).
+  VTime root_base = 24;        // build token, locate class bucket
+  VTime alpha_test = 3;        // the paper's number
+  VTime alpha_emit = 18;       // token copy + destination setup per output
+
+  // Coalesced memory/join nodes.
+  VTime hash_compute = 14;
+  VTime mem_insert = 22;
+  VTime mem_delete_base = 16;
+  VTime mem_delete_per_examined = 3;   // same-memory search for deletes
+  VTime join_probe_base = 12;
+  VTime join_per_examined = 3;         // opposite-memory token comparison
+                                       // (same order as a constant test)
+  VTime join_per_emission = 22;        // pair token build
+  VTime mrsw_enter = 18;               // flag+counter manipulation (lock 1)
+  VTime mrsw_modification = 8;         // lock 2 handshake
+
+  // Terminal nodes / conflict set.
+  VTime terminal_update = 90;
+
+  // Hardware task scheduler (Gupta's proposal, paper Section 3.2: "So far
+  // we have not implemented the hardware scheduler"): a task push/pop is a
+  // single bus transaction with no software lock.
+  VTime hts_op = 4;
+
+  // Control process.
+  VTime rhs_per_change = 260;    // threaded-code evaluation per WM action
+  VTime cr_base = 180;           // conflict-resolution fixed cost
+  VTime cr_per_instantiation = 18;
+  VTime wake_latency = 12;       // sleeping process notices new work
+
+  double to_seconds(VTime t) const {
+    return static_cast<double>(t) / (mips * 1e6);
+  }
+
+  // --- per-activation charges (shared by SimEngine and the parallelism
+  // profiler so both price a task identically) ---------------------------
+  VTime root_cost(std::uint32_t alpha_tests, std::size_t emitted) const {
+    return root_base + alpha_test * alpha_tests +
+           alpha_emit * static_cast<VTime>(emitted);
+  }
+  VTime join_update_cost(std::uint32_t same_examined, int sign) const {
+    VTime t = hash_compute;
+    if (sign > 0) {
+      t += mem_insert;
+    } else {
+      t += mem_delete_base + mem_delete_per_examined * same_examined;
+    }
+    return t;
+  }
+  VTime join_probe_cost(std::uint32_t opp_examined,
+                        std::uint32_t emissions) const {
+    return join_probe_base + join_per_examined * opp_examined +
+           join_per_emission * emissions;
+  }
+};
+
+}  // namespace psme::sim

@@ -1,0 +1,267 @@
+// Discrete-event substrate for the Multimax simulator.
+//
+// Each virtual processor runs a C++20 coroutine; the single-threaded
+// scheduler resumes whichever processor has the smallest virtual clock, so
+// processors interleave deterministically at their await points (time
+// advances, lock acquisitions, sleeps). Because only one coroutine runs at
+// a time, the coroutines mutate the shared matcher state directly — the
+// simulated locks exist to *account* for waiting time and probe counts,
+// exactly the contention the paper instruments in Tables 4-7 and 4-9.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace psme::sim {
+
+class Scheduler;
+
+struct SimCpu {
+  int id = 0;
+  VTime now = 0;
+};
+
+// Fire-and-forget coroutine type for a virtual processor's program.
+struct Proc {
+  struct promise_type {
+    Proc get_return_object() {
+      return Proc{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+// An awaitable sub-coroutine with symmetric-transfer continuation chaining,
+// used to factor multi-await operations (queue push/pop, locked join
+// processing) out of the processor main loops. Must be co_awaited exactly
+// once; the frame is destroyed when the result is consumed.
+template <typename T>
+struct SubTask {
+  struct promise_type {
+    T value{};
+    std::coroutine_handle<> continuation;
+    SubTask get_return_object() {
+      return SubTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept {
+      struct Fin {
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<> await_suspend(
+            std::coroutine_handle<promise_type> h) noexcept {
+          auto c = h.promise().continuation;
+          return c ? c : std::noop_coroutine();
+        }
+        void await_resume() const noexcept {}
+      };
+      return Fin{};
+    }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  std::coroutine_handle<promise_type> h;
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h.promise().continuation = cont;
+    return h;
+  }
+  T await_resume() {
+    T v = std::move(h.promise().value);
+    h.destroy();
+    return v;
+  }
+};
+
+// A simulated test-and-test-and-set spin lock.
+struct SimLock {
+  struct Waiter {
+    SimCpu* cpu;
+    VTime arrival;
+    std::coroutine_handle<> cont;
+    std::uint64_t* probes;  // where this waiter accounts its probe count
+  };
+  bool held = false;
+  std::deque<Waiter> waiters;
+};
+
+// FIFO of processors sleeping on a condition (empty queues, TaskCount).
+struct SleepList {
+  struct Sleeper {
+    SimCpu* cpu;
+    std::coroutine_handle<> cont;
+  };
+  std::deque<Sleeper> sleepers;
+  bool empty() const { return sleepers.empty(); }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const CostModel& cost) : cost_(cost) {}
+  ~Scheduler() {
+    for (Proc& p : procs_) {
+      if (p.handle) p.handle.destroy();
+    }
+  }
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimCpu& add_cpu() {
+    cpus_.push_back(std::make_unique<SimCpu>());
+    cpus_.back()->id = static_cast<int>(cpus_.size()) - 1;
+    return *cpus_.back();
+  }
+
+  // Registers a processor program and schedules its first step at cpu.now.
+  void start(SimCpu& cpu, Proc proc) {
+    procs_.push_back(proc);
+    ready(cpu, proc.handle);
+  }
+
+  // Schedules `cont` to resume at cpu.now.
+  void ready(SimCpu& cpu, std::coroutine_handle<> cont) {
+    heap_.push(Event{cpu.now, seq_++, cont});
+  }
+
+  // Drives the event loop until no events remain.
+  void run() {
+    while (!heap_.empty()) {
+      const Event ev = heap_.top();
+      heap_.pop();
+      ev.cont.resume();
+    }
+  }
+
+  // --- awaitables ---------------------------------------------------------
+
+  // Advance this cpu's clock by `n` instructions.
+  auto spend(SimCpu& cpu, VTime n) {
+    struct Aw {
+      Scheduler& s;
+      SimCpu& c;
+      VTime n;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c.now += n;
+        s.ready(c, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{*this, cpu, n};
+  }
+
+  // Acquire a simulated spin lock, accounting probes/acquisitions.
+  auto acquire(SimCpu& cpu, SimLock& lock, std::uint64_t* probes,
+               std::uint64_t* acquisitions) {
+    struct Aw {
+      Scheduler& s;
+      SimCpu& c;
+      SimLock& l;
+      std::uint64_t* probes;
+      std::uint64_t* acqs;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        if (acqs) *acqs += 1;
+        if (!l.held) {
+          l.held = true;
+          if (probes) *probes += 1;
+          c.now += s.cost_.lock_acquire;
+          s.ready(c, h);
+          return;
+        }
+        l.waiters.push_back(SimLock::Waiter{&c, c.now, h, probes});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{*this, cpu, lock, probes, acquisitions};
+  }
+
+  // Release; hands the lock to the waiter whose next spin-probe comes first.
+  void release(SimLock& lock, VTime now) {
+    assert(lock.held);
+    if (lock.waiters.empty()) {
+      lock.held = false;
+      return;
+    }
+    const VTime p = cost_.probe_interval;
+    std::size_t best = 0;
+    VTime best_t = next_probe(lock.waiters[0].arrival, now, p);
+    for (std::size_t i = 1; i < lock.waiters.size(); ++i) {
+      const VTime t = next_probe(lock.waiters[i].arrival, now, p);
+      if (t < best_t) {
+        best = i;
+        best_t = t;
+      }
+    }
+    SimLock::Waiter w = lock.waiters[best];
+    lock.waiters.erase(lock.waiters.begin() +
+                       static_cast<std::ptrdiff_t>(best));
+    if (w.probes) *w.probes += (best_t - w.arrival) / p + 1;
+    w.cpu->now = best_t + cost_.lock_acquire;
+    ready(*w.cpu, w.cont);
+  }
+
+  // Sleep until woken (condition waits).
+  auto sleep(SimCpu& cpu, SleepList& list) {
+    struct Aw {
+      SimCpu& c;
+      SleepList& l;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        l.sleepers.push_back(SleepList::Sleeper{&c, h});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{cpu, list};
+  }
+
+  void wake_one(SleepList& list, VTime at) {
+    if (list.sleepers.empty()) return;
+    SleepList::Sleeper s = list.sleepers.front();
+    list.sleepers.pop_front();
+    s.cpu->now = std::max(s.cpu->now, at) + cost_.wake_latency;
+    ready(*s.cpu, s.cont);
+  }
+
+  void wake_all(SleepList& list, VTime at) {
+    while (!list.sleepers.empty()) wake_one(list, at);
+  }
+
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  static VTime next_probe(VTime arrival, VTime now, VTime interval) {
+    if (now <= arrival) return arrival;
+    return arrival + interval * ((now - arrival + interval - 1) / interval);
+  }
+
+  struct Event {
+    VTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> cont;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  CostModel cost_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::unique_ptr<SimCpu>> cpus_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace psme::sim

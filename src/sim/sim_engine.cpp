@@ -1,0 +1,382 @@
+#include "sim/sim_engine.hpp"
+
+#include <cassert>
+#include <ostream>
+
+#include "common/symbol_table.hpp"
+#include "match/kernel.hpp"
+
+namespace psme::sim {
+
+namespace {
+enum MrswFlag : std::uint8_t {
+  kUnused = 0,
+  kLeft = 1,
+  kRight = 2,
+  kExclusive = 3
+};
+}  // namespace
+
+SimEngine::SimEngine(const ops5::Program& program, EngineOptions options,
+                     SimConfig config)
+    : EngineBase(program, options), config_(config) {
+  if (options_.match_processes < 1)
+    throw std::invalid_argument("SimEngine requires at least one match CPU");
+  if (options_.memory != match::MemoryStrategy::Hash)
+    throw std::invalid_argument("SimEngine uses the hash-table memories");
+  left_table_ = std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+  right_table_ =
+      std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+}
+
+SimEngine::~SimEngine() = default;
+
+void SimEngine::submit_change(const Wme* wme, std::int8_t sign) {
+  rhs_buffer_.emplace_back(wme, sign);
+}
+
+VTime SimEngine::update_cost(const match::MemUpdate& up,
+                             const match::ActivationCost& ac,
+                             std::int8_t sign) const {
+  (void)up;
+  return config_.cost.join_update_cost(ac.same_examined, sign);
+}
+
+VTime SimEngine::probe_cost(const match::ActivationCost& ac) const {
+  return config_.cost.join_probe_cost(ac.opp_examined, ac.emissions);
+}
+
+SubTask<bool> SimEngine::push_task(SimCpu& cpu, match::Task task,
+                                   unsigned hint, MatchStats& stats,
+                                   bool is_requeue) {
+  if (!is_requeue) ++task_count_;
+  if (config_.hardware_scheduler) {
+    // One uncontended bus transaction (idealized HTS model).
+    co_await sched_->spend(cpu, config_.cost.hts_op);
+    queues_[hint % queues_.size()].items.push_back(task);
+    stats.queue_acquisitions += 1;
+    stats.queue_probes += 1;
+    sched_->wake_one(idle_workers_, cpu.now);
+    co_return true;
+  }
+  const std::size_t n = queues_.size();
+  SimQueue* q = nullptr;
+  std::uint64_t failed_probes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    SimQueue& cand = queues_[(hint + i) % n];
+    if (!cand.lock.held) {
+      q = &cand;
+      break;
+    }
+    ++failed_probes;  // busy queue: one test of its lock word
+  }
+  stats.queue_probes += failed_probes;
+  if (!q) q = &queues_[hint % n];
+  co_await sched_->acquire(cpu, q->lock, &stats.queue_probes,
+                           &stats.queue_acquisitions);
+  co_await sched_->spend(cpu, config_.cost.queue_push);
+  q->items.push_back(task);
+  sched_->release(q->lock, cpu.now);
+  sched_->wake_one(idle_workers_, cpu.now);
+  co_return true;
+}
+
+SubTask<bool> SimEngine::pop_task(SimCpu& cpu, match::Task* out,
+                                  unsigned hint, MatchStats& stats) {
+  const std::size_t n = queues_.size();
+  if (config_.hardware_scheduler) {
+    for (std::size_t i = 0; i < n; ++i) {
+      SimQueue& q = queues_[(hint + i) % n];
+      if (q.items.empty()) continue;
+      co_await sched_->spend(cpu, config_.cost.hts_op);
+      if (q.items.empty()) continue;  // raced with another pop
+      *out = q.items.front();
+      q.items.pop_front();
+      stats.queue_acquisitions += 1;
+      stats.queue_probes += 1;
+      co_return true;
+    }
+    co_return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    SimQueue& q = queues_[(hint + i) % n];
+    if (q.items.empty()) continue;
+    co_await sched_->acquire(cpu, q.lock, &stats.queue_probes,
+                             &stats.queue_acquisitions);
+    if (q.items.empty()) {  // drained while we spun
+      sched_->release(q.lock, cpu.now);
+      continue;
+    }
+    *out = q.items.front();
+    q.items.pop_front();
+    co_await sched_->spend(cpu, config_.cost.queue_pop);
+    sched_->release(q.lock, cpu.now);
+    co_return true;
+  }
+  co_return false;
+}
+
+SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
+                                   match::Task task,
+                                   std::vector<match::Task>& emit) {
+  const std::uint32_t line = match::line_of(task, *left_table_);
+  const Side side = task.side();
+  const int si = side_index(side);
+  MatchStats& st = w.stats;
+  const CostModel& cm = config_.cost;
+
+  if (options_.lock_scheme == match::LockScheme::Simple) {
+    co_await sched_->acquire(cpu, simple_lines_[line], &st.line_probes[si],
+                             &st.line_acquisitions[si]);
+    match::ActivationCost ac;
+    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
+    co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
+    match::ActivationCost ap;
+    match::process_join_probe(w.ctx, task, up, emit, &ap);
+    co_await sched_->spend(cpu, probe_cost(ap));
+    sched_->release(simple_lines_[line], cpu.now);
+    co_return true;
+  }
+
+  // MRSW scheme (Section 3.2's complex locks).
+  MrswLine& L = mrsw_lines_[line];
+  const bool exclusive = task.join->kind == rete::JoinKind::Negative;
+  const std::uint8_t mine =
+      exclusive ? kExclusive : (side == Side::Left ? kLeft : kRight);
+  co_await sched_->acquire(cpu, L.guard, &st.line_probes[si],
+                           &st.line_acquisitions[si]);
+  co_await sched_->spend(cpu, cm.mrsw_enter);
+  const bool ok = exclusive ? L.flag == kUnused
+                            : (L.flag == kUnused || L.flag == mine);
+  if (ok) {
+    L.flag = mine;
+    ++L.users;
+  }
+  sched_->release(L.guard, cpu.now);
+  if (!ok) {
+    st.requeues += 1;
+    co_await push_task(cpu, task, w.hint++, st, /*is_requeue=*/true);
+    co_return false;
+  }
+
+  if (exclusive) {
+    match::ActivationCost ac;
+    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
+    co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
+    match::ActivationCost ap;
+    match::process_join_probe(w.ctx, task, up, emit, &ap);
+    co_await sched_->spend(cpu, probe_cost(ap));
+  } else {
+    co_await sched_->acquire(cpu, L.modification, &st.line_probes[si],
+                             &st.line_acquisitions[si]);
+    match::ActivationCost ac;
+    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
+    co_await sched_->spend(cpu,
+                           cm.mrsw_modification + update_cost(up, ac, task.sign));
+    sched_->release(L.modification, cpu.now);
+    match::ActivationCost ap;
+    match::process_join_probe(w.ctx, task, up, emit, &ap);
+    co_await sched_->spend(cpu, probe_cost(ap));
+  }
+
+  // Leave the line (uncounted guard handshake, as in the threaded engine).
+  co_await sched_->acquire(cpu, L.guard, nullptr, nullptr);
+  assert(L.users > 0);
+  if (--L.users == 0) L.flag = kUnused;
+  sched_->release(L.guard, cpu.now);
+  co_return true;
+}
+
+Proc SimEngine::worker_main(WorkerState& w) {
+  SimCpu& cpu = *w.cpu;
+  std::vector<match::Task> emit;
+  const CostModel& cm = config_.cost;
+  for (;;) {
+    if (shutdown_) co_return;
+    match::Task task;
+    const bool got = co_await pop_task(cpu, &task, w.hint, w.stats);
+    if (!got) {
+      if (shutdown_) co_return;
+      co_await sched_->sleep(cpu, idle_workers_);
+      continue;
+    }
+    w.hint += 1;
+    co_await sched_->spend(cpu, cm.task_dispatch);
+    emit.clear();
+    bool done = true;
+    switch (task.kind) {
+      case match::TaskKind::Root: {
+        match::ActivationCost ac;
+        match::process_root(w.ctx, *network_, task, emit, &ac);
+        co_await sched_->spend(cpu, cm.root_cost(ac.alpha_tests, emit.size()));
+        break;
+      }
+      case match::TaskKind::Terminal: {
+        match::process_terminal(w.ctx, task);
+        co_await sched_->spend(cpu, cm.terminal_update);
+        break;
+      }
+      case match::TaskKind::JoinLeft:
+      case match::TaskKind::JoinRight:
+        done = co_await join_task(cpu, w, task, emit);
+        break;
+    }
+    if (!done) continue;  // requeued; still counted in TaskCount
+    for (const match::Task& t : emit)
+      co_await push_task(cpu, t, w.hint++, w.stats, false);
+    w.stats.tasks_executed += 1;
+    --task_count_;
+    if (task_count_ == 0) sched_->wake_all(control_wait_, cpu.now);
+  }
+}
+
+Proc SimEngine::control_main() {
+  SimCpu& cpu = *control_cpu_;
+  const CostModel& cm = config_.cost;
+  unsigned hint = 0;
+  VTime last_idle = 0;  // control idle time in the last quiescence wait
+
+  auto push_changes =
+      [&](std::vector<std::pair<const Wme*, std::int8_t>> changes)
+      -> SubTask<bool> {
+    if (changes.empty()) co_return true;
+    VTime phase_start = 0;
+    if (config_.pipeline) {
+      bool first = true;
+      for (const auto& [wme, sign] : changes) {
+        co_await sched_->spend(cpu, cm.rhs_per_change);
+        if (first) {
+          phase_start = cpu.now;
+          first = false;
+        }
+        match::Task root;
+        root.kind = match::TaskKind::Root;
+        root.sign = sign;
+        root.wme = wme;
+        co_await push_task(cpu, root, hint++, control_stats_, false);
+      }
+    } else {
+      // Non-pipelined baseline: evaluate the whole RHS first, then match.
+      co_await sched_->spend(
+          cpu, cm.rhs_per_change * static_cast<VTime>(changes.size()));
+      phase_start = cpu.now;
+      for (const auto& [wme, sign] : changes) {
+        match::Task root;
+        root.kind = match::TaskKind::Root;
+        root.sign = sign;
+        root.wme = wme;
+        co_await push_task(cpu, root, hint++, control_stats_, false);
+      }
+    }
+    const VTime pushes_done = cpu.now;
+    while (task_count_ != 0) co_await sched_->sleep(cpu, control_wait_);
+    last_idle = cpu.now - pushes_done;
+    sim_match_time_ += cpu.now - phase_start;
+    co_return true;
+  };
+
+  // Initial working memory.
+  co_await push_changes(std::move(pending_));
+  pending_.clear();
+  wm_.collect();
+
+  for (;;) {
+    if (halted_) {
+      stop_reason_ = StopReason::Halt;
+      break;
+    }
+    if (stats_.cycles >= options_.max_cycles) {
+      stop_reason_ = StopReason::MaxCycles;
+      break;
+    }
+    VTime cr_cost =
+        cm.cr_base + cm.cr_per_instantiation * static_cast<VTime>(cs_.size());
+    if (config_.overlap_cr) {
+      // Footnote 3's optimization: conflict resolution proceeds while the
+      // match tail drains, so only the excess beyond the control process's
+      // idle wait costs wall-clock time.
+      cr_cost = cr_cost > last_idle ? cr_cost - last_idle : 0;
+    }
+    co_await sched_->spend(cpu, cr_cost);
+    auto inst = cs_.select_and_fire(options_.strategy);
+    if (!inst) {
+      stop_reason_ = StopReason::EmptyConflictSet;
+      break;
+    }
+    ++stats_.cycles;
+    ++stats_.firings;
+    FiringRecord rec;
+    rec.prod_index = inst->prod_index;
+    rec.timetags = inst->tags_in_order();
+    if (options_.watch >= 1 && options_.out) {
+      *options_.out << stats_.cycles << ". "
+                    << symbol_name(
+                           program_.productions()[inst->prod_index].name);
+      for (const TimeTag t : rec.timetags) *options_.out << " " << t;
+      *options_.out << "\n";
+    }
+    trace_.push_back(std::move(rec));
+
+    rhs_buffer_.clear();
+    run_rhs(rhs_[inst->prod_index], program_, inst->wmes, wm_, *this);
+    co_await push_changes(std::move(rhs_buffer_));
+    rhs_buffer_.clear();
+    wm_.collect();
+  }
+
+  shutdown_ = true;
+  sched_->wake_all(idle_workers_, cpu.now);
+  co_return;
+}
+
+RunResult SimEngine::run() {
+  sched_ = std::make_unique<Scheduler>(config_.cost);
+  queues_ = std::vector<SimQueue>(
+      static_cast<std::size_t>(options_.task_queues));
+  if (options_.lock_scheme == match::LockScheme::Simple) {
+    simple_lines_ = std::vector<SimLock>(options_.hash_buckets);
+  } else {
+    mrsw_lines_ = std::vector<MrswLine>(options_.hash_buckets);
+  }
+  task_count_ = 0;
+  shutdown_ = false;
+  sim_match_time_ = 0;
+
+  control_cpu_ = &sched_->add_cpu();
+  workers_.clear();
+  for (int i = 0; i < options_.match_processes; ++i) {
+    auto w = std::make_unique<WorkerState>();
+    w->cpu = &sched_->add_cpu();
+    w->hint = static_cast<unsigned>(i);
+    w->ctx.strategy = match::MemoryStrategy::Hash;
+    w->ctx.left_table = left_table_.get();
+    w->ctx.right_table = right_table_.get();
+    w->ctx.conflict_set = &cs_;
+    w->ctx.arena = &w->arena;
+    w->ctx.stats = &w->stats;
+    workers_.push_back(std::move(w));
+  }
+
+  sched_->start(*control_cpu_, control_main());
+  for (auto& w : workers_) sched_->start(*w->cpu, worker_main(*w));
+  sched_->run();
+
+  VTime end_time = control_cpu_->now;
+  for (auto& w : workers_) {
+    stats_.match.merge(w->stats);
+    end_time = std::max(end_time, w->cpu->now);
+  }
+  stats_.match.merge(control_stats_);
+  control_stats_ = MatchStats{};
+  stats_.sim_match_seconds = config_.cost.to_seconds(sim_match_time_);
+  sim_total_seconds_ = config_.cost.to_seconds(end_time);
+  workers_.clear();
+  sched_.reset();
+
+  RunResult result;
+  result.reason = stop_reason_;
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace psme::sim

@@ -1,0 +1,210 @@
+// Random OPS5 program generator for cross-engine property tests.
+//
+// Generated programs are syntactically and semantically valid (variables
+// bind before predicated use, modify/remove target positive CEs, arithmetic
+// stays numeric) but need not terminate — the equivalence tests run every
+// engine under the same max_cycles cap and compare full firing traces.
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace psme::workloads {
+namespace {
+
+struct Gen {
+  Rng rng;
+  RandomParams p;
+
+  explicit Gen(std::uint64_t seed, const RandomParams& params)
+      : rng(seed), p(params) {}
+
+  std::string cls(int i) const { return "c" + std::to_string(i); }
+  std::string attr(int i) const { return "a" + std::to_string(i); }
+  bool numeric_attr(int i) const { return i % 2 == 0; }
+
+  std::string value_for(int attr_idx) {
+    const int v = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(p.value_range)));
+    if (numeric_attr(attr_idx)) return std::to_string(v);
+    return "v" + std::to_string(v);
+  }
+
+  std::string var_name(int i) const { return "x" + std::to_string(i); }
+
+  std::string generate() {
+    std::ostringstream src;
+    for (int c = 0; c < p.num_classes; ++c) {
+      src << "(literalize " << cls(c);
+      for (int a = 0; a < p.num_attrs; ++a) src << " " << attr(a);
+      src << ")\n";
+    }
+    for (int i = 0; i < p.num_productions; ++i) emit_production(src, i);
+    return src.str();
+  }
+
+  void emit_production(std::ostringstream& src, int index) {
+    src << "(p rule" << index << "\n";
+    const int num_ces =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(p.max_ces)));
+    // var -> (attr index of binding, bound in positive CE?)
+    struct Binding {
+      int attr_idx;
+      bool positive;
+    };
+    std::vector<std::pair<int, Binding>> bound;  // var -> binding info
+    std::vector<int> positive_ces;               // 1-based CE indices
+    std::vector<int> ce_class(static_cast<std::size_t>(num_ces));
+
+    auto find_bound = [&](int var) -> const Binding* {
+      for (const auto& [v, b] : bound) {
+        if (v == var) return &b;
+      }
+      return nullptr;
+    };
+
+    for (int ce = 0; ce < num_ces; ++ce) {
+      const bool negated =
+          ce > 0 && p.allow_negation && rng.chance(1, 4);
+      if (!negated) positive_ces.push_back(ce + 1);
+      const int c = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(p.num_classes)));
+      ce_class[static_cast<std::size_t>(ce)] = c;
+      src << "  " << (negated ? "- " : "") << "(" << cls(c);
+      const int nfields =
+          1 + static_cast<int>(rng.below(3));
+      for (int f = 0; f < nfields; ++f) {
+        const int a = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(p.num_attrs)));
+        src << " ^" << attr(a) << " ";
+        const int choice = static_cast<int>(rng.below(10));
+        if (choice < 4) {
+          src << value_for(a);  // constant equality
+        } else if (choice < 5 && numeric_attr(a)) {
+          src << "{ <tmp" << index << "_" << ce << "_" << f << "> "
+              << (rng.chance(1, 2) ? ">" : "<") << " "
+              << rng.below(static_cast<std::uint64_t>(p.value_range))
+              << " }";
+        } else if (choice < 6) {
+          // Disjunction of two constants.
+          src << "<< " << value_for(a) << " " << value_for(a) << " >>";
+        } else {
+          // Variable: first equality occurrence binds; a bound variable of
+          // the same attr "type" may carry a predicate. Negated CEs never
+          // introduce fresh variables (they would be local and useless, and
+          // reusing them later is a semantic error).
+          const int var = static_cast<int>(rng.below(4));
+          const Binding* b = find_bound(var);
+          if (negated && !b) {
+            src << value_for(a);
+            continue;
+          }
+          if (b && b->attr_idx % 2 == a % 2 && rng.chance(1, 3)) {
+            const char* preds[] = {"<>", "<=", ">="};
+            const char* pred = numeric_attr(a)
+                                   ? preds[rng.below(3)]
+                                   : "<>";
+            src << "{ " << pred << " <" << var_name(var) << "> }";
+          } else {
+            src << "<" << var_name(var) << ">";
+            if (!b) bound.emplace_back(var, Binding{a, !negated});
+          }
+        }
+      }
+      src << ")\n";
+    }
+
+    src << "  -->\n";
+    const int num_actions = 1 + static_cast<int>(rng.below(2));
+    std::vector<int> removed;  // CE indices already removed/modified
+    for (int act = 0; act < num_actions; ++act) {
+      const int choice = static_cast<int>(rng.below(10));
+      auto emit_value = [&](int a) {
+        // Constant, bound variable of compatible type, or arithmetic.
+        const int c2 = static_cast<int>(rng.below(10));
+        std::vector<int> usable;
+        for (const auto& [v, b] : bound) {
+          if (b.positive && b.attr_idx % 2 == a % 2) usable.push_back(v);
+        }
+        if (c2 < 5 || usable.empty()) {
+          src << value_for(a);
+        } else if (c2 < 8 || !numeric_attr(a)) {
+          src << "<"
+              << var_name(usable[rng.below(usable.size())]) << ">";
+        } else {
+          src << "(compute <"
+              << var_name(usable[rng.below(usable.size())]) << "> "
+              << (rng.chance(1, 2) ? "+" : "-") << " "
+              << rng.below(3) + 1 << ")";
+        }
+      };
+      auto pick_target = [&]() -> int {
+        for (int tries = 0; tries < 4; ++tries) {
+          const int t = positive_ces[rng.below(positive_ces.size())];
+          bool used = false;
+          for (int r : removed) used |= (r == t);
+          if (!used) return t;
+        }
+        return -1;
+      };
+      if (choice < 5) {  // make
+        const int c = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(p.num_classes)));
+        src << "  (make " << cls(c);
+        // Assign every attribute so no field is ever nil: LHS variables can
+        // then never bind nil into arithmetic (OPS5 would error at run
+        // time, and the equivalence tests need runs to complete).
+        for (int a = 0; a < p.num_attrs; ++a) {
+          src << " ^" << attr(a) << " ";
+          emit_value(a);
+        }
+        src << ")\n";
+      } else if (choice < 8) {  // modify
+        const int t = pick_target();
+        if (t < 0) continue;
+        removed.push_back(t);
+        const int a = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(p.num_attrs)));
+        src << "  (modify " << t << " ^" << attr(a) << " ";
+        emit_value(a);
+        src << ")\n";
+      } else {  // remove
+        const int t = pick_target();
+        if (t < 0) continue;
+        removed.push_back(t);
+        src << "  (remove " << t << ")\n";
+      }
+    }
+    src << ")\n";
+  }
+
+  std::vector<std::string> initial_wmes() {
+    std::vector<std::string> wmes;
+    for (int i = 0; i < p.num_initial_wmes; ++i) {
+      const int c = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(p.num_classes)));
+      std::ostringstream os;
+      os << "(" << cls(c);
+      for (int a = 0; a < p.num_attrs; ++a) {
+        os << " ^" << attr(a) << " " << value_for(a);
+      }
+      os << ")";
+      wmes.push_back(os.str());
+    }
+    return wmes;
+  }
+};
+
+}  // namespace
+
+Workload random_program(std::uint64_t seed, const RandomParams& params) {
+  Gen gen(seed, params);
+  Workload w;
+  w.name = "random-" + std::to_string(seed);
+  w.source = gen.generate();
+  w.initial_wmes = gen.initial_wmes();
+  return w;
+}
+
+}  // namespace psme::workloads

@@ -1,0 +1,249 @@
+// Rubik stand-in: a rule-driven Rubik's-cube sticker transformer.
+//
+// The paper's Rubik (70 rules, by James Allen) is characterized by many
+// working-memory changes (8350), short tasks, and the best parallel
+// speed-up of the three programs (12.4x at 1+13): each cube move touches
+// dozens of wmes whose match consequences are independent, so every
+// recognize-act cycle exposes a wide fan of node activations.
+//
+// This generator reproduces that shape with a 3x3x3 sticker model:
+//  - 54 sticker wmes; a scripted move sequence (random scramble + its exact
+//    inverse), so the final state is provably solved — the program halts
+//    via a check phase that asserts every face is uniform;
+//  - one production per move symbol (12 total), each matching the cursor,
+//    the script entry, and the 20 moved sticker positions, and modifying
+//    all 20 in a single firing — a whole quarter-turn per cycle, ~42
+//    working-memory changes whose match work fans out in parallel;
+//  - two dozen background pattern-recognition rules (same-face pairs,
+//    cross-face echoes, center matches), gated by a never-matching
+//    condition element: they re-evaluate on every sticker change and give
+//    the program its match volume, as the original's recognition rules did.
+#include "workloads/workloads.hpp"
+
+#include <array>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace psme::workloads {
+namespace {
+
+constexpr std::array<const char*, 6> kFaces = {"up", "down", "front",
+                                               "back", "left", "right"};
+constexpr std::array<const char*, 6> kColors = {"white", "yellow", "green",
+                                                "blue",  "orange", "red"};
+
+struct Pos {
+  int face;
+  int idx;
+  bool operator<(const Pos& o) const {
+    return face != o.face ? face < o.face : idx < o.idx;
+  }
+};
+
+// The 12 side-strip cycles per face turn: for face f (clockwise), strip k
+// moves to strip k+1. The layout is a fixed self-consistent convention —
+// what matters (and what the tests verify via the solved end state) is that
+// every move is a permutation and the counter-clockwise move is its exact
+// inverse.
+struct SideCycle {
+  int face;
+  std::array<int, 3> idx;
+};
+constexpr std::array<std::array<SideCycle, 4>, 6> kSides = {{
+    {{{2, {0, 1, 2}}, {4, {0, 1, 2}}, {3, {0, 1, 2}}, {5, {0, 1, 2}}}},
+    {{{2, {6, 7, 8}}, {5, {6, 7, 8}}, {3, {6, 7, 8}}, {4, {6, 7, 8}}}},
+    {{{0, {6, 7, 8}}, {5, {0, 3, 6}}, {1, {2, 1, 0}}, {4, {8, 5, 2}}}},
+    {{{0, {2, 1, 0}}, {4, {0, 3, 6}}, {1, {6, 7, 8}}, {5, {8, 5, 2}}}},
+    {{{0, {0, 3, 6}}, {2, {0, 3, 6}}, {1, {0, 3, 6}}, {3, {8, 5, 2}}}},
+    {{{0, {8, 5, 2}}, {3, {0, 3, 6}}, {1, {8, 5, 2}}, {2, {8, 5, 2}}}},
+}};
+
+// Clockwise on-face rotation of a 3x3 index (row-major): (r,c) -> (c, 2-r).
+int rot_cw(int idx) {
+  const int r = idx / 3, c = idx % 3;
+  return 3 * c + (2 - r);
+}
+
+// All (from -> to) position mappings of one face turn.
+std::vector<std::pair<Pos, Pos>> move_perm(int face, bool cw) {
+  std::vector<std::pair<Pos, Pos>> perm;
+  for (int i = 0; i < 9; ++i) {
+    if (i == 4) continue;  // center is fixed
+    perm.push_back({{face, i}, {face, rot_cw(i)}});
+  }
+  const auto& cyc = kSides[static_cast<std::size_t>(face)];
+  for (int k = 0; k < 4; ++k) {
+    const SideCycle& from = cyc[static_cast<std::size_t>(k)];
+    const SideCycle& to = cyc[static_cast<std::size_t>((k + 1) % 4)];
+    for (int j = 0; j < 3; ++j) {
+      perm.push_back({{from.face, from.idx[static_cast<std::size_t>(j)]},
+                      {to.face, to.idx[static_cast<std::size_t>(j)]}});
+    }
+  }
+  if (!cw) {
+    for (auto& [from, to] : perm) std::swap(from, to);
+  }
+  return perm;
+}
+
+std::string move_name(int face, bool cw) {
+  return std::string(kFaces[static_cast<std::size_t>(face)]) +
+         (cw ? "+" : "-");
+}
+
+// One production per move: match all 20 moved stickers, rewrite them all.
+void emit_move_rule(std::ostringstream& src, int face, bool cw) {
+  const auto perm = move_perm(face, cw);
+  // Stable CE order over the moved positions; var index per position.
+  // Number positions in the map's (sorted) order — the same order the
+  // condition elements are emitted in — so `modify` indices line up.
+  std::map<Pos, int> ce_of;
+  for (const auto& [from, to] : perm) {
+    (void)to;
+    ce_of.emplace(from, 0);
+  }
+  {
+    int n = 0;
+    for (auto& [pos, var] : ce_of) {
+      (void)pos;
+      var = n++;
+    }
+  }
+  src << "(p move-" << kFaces[face] << (cw ? "-cw" : "-ccw") << "\n"
+      << "  (cursor ^step <s> ^phase idle)\n"
+      << "  (script ^step <s> ^move " << move_name(face, cw) << ")\n";
+  for (const auto& [pos, var] : ce_of) {
+    src << "  (sticker ^face " << kFaces[static_cast<std::size_t>(pos.face)]
+        << " ^idx " << pos.idx << " ^color <c" << var << ">)\n";
+  }
+  src << "  -->\n"
+      << "  (modify 1 ^step (compute <s> + 1))\n";
+  for (const auto& [from, to] : perm) {
+    src << "  (modify " << ce_of.at(to) + 3 << " ^color <c" << ce_of.at(from)
+        << ">)\n";
+  }
+  src << ")\n";
+}
+
+}  // namespace
+
+Workload rubik(int moves) {
+  Workload w;
+  w.name = "rubik";
+  assert(moves >= 2);
+
+  std::ostringstream src;
+  src << R"((literalize cursor step phase move)
+(literalize script step move)
+(literalize sticker face idx color)
+(literalize result solved)
+)";
+
+  for (int f = 0; f < 6; ++f) {
+    for (const bool cw : {true, false}) emit_move_rule(src, f, cw);
+  }
+
+  src << R"(
+(p script-done
+  (cursor ^phase idle ^step <s>)
+  - (script ^step <s>)
+  -->
+  (modify 1 ^phase check))
+)";
+
+  // Check phase: any face with a sticker differing from its center is a
+  // failure; otherwise the cube is solved.
+  for (int f = 0; f < 6; ++f) {
+    src << "(p found-bad-" << kFaces[f] << "\n"
+        << "  (cursor ^phase check)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx 4 ^color <c>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^color { <c2> <> <c> })\n"
+        << "  -->\n"
+        << "  (modify 1 ^phase failed))\n";
+  }
+  src << R"(
+(p check-ok
+  (cursor ^phase check)
+  -->
+  (make result ^solved yes)
+  (halt))
+
+(p check-failed
+  (cursor ^phase failed)
+  -->
+  (make result ^solved no)
+  (halt))
+)";
+
+  // Background pattern-recognition rules: re-evaluated on every sticker
+  // change, gated by a never-matching (result ^solved never) CE.
+  for (int f = 0; f < 6; ++f) {
+    src << "(p pair-on-" << kFaces[f] << "\n"
+        << "  (cursor ^step <s>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx <i> ^color <c>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^color <c> ^idx <> <i>)\n"
+        << "  (result ^solved never)\n"
+        << "  -->\n"
+        << "  (remove 4))\n";
+    src << "(p echo-of-" << kFaces[f] << "\n"
+        << "  (cursor ^step <s>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx <i> ^color <c>)\n"
+        << "  (sticker ^face <> " << kFaces[f] << " ^idx <i> ^color <c>)\n"
+        << "  (result ^solved never)\n"
+        << "  -->\n"
+        << "  (remove 4))\n";
+    src << "(p center-match-" << kFaces[f] << "\n"
+        << "  (cursor ^step <s>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx 4 ^color <c>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx { <i> <> 4 } ^color <c>)\n"
+        << "  (result ^solved never)\n"
+        << "  -->\n"
+        << "  (remove 4))\n";
+    src << "(p row-run-" << kFaces[f] << "\n"
+        << "  (cursor ^step <s>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx <i> ^color <c>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx { <j> > <i> } ^color <c>)\n"
+        << "  (sticker ^face " << kFaces[f] << " ^idx { <k> > <j> } ^color <c>)\n"
+        << "  (result ^solved never)\n"
+        << "  -->\n"
+        << "  (remove 5))\n";
+  }
+
+  w.source = src.str();
+
+  // --- Initial working memory --------------------------------------------
+  w.initial_wmes.push_back("(cursor ^step 0 ^phase idle ^move none)");
+  for (int f = 0; f < 6; ++f) {
+    for (int i = 0; i < 9; ++i) {
+      std::ostringstream os;
+      os << "(sticker ^face " << kFaces[f] << " ^idx " << i << " ^color "
+         << kColors[f] << ")";
+      w.initial_wmes.push_back(os.str());
+    }
+  }
+  // Script: random scramble, then the exact inverse sequence.
+  Rng rng(0xB10C5EED);
+  std::vector<std::pair<int, bool>> scramble;
+  const int half = moves / 2;
+  for (int i = 0; i < half; ++i) {
+    scramble.emplace_back(static_cast<int>(rng.below(6)), rng.chance(1, 2));
+  }
+  int step = 0;
+  for (const auto& [f, cw] : scramble) {
+    std::ostringstream os;
+    os << "(script ^step " << step++ << " ^move " << move_name(f, cw) << ")";
+    w.initial_wmes.push_back(os.str());
+  }
+  for (auto it = scramble.rbegin(); it != scramble.rend(); ++it) {
+    std::ostringstream os;
+    os << "(script ^step " << step++ << " ^move "
+       << move_name(it->first, !it->second) << ")";
+    w.initial_wmes.push_back(os.str());
+  }
+  return w;
+}
+
+}  // namespace psme::workloads

@@ -1,0 +1,276 @@
+// Tourney stand-in: a round-robin tournament scheduler.
+//
+// The paper (Section 4.2, Table 4-9) attributes Tourney's poor speedup to
+// "a few culprit productions that have condition elements with no common
+// variables": their joins perform no equality tests, so every token of the
+// node lands in a single hash line and activations convoy on that line's
+// lock. This program reproduces that structure:
+//
+//  - `propose-pairing` joins (team x team) with only an ordering predicate
+//    (no equality), and `assign-week` joins (pairing x week) with no shared
+//    variable at the join — both are pure cross products;
+//  - the remaining rules are ordinary selective joins (phase control,
+//    per-team conflict negations, reporting), giving the program its
+//    OPS5 shape (17 productions, like the original).
+//
+// With `fixed = true` the two culprits are rewritten using the domain
+// knowledge rewrite the paper describes: a precomputed `pool-pair` relation
+// keys both team lookups by pool, turning the cross products into hashed
+// equality joins (same pairings generated, far fewer tokens per line).
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+namespace psme::workloads {
+
+Workload tourney(int teams, bool fixed) {
+  Workload w;
+  w.name = fixed ? "tourney-fixed" : "tourney";
+  // Enough weeks that the greedy assignment always finds a free week for
+  // every pairing (t1 and t2 together block at most 2*(teams-2) weeks).
+  const int weeks = 2 * teams;
+  const int pools = 4;
+
+  std::ostringstream src;
+  src << R"((literalize goal phase)
+(literalize team id seed pool)
+(literalize week num games)
+(literalize pairing t1 t2 week status)
+(literalize pool-pair lo hi)
+(literalize tally scheduled unscheduled)
+(literalize report text)
+)";
+
+  // --- Phase control ------------------------------------------------------
+  src << R"(
+(p start-propose
+  (goal ^phase start)
+  -->
+  (modify 1 ^phase propose))
+)";
+
+  if (!fixed) {
+    // Culprit 1: (team x team) cross product — the only inter-CE test is an
+    // ordering predicate, which cannot be hashed.
+    src << R"(
+(p propose-pairing
+  (goal ^phase propose)
+  (team ^id <t1> ^seed <s1>)
+  (team ^id <t2> ^seed { <s2> > <s1> })
+  - (pairing ^t1 <t1> ^t2 <t2>)
+  -->
+  (make pairing ^t1 <t1> ^t2 <t2> ^week 0 ^status pending))
+)";
+  } else {
+    // Fixed culprit 1: drive the enumeration off the pool-pair relation so
+    // both team condition elements carry an equality (hashable) test.
+    src << R"(
+(p propose-pairing-same-pool
+  (goal ^phase propose)
+  (pool-pair ^lo <p> ^hi <p>)
+  (team ^id <t1> ^pool <p> ^seed <s1>)
+  (team ^id <t2> ^pool <p> ^seed { <s2> > <s1> })
+  - (pairing ^t1 <t1> ^t2 <t2>)
+  -->
+  (make pairing ^t1 <t1> ^t2 <t2> ^week 0 ^status pending))
+
+(p propose-pairing-cross-pool
+  (goal ^phase propose)
+  (pool-pair ^lo <pl> ^hi { <ph> > <pl> })
+  (team ^id <t1> ^pool <pl>)
+  (team ^id <t2> ^pool <ph>)
+  - (pairing ^t1 <t1> ^t2 <t2>)
+  -->
+  (make pairing ^t1 <t1> ^t2 <t2> ^week 0 ^status pending))
+)";
+  }
+
+  // Advance by count: when every unordered pair has a pairing, the tally
+  // rule flips the phase.
+  src << R"(
+(p count-pairings
+  (goal ^phase propose)
+  (tally ^unscheduled <n>)
+  (pairing ^status pending ^t1 <t1> ^t2 <t2>)
+  - (pairing ^status counted ^t1 <t1> ^t2 <t2>)
+  -->
+  (modify 2 ^unscheduled (compute <n> + 1))
+  (make pairing ^t1 <t1> ^t2 <t2> ^week 0 ^status counted))
+
+(p propose-complete
+  (goal ^phase propose)
+  (tally ^unscheduled )" << (teams * (teams - 1) / 2) << R"()
+  -->
+  (modify 1 ^phase assign))
+)";
+
+  if (!fixed) {
+    // Culprit 2: (pairing x week) cross product — no variable shared
+    // between the pairing and the week condition elements.
+    src << R"(
+(p assign-week
+  (goal ^phase assign)
+  (pairing ^t1 <t1> ^t2 <t2> ^status pending)
+  (week ^num <w> ^games <g>)
+  - (pairing ^status scheduled ^week <w> ^t1 <t1>)
+  - (pairing ^status scheduled ^week <w> ^t2 <t2>)
+  - (pairing ^status scheduled ^week <w> ^t1 <t2>)
+  - (pairing ^status scheduled ^week <w> ^t2 <t1>)
+  -->
+  (modify 2 ^status scheduled ^week <w>)
+  (modify 3 ^games (compute <g> + 1)))
+)";
+  } else {
+    // Fixed culprit 2: key the week lookup to the pairing through the
+    // week-number seed carried on the pairing (round-robin rotation).
+    src << R"(
+(p assign-week
+  (goal ^phase assign)
+  (pairing ^t1 <t1> ^t2 <t2> ^status pending ^week <w>)
+  (week ^num <w> ^games <g>)
+  - (pairing ^status scheduled ^week <w> ^t1 <t1>)
+  - (pairing ^status scheduled ^week <w> ^t2 <t2>)
+  - (pairing ^status scheduled ^week <w> ^t1 <t2>)
+  - (pairing ^status scheduled ^week <w> ^t2 <t1>)
+  -->
+  (modify 2 ^status scheduled)
+  (modify 3 ^games (compute <g> + 1)))
+
+(p bump-week
+  (goal ^phase assign)
+  (pairing ^t1 <t1> ^t2 <t2> ^status pending ^week <w>)
+  (pairing ^status scheduled ^week <w> ^t1 <t1>)
+  -->
+  (modify 2 ^week (compute <w> + 1)))
+
+(p bump-week-2
+  (goal ^phase assign)
+  (pairing ^t1 <t1> ^t2 <t2> ^status pending ^week <w>)
+  (pairing ^status scheduled ^week <w> ^t2 <t2>)
+  -->
+  (modify 2 ^week (compute <w> + 1)))
+
+(p bump-week-3
+  (goal ^phase assign)
+  (pairing ^t1 <t1> ^t2 <t2> ^status pending ^week <w>)
+  (pairing ^status scheduled ^week <w> ^t1 <t2>)
+  -->
+  (modify 2 ^week (compute <w> + 1)))
+
+(p bump-week-4
+  (goal ^phase assign)
+  (pairing ^t1 <t1> ^t2 <t2> ^status pending ^week <w>)
+  (pairing ^status scheduled ^week <w> ^t2 <t1>)
+  -->
+  (modify 2 ^week (compute <w> + 1)))
+
+(p wrap-week
+  (goal ^phase assign)
+  (pairing ^status pending ^week )" << weeks << R"()
+  -->
+  (modify 2 ^week 0))
+)";
+  }
+
+  // A third culprit: an audit join of pending x scheduled pairings with no
+  // common variables. Every token of this node shares one hash line, and
+  // each pairing change probes (and emits against) the whole opposite set —
+  // the convoy that caps Tourney's parallel speed-up (Tables 4-5/4-9). It
+  // is gated by a never-matching report CE, so it adds match load without
+  // firing. The domain-knowledge rewrite keys it by week, spreading its
+  // tokens across lines.
+  if (!fixed) {
+    src << R"(
+(p audit-pairs
+  (goal ^phase assign)
+  (pairing ^status pending ^t1 <t1> ^t2 <t2>)
+  (pairing ^status scheduled ^t1 <u1> ^t2 <u2>)
+  (report ^text never)
+  -->
+  (remove 4))
+)";
+  } else {
+    src << R"(
+(p audit-pairs
+  (goal ^phase assign)
+  (pairing ^status pending ^t1 <t1> ^t2 <t2> ^week <w>)
+  (pairing ^status scheduled ^t1 <u1> ^t2 <u2> ^week <w>)
+  (report ^text never)
+  -->
+  (remove 4))
+)";
+  }
+
+  src << R"(
+(p assign-done
+  (goal ^phase assign)
+  - (pairing ^status pending)
+  -->
+  (modify 1 ^phase report))
+
+(p tally-scheduled
+  (goal ^phase report)
+  (tally ^scheduled <n>)
+  (pairing ^status scheduled ^t1 <t1> ^t2 <t2> ^week <w>)
+  -->
+  (modify 2 ^scheduled (compute <n> + 1))
+  (modify 3 ^status reported))
+
+(p report
+  (goal ^phase report)
+  (tally ^scheduled <n>)
+  - (pairing ^status scheduled)
+  -->
+  (make report ^text done)
+  (modify 1 ^phase finish))
+
+(p cleanup-counted
+  (goal ^phase finish)
+  (pairing ^status counted)
+  -->
+  (remove 2))
+
+(p cleanup-reported
+  (goal ^phase finish)
+  (pairing ^status reported)
+  -->
+  (remove 2))
+
+(p finish
+  (goal ^phase finish)
+  (report ^text done)
+  - (pairing ^status counted)
+  - (pairing ^status reported)
+  -->
+  (halt))
+)";
+
+  w.source = src.str();
+
+  // --- Initial working memory --------------------------------------------
+  w.initial_wmes.push_back("(goal ^phase start)");
+  w.initial_wmes.push_back("(tally ^scheduled 0 ^unscheduled 0)");
+  for (int t = 0; t < teams; ++t) {
+    std::ostringstream os;
+    os << "(team ^id team" << t << " ^seed " << t << " ^pool "
+       << (t % pools) << ")";
+    w.initial_wmes.push_back(os.str());
+  }
+  for (int week = 0; week < weeks; ++week) {
+    std::ostringstream os;
+    os << "(week ^num " << week << " ^games 0)";
+    w.initial_wmes.push_back(os.str());
+  }
+  if (fixed) {
+    for (int lo = 0; lo < pools; ++lo) {
+      for (int hi = lo; hi < pools; ++hi) {
+        std::ostringstream os;
+        os << "(pool-pair ^lo " << lo << " ^hi " << hi << ")";
+        w.initial_wmes.push_back(os.str());
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace psme::workloads

@@ -1,0 +1,314 @@
+// Weaver stand-in: a generated channel-routing expert system.
+//
+// The paper's Weaver (637 rules, by Joobbani) is the "large real program":
+// a big ruleset where each working-memory change activates a bounded slice
+// of the network (~240 node activations per change), with moderately
+// selective joins — good intrinsic parallelism that a single task queue
+// throttles (Table 4-5 vs 4-6: 3.9x -> 8.2x at 1+13).
+//
+// This generator reproduces that shape: R regions, each with its own family
+// of ~9 routing rules specialized by a region constant (so, like Weaver,
+// the network is wide and a change touches only its region's slice), plus a
+// few global control rules. Nets route greedily head-by-head over a shared
+// `succ` successor relation, marking a blocking trail of `occupied` cells;
+// detour rules sidestep collisions. Rules per region:
+//
+//   start-net, extend-east, extend-west, extend-north, extend-south,
+//   arrive, detour-north, detour-south, region-done
+#include "workloads/workloads.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace psme::workloads {
+namespace {
+
+constexpr int kGrid = 8;  // coordinates in [0, kGrid)
+
+void emit_region_rules(std::ostringstream& src, int k) {
+  const std::string K = std::to_string(k);
+
+  // Pick up a pending net and place its routing head.
+  src << "(p start-net-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K
+      << " ^status pending ^id <n> ^sx <x> ^sy <y>)\n"
+      << "  (stats ^region " << K << " ^steps <st>)\n"
+      << "  -->\n"
+      << "  (modify 2 ^status routing)\n"
+      << "  (make head ^net <n> ^region " << K << " ^x <x> ^y <y>)\n"
+      << "  (make occupied ^region " << K << " ^x <x> ^y <y> ^net <n>)\n"
+      << "  (modify 3 ^steps (compute <st> + 1)))\n";
+
+  // March the head along x toward the destination column.
+  src << "(p extend-east-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K << " ^status routing ^id <n> ^dx <dx>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x <x> ^y <y>)\n"
+      << "  (succ ^n <x> ^m { <nx> <= <dx> })\n"
+      << "  (stats ^region " << K << " ^steps <st>)\n"
+      << "  - (occupied ^region " << K << " ^x <nx> ^y <y>)\n"
+      << "  -->\n"
+      << "  (modify 3 ^x <nx>)\n"
+      << "  (make occupied ^region " << K << " ^x <nx> ^y <y> ^net <n>)\n"
+      << "  (modify 5 ^steps (compute <st> + 1)))\n";
+
+  src << "(p extend-west-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K << " ^status routing ^id <n> ^dx <dx>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x <x> ^y <y>)\n"
+      << "  (succ ^n { <nx> >= <dx> } ^m <x>)\n"
+      << "  (stats ^region " << K << " ^steps <st>)\n"
+      << "  - (occupied ^region " << K << " ^x <nx> ^y <y>)\n"
+      << "  -->\n"
+      << "  (modify 3 ^x <nx>)\n"
+      << "  (make occupied ^region " << K << " ^x <nx> ^y <y> ^net <n>)\n"
+      << "  (modify 5 ^steps (compute <st> + 1)))\n";
+
+  // Once on the destination column, march along y.
+  src << "(p extend-north-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K
+      << " ^status routing ^id <n> ^dx <dx> ^dy <dy>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x <dx> ^y <y>)\n"
+      << "  (succ ^n <y> ^m { <ny> <= <dy> })\n"
+      << "  (stats ^region " << K << " ^steps <st>)\n"
+      << "  - (occupied ^region " << K << " ^x <dx> ^y <ny>)\n"
+      << "  -->\n"
+      << "  (modify 3 ^y <ny>)\n"
+      << "  (make occupied ^region " << K << " ^x <dx> ^y <ny> ^net <n>)\n"
+      << "  (modify 5 ^steps (compute <st> + 1)))\n";
+
+  src << "(p extend-south-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K
+      << " ^status routing ^id <n> ^dx <dx> ^dy <dy>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x <dx> ^y <y>)\n"
+      << "  (succ ^n { <ny> >= <dy> } ^m <y>)\n"
+      << "  (stats ^region " << K << " ^steps <st>)\n"
+      << "  - (occupied ^region " << K << " ^x <dx> ^y <ny>)\n"
+      << "  -->\n"
+      << "  (modify 3 ^y <ny>)\n"
+      << "  (make occupied ^region " << K << " ^x <dx> ^y <ny> ^net <n>)\n"
+      << "  (modify 5 ^steps (compute <st> + 1)))\n";
+
+  src << "(p arrive-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K
+      << " ^status routing ^id <n> ^dx <dx> ^dy <dy>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x <dx> ^y <dy>)\n"
+      << "  -->\n"
+      << "  (modify 2 ^status done)\n"
+      << "  (remove 3))\n";
+
+  // Detours: when the eastward cell is blocked, sidestep vertically.
+  src << "(p detour-north-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K << " ^status routing ^id <n> ^dx <dx>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x { <x> <> <dx> } ^y <y>)\n"
+      << "  (occupied ^region " << K << " ^x <bx> ^y <y>)\n"
+      << "  (succ ^n <x> ^m <bx>)\n"
+      << "  (succ ^n <y> ^m <ny>)\n"
+      << "  - (occupied ^region " << K << " ^x <x> ^y <ny>)\n"
+      << "  -->\n"
+      << "  (modify 3 ^y <ny>)\n"
+      << "  (make occupied ^region " << K << " ^x <x> ^y <ny> ^net <n>))\n";
+
+  src << "(p detour-south-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (net ^region " << K << " ^status routing ^id <n> ^dx <dx>)\n"
+      << "  (head ^region " << K << " ^net <n> ^x { <x> <> <dx> } ^y <y>)\n"
+      << "  (occupied ^region " << K << " ^x <bx> ^y <y>)\n"
+      << "  (succ ^n <x> ^m <bx>)\n"
+      << "  (succ ^n <ny> ^m <y>)\n"
+      << "  - (occupied ^region " << K << " ^x <x> ^y <ny>)\n"
+      << "  -->\n"
+      << "  (modify 3 ^y <ny>)\n"
+      << "  (make occupied ^region " << K << " ^x <x> ^y <ny> ^net <n>))\n";
+
+  src << "(p region-done-r" << K << "\n"
+      << "  (rgoal ^region " << K << " ^phase route)\n"
+      << "  (stats ^region " << K << " ^steps <st>)\n"
+      << "  - (net ^region " << K << " ^status pending)\n"
+      << "  - (net ^region " << K << " ^status routing)\n"
+      << "  -->\n"
+      << "  (modify 1 ^phase done))\n";
+
+}
+
+// Global analysis rules (not region-specialized): the original Weaver's
+// wide fan-out comes from its large body of pattern-recognition rules that
+// examine the evolving route state on every change. These rules join across
+// regions through a region *variable* (still a hashable equality test), so
+// every occupied/head/stats change re-activates each of them — this is what
+// gives Weaver its ~hundreds of node activations per working-memory change.
+// Most are gated by a never-matching (report ^kind never) condition
+// element: full join load, no firings.
+void emit_analysis_rules(std::ostringstream& src) {
+  // Trail adjacency at distance 1 and 2, four directions.
+  const struct {
+    const char* name;
+    const char* mid;   // successor chain
+    const char* nb;    // neighbour occupied coordinates
+  } adj[8] = {
+      {"adj-east", "(succ ^n <x> ^m <nx>)", "^x <nx> ^y <y>"},
+      {"adj-west", "(succ ^n <nx> ^m <x>)", "^x <nx> ^y <y>"},
+      {"adj-north", "(succ ^n <y> ^m <ny>)", "^x <x> ^y <ny>"},
+      {"adj-south", "(succ ^n <ny> ^m <y>)", "^x <x> ^y <ny>"},
+      {"adj-east2", "(succ ^n <x> ^m <x1>)\n  (succ ^n <x1> ^m <nx>)",
+       "^x <nx> ^y <y>"},
+      {"adj-west2", "(succ ^n <nx> ^m <x1>)\n  (succ ^n <x1> ^m <x>)",
+       "^x <nx> ^y <y>"},
+      {"adj-north2", "(succ ^n <y> ^m <y1>)\n  (succ ^n <y1> ^m <ny>)",
+       "^x <x> ^y <ny>"},
+      {"adj-south2", "(succ ^n <ny> ^m <y1>)\n  (succ ^n <y1> ^m <y>)",
+       "^x <x> ^y <ny>"},
+  };
+  for (const auto& a : adj) {
+    src << "(p " << a.name << "\n"
+        << "  (rgoal ^region <r> ^phase route)\n"
+        << "  (occupied ^region <r> ^x <x> ^y <y> ^net <n>)\n"
+        << "  " << a.mid << "\n"
+        << "  (occupied ^region <r> " << a.nb << ")\n"
+        << "  (report ^kind never)\n"
+        << "  -->\n"
+        << "  (make report ^kind never))\n";
+  }
+
+  // Crossing / congestion checks around the routing head.
+  const struct {
+    const char* name;
+    const char* occ;
+  } cross[4] = {
+      {"cross-row-other", "^y <y> ^net <> <n>"},
+      {"cross-col-other", "^x <x> ^net <> <n>"},
+      {"cross-row-own", "^y <y> ^net <n>"},
+      {"cross-col-own", "^x <x> ^net <n>"},
+  };
+  for (const auto& c : cross) {
+    src << "(p " << c.name << "\n"
+        << "  (rgoal ^region <r> ^phase route)\n"
+        << "  (net ^region <r> ^status routing ^id <n>)\n"
+        << "  (head ^region <r> ^net <n> ^x <x> ^y <y>)\n"
+        << "  (occupied ^region <r> " << c.occ << ")\n"
+        << "  (report ^kind never)\n"
+        << "  -->\n"
+        << "  (make report ^kind never))\n";
+  }
+
+  // Head-position monitors: distance relations between head and target.
+  const char* preds[6] = {"<", "<=", ">", ">=", "<>", "="};
+  for (int i = 0; i < 6; ++i) {
+    src << "(p monitor-x-" << i << "\n"
+        << "  (rgoal ^region <r> ^phase route)\n"
+        << "  (net ^region <r> ^status routing ^id <n> ^dx <dx>)\n"
+        << "  (head ^region <r> ^net <n> ^x " << preds[i] << " <dx>)\n"
+        << "  (report ^kind never)\n"
+        << "  -->\n"
+        << "  (make report ^kind never))\n";
+    src << "(p monitor-y-" << i << "\n"
+        << "  (rgoal ^region <r> ^phase route)\n"
+        << "  (net ^region <r> ^status routing ^id <n> ^dy <dy>)\n"
+        << "  (head ^region <r> ^net <n> ^y " << preds[i] << " <dy>)\n"
+        << "  (report ^kind never)\n"
+        << "  -->\n"
+        << "  (make report ^kind never))\n";
+  }
+
+  // Progress-threshold reports: fire once per (region, threshold); every
+  // stats update re-activates them.
+  for (const int threshold : {2, 4, 6, 8, 12, 16, 20, 26}) {
+    src << "(p progress-" << threshold << "\n"
+        << "  (rgoal ^region <r> ^phase route)\n"
+        << "  (stats ^region <r> ^steps > " << threshold << ")\n"
+        << "  - (report ^kind progress-" << threshold << " ^region <r>)\n"
+        << "  -->\n"
+        << "  (make report ^kind progress-" << threshold
+        << " ^region <r>))\n";
+  }
+}
+
+}  // namespace
+
+Workload weaver(int regions, int nets_per_region) {
+  Workload w;
+  w.name = "weaver";
+  assert(regions >= 1 && nets_per_region >= 1);
+
+  std::ostringstream src;
+  src << R"((literalize goal phase done-regions)
+(literalize rgoal region phase)
+(literalize net id region status sx sy dx dy)
+(literalize head net region x y)
+(literalize occupied region x y net)
+(literalize succ n m)
+(literalize stats region steps)
+(literalize report text region kind)
+)";
+
+  for (int k = 0; k < regions; ++k) emit_region_rules(src, k);
+  emit_analysis_rules(src);
+
+  // Global control rules.
+  src << R"(
+(p tally-region
+  (goal ^phase run ^done-regions <d>)
+  (rgoal ^region <r> ^phase done)
+  -->
+  (modify 2 ^phase counted)
+  (modify 1 ^done-regions (compute <d> + 1)))
+
+(p all-done
+  (goal ^phase run ^done-regions )" << regions << R"()
+  -->
+  (make report ^text routed)
+  (modify 1 ^phase finish))
+
+(p finish
+  (goal ^phase finish)
+  (report ^text routed)
+  -->
+  (halt))
+)";
+
+  w.source = src.str();
+
+  // --- Initial working memory --------------------------------------------
+  w.initial_wmes.push_back("(goal ^phase run ^done-regions 0)");
+  for (int i = 0; i + 1 < kGrid; ++i) {
+    std::ostringstream os;
+    os << "(succ ^n " << i << " ^m " << i + 1 << ")";
+    w.initial_wmes.push_back(os.str());
+  }
+  Rng rng(0x57EA7E12);
+  int net_id = 0;
+  for (int k = 0; k < regions; ++k) {
+    {
+      std::ostringstream os;
+      os << "(rgoal ^region " << k << " ^phase route)";
+      w.initial_wmes.push_back(os.str());
+    }
+    {
+      std::ostringstream os;
+      os << "(stats ^region " << k << " ^steps 0)";
+      w.initial_wmes.push_back(os.str());
+    }
+    for (int n = 0; n < nets_per_region; ++n) {
+      const int sx = static_cast<int>(rng.below(kGrid));
+      const int sy = static_cast<int>(rng.below(kGrid));
+      int dx = static_cast<int>(rng.below(kGrid));
+      int dy = static_cast<int>(rng.below(kGrid));
+      if (dx == sx && dy == sy) dy = (dy + 3) % kGrid;
+      std::ostringstream os;
+      os << "(net ^id net" << net_id++ << " ^region " << k
+         << " ^status pending ^sx " << sx << " ^sy " << sy << " ^dx " << dx
+         << " ^dy " << dy << ")";
+      w.initial_wmes.push_back(os.str());
+    }
+  }
+  return w;
+}
+
+}  // namespace psme::workloads

@@ -1,0 +1,58 @@
+// Benchmark workloads standing in for the paper's three programs.
+//
+// The originals (Weaver, Rubik, Tourney) are not distributable, so each
+// generator builds an OPS5 program with the characteristics the paper
+// reports for its namesake — ruleset size, working-memory turnover, join
+// selectivity, and (for Tourney) cross-product pathology. See DESIGN.md's
+// substitution table and workloads/*.cpp headers for the mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine_base.hpp"
+
+namespace psme::workloads {
+
+struct Workload {
+  std::string name;
+  std::string source;                      // OPS5 program text
+  std::vector<std::string> initial_wmes;   // wme literals for startup
+};
+
+// Weaver stand-in: generated channel-routing expert system. `scale`
+// controls regions (and with them rules ~ 10/region + globals) and nets.
+Workload weaver(int regions = 60, int nets_per_region = 2);
+
+// Rubik stand-in: sticker-permutation cube transformer driven by a scripted
+// move sequence (scramble + inverse). `moves` is the script length.
+Workload rubik(int moves = 24);
+
+// Tourney stand-in: round-robin tournament scheduler whose two culprit
+// productions join condition elements with no common variables. With
+// `fixed`, the culprits are rewritten with a pool-pairing relation
+// (the paper's "domain specific knowledge" rewrite).
+Workload tourney(int teams = 14, bool fixed = false);
+
+// Random program generator for cross-engine property tests. Generated
+// programs need not terminate; run them under a max_cycles cap.
+struct RandomParams {
+  int num_classes = 4;
+  int num_attrs = 4;
+  int num_productions = 12;
+  int num_initial_wmes = 30;
+  int max_ces = 3;
+  int value_range = 6;      // attribute values in [0, value_range)
+  bool allow_negation = true;
+};
+Workload random_program(std::uint64_t seed, const RandomParams& params = {});
+
+// Loads a workload's initial wmes into an engine (the program must have
+// been built from workload.source).
+template <typename EngineT>
+void load(EngineT& engine, const Workload& w) {
+  for (const std::string& wme : w.initial_wmes) engine.make(wme);
+}
+
+}  // namespace psme::workloads

@@ -1,0 +1,147 @@
+// Conflict set: insertion/removal, conjugate (out-of-order) handling,
+// LEX/MEA ordering, refraction.
+#include "runtime/conflict_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+#include "runtime/working_memory.hpp"
+
+namespace psme {
+namespace {
+
+class ConflictSetTest : public ::testing::Test {
+ protected:
+  ConflictSetTest()
+      : program_(ops5::Program::from_source(R"(
+(literalize a x)
+(p less-specific (a ^x <v>) --> (halt))
+(p more-specific (a ^x <v> ^x <> nil) --> (halt))
+)")),
+        wm_(program_),
+        cs_(program_) {}
+
+  const Wme* wme() {
+    return wm_.make(intern("a"), {Value::integer(1)});
+  }
+  static std::vector<const Wme*> inst(std::initializer_list<const Wme*> ws) {
+    return std::vector<const Wme*>(ws);
+  }
+
+  ops5::Program program_;
+  WorkingMemory wm_;
+  ConflictSet cs_;
+};
+
+TEST_F(ConflictSetTest, InsertSelectRemove) {
+  const Wme* w = wme();
+  cs_.insert(0, inst({w}));
+  EXPECT_EQ(cs_.size(), 1u);
+  auto fired = cs_.select_and_fire(CrStrategy::Lex);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->prod_index, 0u);
+  EXPECT_EQ(fired->wmes, inst({w}));
+  // Refraction: the same instantiation does not fire twice.
+  EXPECT_FALSE(cs_.select_and_fire(CrStrategy::Lex).has_value());
+  cs_.remove(0, inst({w}));
+  EXPECT_EQ(cs_.size(), 0u);
+}
+
+TEST_F(ConflictSetTest, PendingDeleteAnnihilatesLaterInsert) {
+  const Wme* w = wme();
+  cs_.remove(0, inst({w}));  // `-` arrives before `+`
+  EXPECT_EQ(cs_.pending_deletes(), 1u);
+  cs_.insert(0, inst({w}));
+  EXPECT_EQ(cs_.size(), 0u);
+  EXPECT_EQ(cs_.pending_deletes(), 0u);
+  EXPECT_EQ(cs_.conjugate_hits(), 1u);
+  EXPECT_FALSE(cs_.select_and_fire(CrStrategy::Lex).has_value());
+}
+
+TEST_F(ConflictSetTest, RefcountHandlesTransientDuplicates) {
+  const Wme* w = wme();
+  cs_.insert(0, inst({w}));
+  cs_.insert(0, inst({w}));  // transient duplicate (parallel interleaving)
+  cs_.remove(0, inst({w}));
+  EXPECT_EQ(cs_.size(), 1u);  // one reference still live
+  cs_.remove(0, inst({w}));
+  EXPECT_EQ(cs_.size(), 0u);
+}
+
+TEST_F(ConflictSetTest, LexPrefersRecency) {
+  const Wme* w1 = wme();
+  const Wme* w2 = wme();  // more recent
+  cs_.insert(0, inst({w1}));
+  cs_.insert(0, inst({w2}));
+  auto fired = cs_.select_and_fire(CrStrategy::Lex);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->wmes, inst({w2}));
+}
+
+TEST_F(ConflictSetTest, LexComparesSortedTagsThenLength) {
+  const Wme* w1 = wme();
+  const Wme* w2 = wme();
+  const Wme* w3 = wme();
+  // {w3, w1} vs {w3, w2}: equal first element, then w2 > w1.
+  cs_.insert(0, inst({w3, w1}));
+  cs_.insert(0, inst({w3, w2}));
+  auto fired = cs_.select_and_fire(CrStrategy::Lex);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->wmes, inst({w3, w2}));
+  // Prefix-equal but longer dominates.
+  ConflictSet cs2(program_);
+  cs2.insert(0, inst({w3}));
+  cs2.insert(0, inst({w3, w1}));
+  auto fired2 = cs2.select_and_fire(CrStrategy::Lex);
+  EXPECT_EQ(fired2->wmes, inst({w3, w1}));
+}
+
+TEST_F(ConflictSetTest, SpecificityBreaksRecencyTies) {
+  const Wme* w = wme();
+  cs_.insert(0, inst({w}));  // less-specific
+  cs_.insert(1, inst({w}));  // more-specific
+  auto fired = cs_.select_and_fire(CrStrategy::Lex);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->prod_index, 1u);
+}
+
+TEST_F(ConflictSetTest, MeaPrefersFirstCeRecency) {
+  const Wme* old1 = wme();
+  const Wme* old2 = wme();
+  const Wme* fresh = wme();
+  // LEX would pick {old1, fresh} (contains the newest tag overall);
+  // MEA compares the first CE's tag first: old2 > old1.
+  cs_.insert(0, inst({old1, fresh}));
+  cs_.insert(0, inst({old2, old1}));
+  auto lex_winner = ConflictSet(program_).select_and_fire(CrStrategy::Lex);
+  (void)lex_winner;
+  auto mea = cs_.select_and_fire(CrStrategy::Mea);
+  ASSERT_TRUE(mea.has_value());
+  EXPECT_EQ(mea->wmes, inst({old2, old1}));
+}
+
+TEST_F(ConflictSetTest, DominatesIsDeterministicOnFullTies) {
+  const Wme* w = wme();
+  Instantiation a;
+  a.prod_index = 0;
+  a.wmes = inst({w});
+  a.tags_desc = {w->timetag};
+  Instantiation b = a;
+  // Identical instantiations: neither strictly dominates.
+  EXPECT_FALSE(cs_.dominates(a, b, CrStrategy::Lex) &&
+               cs_.dominates(b, a, CrStrategy::Lex));
+}
+
+TEST_F(ConflictSetTest, SnapshotReflectsLiveEntries) {
+  const Wme* w1 = wme();
+  const Wme* w2 = wme();
+  cs_.insert(0, inst({w1}));
+  cs_.insert(1, inst({w2}));
+  cs_.remove(0, inst({w1}));
+  const auto snap = cs_.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].prod_index, 1u);
+}
+
+}  // namespace
+}  // namespace psme

@@ -1,0 +1,235 @@
+// End-to-end OPS5 matching semantics through the sequential engine:
+// predicates, disjunction, conjunction, negation dynamics, variable
+// consistency, conflict-resolution strategies, halt, write.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+#include "engine/sequential_engine.hpp"
+
+namespace psme {
+namespace {
+
+std::vector<std::string> fired_names(const EngineBase& eng,
+                                     const ops5::Program& program) {
+  std::vector<std::string> out;
+  for (const FiringRecord& r : eng.trace())
+    out.push_back(symbol_name(program.productions()[r.prod_index].name));
+  return out;
+}
+
+RunResult run_program(const char* src,
+                      const std::vector<std::string>& wmes,
+                      std::vector<std::string>* names = nullptr,
+                      EngineOptions opt = {}) {
+  auto program = ops5::Program::from_source(src);
+  SequentialEngine eng(program, opt);
+  for (const auto& w : wmes) eng.make(w);
+  RunResult r = eng.run();
+  if (names) *names = fired_names(eng, program);
+  return r;
+}
+
+TEST(Match, VariableConsistencyAcrossCes) {
+  std::vector<std::string> names;
+  const RunResult r = run_program(R"(
+(literalize a x)
+(literalize b y)
+(p match (a ^x <v>) (b ^y <v>) --> (remove 1))
+)",
+                                  {"(a ^x 1)", "(a ^x 2)", "(b ^y 2)"},
+                                  &names);
+  // Only (a ^x 2) joins with (b ^y 2).
+  EXPECT_EQ(r.stats.firings, 1u);
+}
+
+TEST(Match, NumericPredicates) {
+  const RunResult r = run_program(R"(
+(literalize reading value)
+(p in-range (reading ^value { <v> >= 10 <= 20 }) --> (remove 1))
+)",
+                                  {"(reading ^value 5)", "(reading ^value 15)",
+                                   "(reading ^value 25)",
+                                   "(reading ^value 10)"});
+  EXPECT_EQ(r.stats.firings, 2u);  // 15 and 10
+}
+
+TEST(Match, CrossCePredicates) {
+  const RunResult r = run_program(R"(
+(literalize item size)
+(p bigger (item ^size <s>) (item ^size > <s>) --> (remove 2))
+)",
+                                  {"(item ^size 3)", "(item ^size 8)"});
+  // 8 > 3: one firing removes the bigger; then no pair remains.
+  EXPECT_EQ(r.stats.firings, 1u);
+}
+
+TEST(Match, Disjunction) {
+  const RunResult r = run_program(R"(
+(literalize block color)
+(p warm (block ^color << red orange yellow >>) --> (remove 1))
+)",
+                                  {"(block ^color red)", "(block ^color blue)",
+                                   "(block ^color yellow)"});
+  EXPECT_EQ(r.stats.firings, 2u);
+}
+
+TEST(Match, SameTypePredicate) {
+  const RunResult r = run_program(R"(
+(literalize pair a b)
+(p same-type (pair ^a <x> ^b <=> <x>) --> (remove 1))
+)",
+                                  {"(pair ^a 1 ^b 2)", "(pair ^a 1 ^b sym)",
+                                   "(pair ^a s1 ^b s2)"});
+  EXPECT_EQ(r.stats.firings, 2u);  // numeric/numeric and symbol/symbol
+}
+
+TEST(Match, NegationDynamics) {
+  // Firing the rule creates the blocker, so it fires exactly once per goal.
+  std::vector<std::string> names;
+  const RunResult r = run_program(R"(
+(literalize goal id)
+(literalize done id)
+(p do-once (goal ^id <g>) - (done ^id <g>) --> (make done ^id <g>))
+)",
+                                  {"(goal ^id g1)", "(goal ^id g2)"}, &names);
+  EXPECT_EQ(r.stats.firings, 2u);
+}
+
+TEST(Match, NegationRetriggersAfterBlockerRemoved) {
+  const RunResult r = run_program(R"(
+(literalize goal n)
+(literalize blocker n)
+(p unblock (goal ^n <v>) (blocker ^n <v>) --> (remove 2))
+(p proceed (goal ^n <v>) - (blocker ^n <v>) --> (remove 1))
+)",
+                                  {"(goal ^n 1)", "(blocker ^n 1)"});
+  // unblock removes the blocker; proceed then fires on the unblocked goal.
+  EXPECT_EQ(r.stats.firings, 2u);
+}
+
+TEST(Match, ModifyRetriggersMatching) {
+  std::vector<std::string> names;
+  const RunResult r = run_program(R"(
+(literalize counter n)
+(p count-up (counter ^n { <v> < 5 }) --> (modify 1 ^n (compute <v> + 1)))
+(p done (counter ^n 5) --> (halt))
+)",
+                                  {"(counter ^n 0)"}, &names);
+  EXPECT_EQ(r.reason, StopReason::Halt);
+  EXPECT_EQ(r.stats.firings, 6u);  // 5 increments + done
+  EXPECT_EQ(names.back(), "done");
+}
+
+TEST(Match, LexRecencyOrdersFirings) {
+  std::vector<std::string> names;
+  run_program(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)",
+              {"(item ^n 1)", "(item ^n 2)", "(item ^n 3)"}, &names);
+  // LEX fires most-recent first: 3, 2, 1 — observable via trace timetags.
+  ASSERT_EQ(names.size(), 3u);
+}
+
+TEST(Match, LexFiresNewestFirst) {
+  auto program = ops5::Program::from_source(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  SequentialEngine eng(program, {});
+  eng.make("(item ^n 1)");
+  eng.make("(item ^n 2)");
+  eng.run();
+  ASSERT_EQ(eng.trace().size(), 2u);
+  EXPECT_GT(eng.trace()[0].timetags[0], eng.trace()[1].timetags[0]);
+}
+
+TEST(Match, MeaStrategyUsesFirstCe) {
+  const char* src = R"(
+(literalize goal id)
+(literalize item n)
+(p take (goal ^id <g>) (item ^n <v>) --> (remove 1))
+)";
+  auto program = ops5::Program::from_source(src);
+  EngineOptions opt;
+  opt.strategy = CrStrategy::Mea;
+  SequentialEngine eng(program, opt);
+  eng.make("(item ^n 10)");
+  eng.make("(goal ^id g1)");
+  eng.make("(goal ^id g2)");  // most recent goal
+  eng.run();
+  // MEA works on the most recent goal first: g2 (timetag 3), then g1 (2).
+  ASSERT_EQ(eng.trace().size(), 2u);
+  EXPECT_EQ(eng.trace()[0].timetags[0], 3u);
+  EXPECT_EQ(eng.trace()[1].timetags[0], 2u);
+}
+
+TEST(Match, WriteGoesToConfiguredStream) {
+  std::ostringstream out;
+  EngineOptions opt;
+  opt.out = &out;
+  const RunResult r = run_program(R"(
+(literalize a x)
+(p announce (a ^x <v>) --> (write found <v> (crlf)) (remove 1))
+)",
+                                  {"(a ^x 42)"}, nullptr, opt);
+  EXPECT_EQ(r.stats.firings, 1u);
+  EXPECT_EQ(out.str(), "found 42\n");
+}
+
+TEST(Match, MaxCyclesStopsRunawayPrograms) {
+  EngineOptions opt;
+  opt.max_cycles = 10;
+  const RunResult r = run_program(R"(
+(literalize a x)
+(p loop (a ^x <v>) --> (modify 1 ^x (compute <v> + 1)))
+)",
+                                  {"(a ^x 0)"}, nullptr, opt);
+  EXPECT_EQ(r.reason, StopReason::MaxCycles);
+  EXPECT_EQ(r.stats.cycles, 10u);
+}
+
+TEST(Match, RefractionPreventsRefiringOnSameData) {
+  // Without refraction this would loop forever (rule does not change WM).
+  EngineOptions opt;
+  opt.max_cycles = 100;
+  const RunResult r = run_program(R"(
+(literalize a x)
+(literalize log n)
+(p observe (a ^x <v>) --> (make log ^n <v>))
+)",
+                                  {"(a ^x 1)"}, nullptr, opt);
+  EXPECT_EQ(r.reason, StopReason::EmptyConflictSet);
+  EXPECT_EQ(r.stats.firings, 1u);
+}
+
+TEST(Match, TwoNegationsBothChecked) {
+  const RunResult r = run_program(R"(
+(literalize goal id)
+(literalize lock1 id)
+(literalize lock2 id)
+(p go (goal ^id <g>) - (lock1 ^id <g>) - (lock2 ^id <g>) --> (remove 1))
+)",
+                                  {"(goal ^id a)", "(lock1 ^id a)",
+                                   "(goal ^id b)", "(lock2 ^id b)",
+                                   "(goal ^id c)"});
+  EXPECT_EQ(r.stats.firings, 1u);  // only goal c is unblocked
+}
+
+TEST(Match, RemovingInitialWmeBeforeRun) {
+  auto program = ops5::Program::from_source(R"(
+(literalize a x)
+(p consume (a ^x <v>) --> (remove 1))
+)");
+  SequentialEngine eng(program, {});
+  const Wme* w1 = eng.make("(a ^x 1)");
+  eng.make("(a ^x 2)");
+  eng.remove(w1->timetag);
+  const RunResult r = eng.run();
+  EXPECT_EQ(r.stats.firings, 1u);
+}
+
+}  // namespace
+}  // namespace psme

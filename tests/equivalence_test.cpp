@@ -1,0 +1,143 @@
+// Cross-engine equivalence: every engine must produce the identical firing
+// trace for the same program and initial working memory. Conflict
+// resolution is deterministic, so equal conflict sets at every quiescent
+// point imply equal traces — this is the end-to-end guarantee the parallel
+// matcher (out-of-order tokens, conjugate pairs, MRSW requeues) has to
+// uphold.
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+#include "engine/engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace psme {
+namespace {
+
+struct TraceResult {
+  std::vector<FiringRecord> trace;
+  StopReason reason;
+};
+
+TraceResult run_config(const ops5::Program& program,
+                       const workloads::Workload& w, EngineConfig cfg) {
+  cfg.options.max_cycles = 150;
+  Engine eng(program, cfg);
+  workloads::load(eng, w);
+  const RunResult r = eng.run();
+  return {eng.trace(), r.reason};
+}
+
+class RandomEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
+  const auto w = workloads::random_program(GetParam());
+  const auto program = ops5::Program::from_source(w.source);
+
+  EngineConfig ref_cfg;
+  ref_cfg.mode = ExecutionMode::Sequential;  // vs2 reference
+  const TraceResult ref = run_config(program, w, ref_cfg);
+
+  {
+    EngineConfig cfg;
+    cfg.mode = ExecutionMode::Sequential;
+    cfg.options.memory = match::MemoryStrategy::List;  // vs1
+    const TraceResult got = run_config(program, w, cfg);
+    EXPECT_EQ(got.trace, ref.trace) << "vs1 diverged, seed " << GetParam();
+    EXPECT_EQ(got.reason, ref.reason);
+  }
+  {
+    EngineConfig cfg;
+    cfg.mode = ExecutionMode::LispStyle;
+    const TraceResult got = run_config(program, w, cfg);
+    EXPECT_EQ(got.trace, ref.trace) << "lisp diverged, seed " << GetParam();
+  }
+  for (const int procs : {1, 3}) {
+    for (const int queues : {1, 4}) {
+      for (const auto scheme :
+           {match::LockScheme::Simple, match::LockScheme::Mrsw}) {
+        EngineConfig cfg;
+        cfg.mode = ExecutionMode::ParallelThreads;
+        cfg.options.match_processes = procs;
+        cfg.options.task_queues = queues;
+        cfg.options.lock_scheme = scheme;
+        const TraceResult got = run_config(program, w, cfg);
+        EXPECT_EQ(got.trace, ref.trace)
+            << "threads diverged, seed " << GetParam() << " procs=" << procs
+            << " queues=" << queues << " scheme=" << static_cast<int>(scheme);
+      }
+    }
+  }
+  for (const int procs : {1, 5, 13}) {
+    EngineConfig cfg;
+    cfg.mode = ExecutionMode::SimulatedMultimax;
+    cfg.options.match_processes = procs;
+    cfg.options.task_queues = procs > 1 ? 4 : 1;
+    cfg.options.lock_scheme =
+        procs == 5 ? match::LockScheme::Mrsw : match::LockScheme::Simple;
+    const TraceResult got = run_config(program, w, cfg);
+    EXPECT_EQ(got.trace, ref.trace)
+        << "simulator diverged, seed " << GetParam() << " procs=" << procs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// The three paper workloads at reduced scale, across engines.
+class WorkloadEquivalence
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  static workloads::Workload make_workload(const std::string& name) {
+    if (name == "weaver") return workloads::weaver(6, 2);
+    if (name == "rubik") return workloads::rubik(6);
+    if (name == "tourney") return workloads::tourney(8, false);
+    return workloads::tourney(8, true);
+  }
+};
+
+TEST_P(WorkloadEquivalence, EnginesAgree) {
+  const auto w = make_workload(GetParam());
+  const auto program = ops5::Program::from_source(w.source);
+
+  auto run_mode = [&](EngineConfig cfg) {
+    cfg.options.max_cycles = 100000;
+    Engine eng(program, cfg);
+    workloads::load(eng, w);
+    eng.run();
+    return eng.trace();
+  };
+
+  EngineConfig seq;
+  seq.mode = ExecutionMode::Sequential;
+  const auto ref = run_mode(seq);
+  ASSERT_FALSE(ref.empty());
+
+  EngineConfig vs1;
+  vs1.mode = ExecutionMode::Sequential;
+  vs1.options.memory = match::MemoryStrategy::List;
+  EXPECT_EQ(run_mode(vs1), ref);
+
+  EngineConfig lisp;
+  lisp.mode = ExecutionMode::LispStyle;
+  EXPECT_EQ(run_mode(lisp), ref);
+
+  EngineConfig par;
+  par.mode = ExecutionMode::ParallelThreads;
+  par.options.match_processes = 3;
+  par.options.task_queues = 4;
+  par.options.lock_scheme = match::LockScheme::Mrsw;
+  EXPECT_EQ(run_mode(par), ref);
+
+  EngineConfig simc;
+  simc.mode = ExecutionMode::SimulatedMultimax;
+  simc.options.match_processes = 7;
+  simc.options.task_queues = 4;
+  EXPECT_EQ(run_mode(simc), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadEquivalence,
+                         ::testing::Values("weaver", "rubik", "tourney",
+                                           "tourney-fixed"));
+
+}  // namespace
+}  // namespace psme

@@ -1,0 +1,91 @@
+#include "ops5/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psme::ops5 {
+namespace {
+
+std::vector<TokKind> kinds(std::string_view src) {
+  std::vector<TokKind> out;
+  for (const Tok& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, BasicStructure) {
+  const auto toks = lex("(p name)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::LParen);
+  EXPECT_EQ(toks[1].kind, TokKind::Sym);
+  EXPECT_EQ(toks[1].text, "p");
+  EXPECT_EQ(toks[2].kind, TokKind::Sym);
+  EXPECT_EQ(toks[3].kind, TokKind::RParen);
+  EXPECT_EQ(toks[4].kind, TokKind::End);
+}
+
+TEST(Lexer, VariablesVersusRelationalOperators) {
+  const auto toks = lex("<x> < <= <> <=> << >> > >= <longname>");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokKind::Var);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "<");
+  EXPECT_EQ(toks[2].text, "<=");
+  EXPECT_EQ(toks[3].text, "<>");
+  EXPECT_EQ(toks[4].text, "<=>");
+  EXPECT_EQ(toks[5].kind, TokKind::LDisj);
+  EXPECT_EQ(toks[6].kind, TokKind::RDisj);
+  EXPECT_EQ(toks[7].text, ">");
+  EXPECT_EQ(toks[8].text, ">=");
+  EXPECT_EQ(toks[9].kind, TokKind::Var);
+  EXPECT_EQ(toks[9].text, "longname");
+}
+
+TEST(Lexer, MinusDisambiguation) {
+  // Standalone minus (CE negation / subtraction), negative number, arrow.
+  const auto toks = lex("- -5 -2.5 --> -x");
+  EXPECT_EQ(toks[0].kind, TokKind::Minus);
+  EXPECT_EQ(toks[1].kind, TokKind::Int);
+  EXPECT_EQ(toks[1].int_val, -5);
+  EXPECT_EQ(toks[2].kind, TokKind::Float);
+  EXPECT_DOUBLE_EQ(toks[2].float_val, -2.5);
+  EXPECT_EQ(toks[3].kind, TokKind::Arrow);
+  EXPECT_EQ(toks[4].kind, TokKind::Minus);  // "-x" is minus then atom
+  EXPECT_EQ(toks[5].kind, TokKind::Sym);
+}
+
+TEST(Lexer, NumbersAndHyphenatedAtoms) {
+  const auto toks = lex("42 3.25 find-block a1-b2 1st");
+  EXPECT_EQ(toks[0].kind, TokKind::Int);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::Float);
+  EXPECT_EQ(toks[2].kind, TokKind::Sym);
+  EXPECT_EQ(toks[2].text, "find-block");
+  EXPECT_EQ(toks[3].kind, TokKind::Sym);
+  EXPECT_EQ(toks[3].text, "a1-b2");
+  EXPECT_EQ(toks[4].kind, TokKind::Sym);  // "1st" is not a number
+}
+
+TEST(Lexer, CommentsAndLines) {
+  const auto toks = lex("a ; this is a comment\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, CaretAndBraces) {
+  EXPECT_EQ(kinds("^attr { } "),
+            (std::vector<TokKind>{TokKind::Caret, TokKind::Sym,
+                                  TokKind::LBrace, TokKind::RBrace,
+                                  TokKind::End}));
+}
+
+TEST(Lexer, MoveSymbolsWithSigns) {
+  // Rubik workload move names.
+  const auto toks = lex("up+ down- u+");
+  EXPECT_EQ(toks[0].text, "up+");
+  EXPECT_EQ(toks[1].text, "down-");
+  EXPECT_EQ(toks[2].text, "u+");
+}
+
+}  // namespace
+}  // namespace psme::ops5

@@ -1,0 +1,94 @@
+// BumpArena, token structure, hash tables, and MatchStats arithmetic.
+#include "match/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace psme::match {
+namespace {
+
+TEST(BumpArena, TokensChainAndIndex) {
+  BumpArena arena;
+  Wme w1, w2, w3;
+  Token* t1 = arena.make_token(nullptr, &w1);
+  Token* t2 = arena.make_token(t1, &w2);
+  Token* t3 = arena.make_token(t2, &w3);
+  EXPECT_EQ(t3->len, 3u);
+  EXPECT_EQ(t3->wme_at(0), &w1);
+  EXPECT_EQ(t3->wme_at(1), &w2);
+  EXPECT_EQ(t3->wme_at(2), &w3);
+  EXPECT_EQ(t1->len, 1u);
+  EXPECT_EQ(t1->wme_at(0), &w1);
+}
+
+TEST(BumpArena, TokenContentEquality) {
+  BumpArena arena;
+  Wme w1, w2;
+  Token* a = arena.make_token(arena.make_token(nullptr, &w1), &w2);
+  Token* b = arena.make_token(arena.make_token(nullptr, &w1), &w2);
+  Token* c = arena.make_token(arena.make_token(nullptr, &w2), &w1);
+  EXPECT_TRUE(token_content_equal(a, b));  // different objects, same wmes
+  EXPECT_FALSE(token_content_equal(a, c));
+  EXPECT_FALSE(token_content_equal(a, a->parent));
+  EXPECT_TRUE(token_content_equal(nullptr, nullptr));
+  EXPECT_FALSE(token_content_equal(a, nullptr));
+}
+
+TEST(BumpArena, SurvivesManyAllocations) {
+  BumpArena arena;
+  const Token* prev = nullptr;
+  Wme w;
+  std::vector<const Token*> all;
+  for (int i = 0; i < 50000; ++i) {
+    prev = arena.make_token(i % 7 == 0 ? nullptr : prev, &w);
+    all.push_back(prev);
+  }
+  EXPECT_GT(arena.bytes_allocated(), 50000u * sizeof(Token));
+  // Entries from early blocks are still valid.
+  EXPECT_EQ(all.front()->wme, &w);
+  Entry* e = arena.make_entry();
+  EXPECT_EQ(e->next, nullptr);
+  EXPECT_EQ(e->neg_count.load(), 0);
+}
+
+TEST(HashTokenTable, LineOfIsStableAndBounded) {
+  HashTokenTable table(256);
+  EXPECT_EQ(table.size(), 256u);
+  for (std::uint64_t h : {0ull, 1ull, 255ull, 256ull, 0xdeadbeefull}) {
+    const std::uint32_t line = table.line_of(h);
+    EXPECT_LT(line, 256u);
+    EXPECT_EQ(&table.bucket(h), &table.bucket_at(line));
+  }
+  // Same hash, same line; hashes differing only above the mask collide.
+  EXPECT_EQ(table.line_of(5), table.line_of(5 + 256));
+}
+
+TEST(MatchStats, MergeSumsEverything) {
+  MatchStats a, b;
+  a.node_activations = 10;
+  a.opp_examined[0] = 5;
+  a.opp_activations[0] = 2;
+  a.queue_probes = 7;
+  a.queue_acquisitions = 3;
+  b.node_activations = 1;
+  b.opp_examined[0] = 1;
+  b.opp_activations[0] = 1;
+  b.queue_probes = 2;
+  b.queue_acquisitions = 2;
+  a.merge(b);
+  EXPECT_EQ(a.node_activations, 11u);
+  EXPECT_DOUBLE_EQ(a.mean_opp_examined(Side::Left), 2.0);
+  EXPECT_DOUBLE_EQ(a.queue_contention(), 9.0 / 5.0);
+}
+
+TEST(MatchStats, MeansHandleZeroDenominators) {
+  MatchStats s;
+  EXPECT_DOUBLE_EQ(s.mean_opp_examined(Side::Left), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_same_del_examined(Side::Right), 0.0);
+  EXPECT_DOUBLE_EQ(s.queue_contention(), 0.0);
+  EXPECT_DOUBLE_EQ(s.line_contention(Side::Right), 0.0);
+}
+
+}  // namespace
+}  // namespace psme::match

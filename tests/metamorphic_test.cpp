@@ -1,0 +1,191 @@
+// Metamorphic and invariant properties of the matcher.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/symbol_table.hpp"
+#include "engine/sequential_engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace psme {
+namespace {
+
+// Canonical, timetag-free rendering of an instantiation set.
+std::vector<std::string> canonical_cs(EngineBase& eng,
+                                      const ops5::Program& program) {
+  std::vector<std::string> out;
+  for (const Instantiation& inst : eng.conflict_set().snapshot()) {
+    std::string s = symbol_name(program.productions()[inst.prod_index].name);
+    for (const Wme* w : inst.wmes) s += " " + wme_to_string(*w, program);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+constexpr const char* kJoinProgram = R"(
+(literalize a x y)
+(literalize b x z)
+(p never-fires
+  (a ^x <v> ^y <w>)
+  (b ^x <v> ^z > 0)
+  - (b ^x <v> ^z 99)
+  -->
+  (halt))
+)";
+
+TEST(Metamorphic, InsertionOrderDoesNotAffectTheConflictSet) {
+  auto program = ops5::Program::from_source(kJoinProgram);
+  const std::vector<std::string> wmes = {
+      "(a ^x 1 ^y 10)", "(a ^x 2 ^y 20)", "(b ^x 1 ^z 5)",
+      "(b ^x 2 ^z -1)", "(b ^x 1 ^z 7)",  "(a ^x 1 ^y 11)",
+  };
+  EngineOptions opt;
+  opt.max_cycles = 0;  // match only, never fire
+
+  std::vector<std::string> reference;
+  std::vector<std::string> order(wmes);
+  for (int perm = 0; perm < 6; ++perm) {
+    SequentialEngine eng(program, opt);
+    for (const auto& w : order) eng.make(w);
+    eng.run();
+    auto cs = canonical_cs(eng, program);
+    if (perm == 0) {
+      reference = cs;
+      // Two (a ^x 1) wmes x two (b ^x 1 ^z > 0) wmes; the x=2 pair fails
+      // the z > 0 test.
+      EXPECT_EQ(cs.size(), 4u);
+    } else {
+      EXPECT_EQ(cs, reference) << "permutation " << perm;
+    }
+    std::next_permutation(order.begin(), order.end());
+  }
+}
+
+TEST(Metamorphic, RetractingEverythingEmptiesTheConflictSet) {
+  auto program = ops5::Program::from_source(kJoinProgram);
+  EngineOptions opt;
+  opt.max_cycles = 0;
+  SequentialEngine eng(program, opt);
+  std::vector<const Wme*> made;
+  for (const char* w :
+       {"(a ^x 1 ^y 10)", "(b ^x 1 ^z 5)", "(b ^x 1 ^z 6)", "(a ^x 1 ^y 2)"})
+    made.push_back(eng.make(w));
+  eng.run();
+  EXPECT_GT(eng.conflict_set().size(), 0u);
+  for (const Wme* w : made) eng.remove(w->timetag);
+  eng.run();
+  EXPECT_EQ(eng.conflict_set().size(), 0u);
+  EXPECT_EQ(eng.conflict_set().pending_deletes(), 0u);
+  EXPECT_EQ(eng.wm().size(), 0u);
+}
+
+TEST(Metamorphic, ReinsertionRestoresTheConflictSet) {
+  auto program = ops5::Program::from_source(kJoinProgram);
+  EngineOptions opt;
+  opt.max_cycles = 0;
+  SequentialEngine eng(program, opt);
+  const Wme* a = eng.make("(a ^x 3 ^y 1)");
+  eng.make("(b ^x 3 ^z 4)");
+  eng.run();
+  const auto before = canonical_cs(eng, program);
+  ASSERT_EQ(before.size(), 1u);
+  eng.remove(a->timetag);
+  eng.run();
+  EXPECT_TRUE(canonical_cs(eng, program).empty());
+  eng.make("(a ^x 3 ^y 1)");  // same contents, new timetag
+  eng.run();
+  EXPECT_EQ(canonical_cs(eng, program), before);
+}
+
+TEST(Metamorphic, ModifyEquivalentToRemovePlusMake) {
+  // Program A uses modify; program B removes and re-makes with the same
+  // fields. Final working-memory contents must agree.
+  const char* with_modify = R"(
+(literalize item state n)
+(p advance (item ^state raw ^n <v>)
+  -->
+  (modify 1 ^state cooked ^n (compute <v> + 1)))
+)";
+  const char* with_remove_make = R"(
+(literalize item state n)
+(p advance (item ^state raw ^n <v>)
+  -->
+  (remove 1)
+  (make item ^state cooked ^n (compute <v> + 1)))
+)";
+  auto render_final = [](const char* src) {
+    auto program = ops5::Program::from_source(src);
+    SequentialEngine eng(program, {});
+    eng.make("(item ^state raw ^n 1)");
+    eng.make("(item ^state raw ^n 5)");
+    eng.run();
+    std::vector<std::string> out;
+    for (const Wme* w : eng.wm().snapshot())
+      out.push_back(wme_to_string(*w, program));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(render_final(with_modify), render_final(with_remove_make));
+}
+
+TEST(Metamorphic, NegationPartitionsThePositiveMatches) {
+  // For every (a ^x v): exactly one of (a ∧ b) / (a ∧ ¬b) matches.
+  const char* src = R"(
+(literalize a x)
+(literalize b x)
+(p with-b (a ^x <v>) (b ^x <v>) --> (halt))
+(p without-b (a ^x <v>) - (b ^x <v>) --> (halt))
+)";
+  auto program = ops5::Program::from_source(src);
+  EngineOptions opt;
+  opt.max_cycles = 0;
+  SequentialEngine eng(program, opt);
+  const int kA = 7;
+  for (int i = 0; i < kA; ++i)
+    eng.make("(a ^x " + std::to_string(i) + ")");
+  for (int i = 0; i < kA; i += 2)
+    eng.make("(b ^x " + std::to_string(i) + ")");
+  eng.run();
+  const auto snap = eng.conflict_set().snapshot();
+  int with = 0, without = 0;
+  for (const auto& inst : snap) {
+    if (symbol_name(program.productions()[inst.prod_index].name) == "with-b")
+      ++with;
+    else
+      ++without;
+  }
+  EXPECT_EQ(with + without, kA);
+  EXPECT_EQ(with, 4);     // x = 0, 2, 4, 6
+  EXPECT_EQ(without, 3);  // x = 1, 3, 5
+}
+
+TEST(Metamorphic, RandomProgramsInsertionOrderInvariance) {
+  // Stronger version of the permutation test over generated programs:
+  // shuffle initial wmes, compare canonical conflict sets (match only).
+  for (std::uint64_t seed = 300; seed < 308; ++seed) {
+    const auto w = workloads::random_program(seed);
+    auto program = ops5::Program::from_source(w.source);
+    EngineOptions opt;
+    opt.max_cycles = 0;
+    std::vector<std::string> reference;
+    std::vector<std::string> wmes = w.initial_wmes;
+    for (int round = 0; round < 3; ++round) {
+      SequentialEngine eng(program, opt);
+      for (const auto& lit : wmes) eng.make(lit);
+      eng.run();
+      auto cs = canonical_cs(eng, program);
+      if (round == 0) {
+        reference = cs;
+      } else {
+        EXPECT_EQ(cs, reference) << "seed " << seed << " round " << round;
+      }
+      // Deterministic shuffle.
+      std::rotate(wmes.begin(), wmes.begin() + 7 % wmes.size(), wmes.end());
+      std::reverse(wmes.begin(), wmes.begin() + wmes.size() / 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psme

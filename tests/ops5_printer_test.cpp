@@ -1,0 +1,85 @@
+// Round-trip property: parse -> print -> parse yields a semantically
+// identical program (same network shape, same firing traces).
+#include "ops5/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/sequential_engine.hpp"
+#include "rete/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace psme::ops5 {
+namespace {
+
+TEST(OpsPrinter, RendersEveryConstruct) {
+  const char* src = R"(
+(literalize a x y z)
+(p kitchen-sink
+  (a ^x <v> ^y << red 2 >> ^z { <w> > 5 <> <v> })
+  - (a ^x <v>)
+  -->
+  (bind <t> (compute <v> + 2 * -1))
+  (make a ^x <t> ^y (compute <w> // 2))
+  (modify 1 ^z 9)
+  (write answer <t> (crlf))
+  (remove 1)
+  (halt))
+)";
+  const SourceFile file = parse_source(src);
+  const std::string printed = to_source(file);
+  EXPECT_NE(printed.find("(literalize a x y z)"), std::string::npos);
+  EXPECT_NE(printed.find("<< red 2 >>"), std::string::npos);
+  EXPECT_NE(printed.find("{ <w> > 5 <> <v> }"), std::string::npos);
+  EXPECT_NE(printed.find("- (a ^x <v>)"), std::string::npos);
+  EXPECT_NE(printed.find("(compute <v> + 2 * -1)"), std::string::npos);
+  EXPECT_NE(printed.find("(compute <w> // 2)"), std::string::npos);
+  EXPECT_NE(printed.find("(crlf)"), std::string::npos);
+  EXPECT_NE(printed.find("(halt)"), std::string::npos);
+  // And the printed text parses back.
+  EXPECT_NO_THROW(parse_source(printed));
+}
+
+TEST(OpsPrinter, RoundTripPreservesNetworkShape) {
+  for (const auto& w :
+       {workloads::tourney(8, true), workloads::rubik(4),
+        workloads::weaver(3, 1)}) {
+    const SourceFile original = parse_source(w.source);
+    const std::string printed = to_source(original);
+    auto p1 = Program::from_ast(parse_source(w.source));
+    auto p2 = Program::from_source(printed);
+    const auto n1 = rete::build_network(p1);
+    const auto n2 = rete::build_network(p2);
+    const auto c1 = n1->counts();
+    const auto c2 = n2->counts();
+    EXPECT_EQ(c1.alpha_programs, c2.alpha_programs) << w.name;
+    EXPECT_EQ(c1.join_nodes, c2.join_nodes) << w.name;
+    EXPECT_EQ(c1.negative_nodes, c2.negative_nodes) << w.name;
+    EXPECT_EQ(c1.terminal_nodes, c2.terminal_nodes) << w.name;
+    EXPECT_EQ(c1.constant_test_nodes, c2.constant_test_nodes) << w.name;
+  }
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrinterRoundTrip, TracesSurviveTheRoundTrip) {
+  const auto w = workloads::random_program(GetParam());
+  const std::string printed = to_source(parse_source(w.source));
+  auto p1 = Program::from_source(w.source);
+  auto p2 = Program::from_source(printed);
+
+  auto run = [&](const Program& program) {
+    EngineOptions opt;
+    opt.max_cycles = 120;
+    SequentialEngine eng(program, opt);
+    workloads::load(eng, w);
+    eng.run();
+    return eng.trace();
+  };
+  EXPECT_EQ(run(p1), run(p2)) << "seed " << GetParam() << "\n" << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterRoundTrip,
+                         ::testing::Range<std::uint64_t>(200, 215));
+
+}  // namespace
+}  // namespace psme::ops5

@@ -1,0 +1,89 @@
+// Parser robustness: malformed input must throw LexError/ParseError (or
+// SemanticError downstream), never crash or hang.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ops5/lexer.hpp"
+#include "ops5/parser.hpp"
+#include "ops5/program.hpp"
+
+namespace psme::ops5 {
+namespace {
+
+void expect_rejected(const std::string& src) {
+  try {
+    auto program = Program::from_source(src);
+    // Some mutations stay valid; that's fine.
+  } catch (const LexError&) {
+  } catch (const ParseError&) {
+  } catch (const SemanticError&) {
+  }
+  SUCCEED();
+}
+
+TEST(ParserRobustness, TruncationsNeverCrash) {
+  const std::string src = R"(
+(literalize a x y)
+(p rule
+  (a ^x <v> ^y { <w> > 2 })
+  - (a ^x <> <v>)
+  -->
+  (bind <t> (compute <v> + 1))
+  (make a ^x <t> ^y << 1 2 >>)
+  (halt))
+)";
+  for (std::size_t cut = 0; cut < src.size(); cut += 3) {
+    expect_rejected(src.substr(0, cut));
+  }
+}
+
+TEST(ParserRobustness, CharacterMutationsNeverCrash) {
+  const std::string src = R"(
+(literalize a x)
+(p r1 (a ^x <v>) --> (modify 1 ^x (compute <v> + 1)))
+)";
+  const char junk[] = {'(', ')', '{', '}', '^', '<', '>', '-', ';', '*'};
+  Rng rng(2026);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = src;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] = junk[rng.below(sizeof(junk))];
+    expect_rejected(mutated);
+  }
+}
+
+TEST(ParserRobustness, SpecificMalformations) {
+  // Each must throw, not crash.
+  EXPECT_THROW(Program::from_source("("), ParseError);
+  EXPECT_THROW(Program::from_source(")"), ParseError);
+  EXPECT_THROW(Program::from_source("(p)"), ParseError);
+  EXPECT_THROW(Program::from_source("(literalize)"), ParseError);
+  EXPECT_THROW(Program::from_source("(literalize a x)(p r (a ^x << >>)"
+                                    " --> (halt))"),
+               ParseError);
+  EXPECT_THROW(Program::from_source("(literalize a x)(p r (a ^x { })"
+                                    " --> (halt))"),
+               ParseError);
+  EXPECT_THROW(Program::from_source("(literalize a x)(p r (a ^x 1) -->"
+                                    " (unknown-action))"),
+               ParseError);
+  EXPECT_THROW(Program::from_source("(literalize a x)(p r (a ^x 1) -->"
+                                    " (modify zero ^x 1))"),
+               ParseError);
+  EXPECT_THROW(parse_wme_literal("(a ^x"), ParseError);
+  EXPECT_THROW(parse_wme_literal("a ^x 1)"), ParseError);
+  EXPECT_THROW(parse_wme_literal("(a ^x <var>)"), ParseError);
+}
+
+TEST(ParserRobustness, DeeplyNestedComputeParses) {
+  // compute chains are flat lists, so long ones must not recurse deeply.
+  std::string expr = "(compute 1";
+  for (int i = 0; i < 2000; ++i) expr += " + 1";
+  expr += ")";
+  const std::string src =
+      "(literalize a x)\n(p r (a ^x <v>) --> (make a ^x " + expr + "))";
+  EXPECT_NO_THROW(Program::from_source(src));
+}
+
+}  // namespace
+}  // namespace psme::ops5

@@ -1,0 +1,129 @@
+#include "ops5/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::ops5 {
+namespace {
+
+TEST(Parser, LiteralizeAndProduction) {
+  const auto file = parse_source(R"(
+(literalize goal type color)
+(p p1
+  (goal ^type find ^color <c>)
+  -->
+  (make goal ^type found ^color <c>))
+)");
+  ASSERT_EQ(file.declarations.size(), 1u);
+  EXPECT_EQ(file.declarations[0].cls, "goal");
+  EXPECT_EQ(file.declarations[0].attrs,
+            (std::vector<std::string>{"type", "color"}));
+  ASSERT_EQ(file.productions.size(), 1u);
+  const Production& p = file.productions[0];
+  EXPECT_EQ(p.name, "p1");
+  ASSERT_EQ(p.lhs.size(), 1u);
+  EXPECT_FALSE(p.lhs[0].negated);
+  ASSERT_EQ(p.lhs[0].fields.size(), 2u);
+  EXPECT_EQ(p.lhs[0].fields[1].attr, "color");
+  ASSERT_EQ(p.lhs[0].fields[1].tests.size(), 1u);
+  EXPECT_TRUE(p.lhs[0].fields[1].tests[0].is_var);
+  EXPECT_EQ(p.lhs[0].fields[1].tests[0].var, "c");
+  ASSERT_EQ(p.rhs.size(), 1u);
+  EXPECT_EQ(p.rhs[0].kind, ActionKind::Make);
+}
+
+TEST(Parser, NegatedConditionElement) {
+  const auto file = parse_source(R"(
+(literalize a x)
+(p p1 (a ^x 1) - (a ^x 2) --> (halt))
+)");
+  ASSERT_EQ(file.productions[0].lhs.size(), 2u);
+  EXPECT_FALSE(file.productions[0].lhs[0].negated);
+  EXPECT_TRUE(file.productions[0].lhs[1].negated);
+}
+
+TEST(Parser, PredicatesDisjunctionConjunction) {
+  const auto file = parse_source(R"(
+(literalize a x y z w)
+(p p1
+  (a ^x > 5 ^y << red green >> ^z { <v> <= 10 } ^w <> nil)
+  -->
+  (halt))
+)");
+  const auto& fields = file.productions[0].lhs[0].fields;
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0].tests[0].op, PredOp::Gt);
+  EXPECT_EQ(fields[0].tests[0].constant, Value::integer(5));
+  ASSERT_EQ(fields[1].disjunction.size(), 2u);
+  EXPECT_EQ(fields[1].disjunction[0], sym("red"));
+  ASSERT_EQ(fields[2].tests.size(), 2u);
+  EXPECT_TRUE(fields[2].tests[0].is_var);
+  EXPECT_EQ(fields[2].tests[0].op, PredOp::Eq);
+  EXPECT_EQ(fields[2].tests[1].op, PredOp::Le);
+  EXPECT_EQ(fields[3].tests[0].op, PredOp::Ne);
+}
+
+TEST(Parser, RhsActions) {
+  const auto file = parse_source(R"(
+(literalize a x y)
+(p p1
+  (a ^x <v>)
+  -->
+  (make a ^x (compute <v> + 2 - 1) ^y 0)
+  (modify 1 ^y 9)
+  (remove 1)
+  (bind <t> (compute <v> * 3))
+  (write solved <t> (crlf))
+  (halt))
+)");
+  const auto& rhs = file.productions[0].rhs;
+  ASSERT_EQ(rhs.size(), 6u);
+  EXPECT_EQ(rhs[0].kind, ActionKind::Make);
+  ASSERT_EQ(rhs[0].assigns.size(), 2u);
+  const RhsExpr& e = rhs[0].assigns[0].second;
+  EXPECT_TRUE(e.first.is_var);
+  ASSERT_EQ(e.rest.size(), 2u);
+  EXPECT_EQ(e.rest[0].first, '+');
+  EXPECT_EQ(e.rest[1].first, '-');
+  EXPECT_EQ(rhs[1].kind, ActionKind::Modify);
+  EXPECT_EQ(rhs[1].ce_index, 1);
+  EXPECT_EQ(rhs[2].kind, ActionKind::Remove);
+  EXPECT_EQ(rhs[3].kind, ActionKind::Bind);
+  EXPECT_EQ(rhs[3].bind_var, "t");
+  EXPECT_EQ(rhs[4].kind, ActionKind::Write);
+  EXPECT_EQ(rhs[4].write_args.size(), 3u);  // solved, <t>, crlf
+  EXPECT_EQ(rhs[5].kind, ActionKind::Halt);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_source("(p x --> (halt))"), ParseError);  // empty LHS
+  EXPECT_THROW(parse_source("(literalize a x)(p x - (a ^x 1) --> (halt))"),
+               ParseError);  // first CE negated
+  EXPECT_THROW(parse_source("(unknown-form)"), ParseError);
+  EXPECT_THROW(parse_source("(literalize a x)(p y (a ^x << >>) --> (halt))"),
+               ParseError);  // empty disjunction
+  EXPECT_THROW(parse_source("(p"), ParseError);  // truncated
+}
+
+TEST(Parser, AllNegativeLhsRejected) {
+  // At least one positive CE required (and the first must be positive).
+  EXPECT_THROW(
+      parse_source("(literalize a x)(p y - (a ^x 1) - (a ^x 2) --> (halt))"),
+      ParseError);
+}
+
+TEST(Parser, WmeLiteral) {
+  const WmeLiteral lit =
+      parse_wme_literal("(block ^id b1 ^size 3 ^weight 2.5)");
+  EXPECT_EQ(lit.cls, "block");
+  ASSERT_EQ(lit.fields.size(), 3u);
+  EXPECT_EQ(lit.fields[0].first, "id");
+  EXPECT_EQ(lit.fields[0].second, sym("b1"));
+  EXPECT_EQ(lit.fields[1].first, "size");
+  EXPECT_EQ(lit.fields[1].second, Value::integer(3));
+  EXPECT_EQ(lit.fields[2].second, Value::real(2.5));
+}
+
+}  // namespace
+}  // namespace psme::ops5

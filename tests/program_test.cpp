@@ -1,0 +1,137 @@
+#include "ops5/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::ops5 {
+namespace {
+
+TEST(Program, SlotLayoutFollowsLiteralize) {
+  const auto p = Program::from_source(R"(
+(literalize goal type color size)
+(literalize block id)
+(p p1 (goal ^size <s>) --> (halt))
+)");
+  EXPECT_EQ(p.slot(intern("goal"), intern("type")), 0);
+  EXPECT_EQ(p.slot(intern("goal"), intern("color")), 1);
+  EXPECT_EQ(p.slot(intern("goal"), intern("size")), 2);
+  EXPECT_EQ(p.slot(intern("block"), intern("id")), 0);
+  EXPECT_THROW(p.slot(intern("goal"), intern("missing")), SemanticError);
+  EXPECT_THROW(p.class_of(intern("unknown")), SemanticError);
+}
+
+TEST(Program, UndeclaredClassOrAttrRejected) {
+  EXPECT_THROW(Program::from_source("(p p1 (goal ^x 1) --> (halt))"),
+               SemanticError);
+  EXPECT_THROW(Program::from_source(
+                   "(literalize goal type)(p p1 (goal ^other 1) --> (halt))"),
+               SemanticError);
+  EXPECT_THROW(
+      Program::from_source(
+          "(literalize goal type)(p p1 (goal ^type 1) --> (make huh ^x 2))"),
+      SemanticError);
+}
+
+TEST(Program, VariableBindingResolution) {
+  const auto p = Program::from_source(R"(
+(literalize a x y)
+(literalize b z)
+(p p1
+  (a ^x <v> ^y <w>)
+  (b ^z <v>)
+  -->
+  (halt))
+)");
+  const AnalyzedProduction& ap = p.productions()[0];
+  EXPECT_EQ(ap.num_ces, 2);
+  EXPECT_EQ(ap.num_positive, 2);
+  const VarBinding& v = ap.bindings.at(intern("v"));
+  EXPECT_EQ(v.ce_index, 0);
+  EXPECT_EQ(v.token_pos, 0);
+  EXPECT_EQ(v.slot, 0);
+  const VarBinding& w = ap.bindings.at(intern("w"));
+  EXPECT_EQ(w.slot, 1);
+}
+
+TEST(Program, PredicateBeforeBindingRejected) {
+  EXPECT_THROW(Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x > <v>) --> (halt))
+)"),
+               SemanticError);
+}
+
+TEST(Program, NegatedCeVariablesAreLocal) {
+  // Binding inside a negated CE then using it in a later CE is an error.
+  EXPECT_THROW(Program::from_source(R"(
+(literalize a x)
+(literalize b y)
+(p p1 (a ^x 1) - (b ^y <v>) (a ^x <v>) --> (halt))
+)"),
+               SemanticError);
+  // ...and using it on the RHS is too.
+  EXPECT_THROW(Program::from_source(R"(
+(literalize a x)
+(literalize b y)
+(p p1 (a ^x 1) - (b ^y <v>) --> (make a ^x <v>))
+)"),
+               SemanticError);
+  // But local use within the negated CE itself is fine.
+  EXPECT_NO_THROW(Program::from_source(R"(
+(literalize a x)
+(literalize b y z)
+(p p1 (a ^x 1) - (b ^y <v> ^z <v>) --> (halt))
+)"));
+}
+
+TEST(Program, RhsValidation) {
+  // Unbound RHS variable.
+  EXPECT_THROW(Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (make a ^x <nope>))
+)"),
+               SemanticError);
+  // modify/remove out of range.
+  EXPECT_THROW(Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (remove 2))
+)"),
+               SemanticError);
+  // modify of a negated CE.
+  EXPECT_THROW(Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x 1) - (a ^x 2) --> (remove 2))
+)"),
+               SemanticError);
+  // bind makes a variable usable afterwards.
+  EXPECT_NO_THROW(Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x <v>) --> (bind <t> (compute <v> + 1)) (make a ^x <t>))
+)"));
+}
+
+TEST(Program, SpecificityCountsTests) {
+  const auto p = Program::from_source(R"(
+(literalize a x y)
+(p simple (a ^x 1) --> (halt))
+(p complex (a ^x 1 ^y << 1 2 >>) (a ^x <v> ^y <> <v>) --> (halt))
+)");
+  const int s0 = p.productions()[0].specificity;
+  const int s1 = p.productions()[1].specificity;
+  EXPECT_EQ(s0, 2);  // class test + constant test
+  EXPECT_GT(s1, s0);
+}
+
+TEST(Program, TokenPositionsSkipNegatedCes) {
+  const auto p = Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x 1) - (a ^x 2) (a ^x 3) --> (halt))
+)");
+  const AnalyzedProduction& ap = p.productions()[0];
+  EXPECT_EQ(ap.token_pos_of_ce, (std::vector<int>{0, -1, 1}));
+  EXPECT_EQ(ap.num_positive, 2);
+}
+
+}  // namespace
+}  // namespace psme::ops5

@@ -1,0 +1,170 @@
+// Network construction: structure, sharing (the paper's Figure 2-2), and
+// test compilation.
+#include "rete/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+#include "rete/printer.hpp"
+
+namespace psme::rete {
+namespace {
+
+// The two productions of the paper's Figure 2-2.
+constexpr const char* kFigure22 = R"(
+(literalize C1 attr1 attr2)
+(literalize C2 attr1 attr2)
+(literalize C3 attr1)
+(literalize C4 attr1)
+(p p1
+  (C1 ^attr1 <x> ^attr2 12)
+  (C2 ^attr1 15 ^attr2 <x>)
+  - (C3 ^attr1 <x>)
+  -->
+  (remove 2))
+(p p2
+  (C2 ^attr1 15 ^attr2 <y>)
+  (C4 ^attr1 <y>)
+  -->
+  (modify 1 ^attr1 12))
+)";
+
+TEST(ReteBuilder, Figure22Structure) {
+  const auto program = ops5::Program::from_source(kFigure22);
+  const auto net = build_network(program);
+  const NetworkCounts c = net->counts();
+
+  // Alpha programs: C1(attr2=12), C2(attr1=15), C3(), C4() — the C2 test is
+  // shared between p1 and p2.
+  EXPECT_EQ(c.alpha_programs, 4u);
+  // p1 contributes two two-input nodes (one negative), p2 one.
+  EXPECT_EQ(c.join_nodes, 3u);
+  EXPECT_EQ(c.negative_nodes, 1u);
+  EXPECT_EQ(c.terminal_nodes, 2u);
+
+  // The shared C2 alpha feeds p1's join (right input) and p2's chain (as
+  // p2's first CE -> left input of p2's join).
+  const auto* c2_alphas = net->alphas_for_class(intern("C2"));
+  ASSERT_NE(c2_alphas, nullptr);
+  ASSERT_EQ(c2_alphas->size(), 1u);
+  const AlphaProgram* c2 = (*c2_alphas)[0];
+  bool feeds_left = false, feeds_right = false;
+  for (const AlphaDest& d : c2->dests) {
+    feeds_left |= d.side == Side::Left;
+    feeds_right |= d.side == Side::Right;
+  }
+  EXPECT_TRUE(feeds_left);
+  EXPECT_TRUE(feeds_right);
+}
+
+TEST(ReteBuilder, IdenticalPrefixesShareJoinNodes) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x)
+(literalize b y)
+(literalize c z)
+(p p1 (a ^x <v>) (b ^y <v>) (c ^z 1) --> (halt))
+(p p2 (a ^x <v>) (b ^y <v>) (c ^z 2) --> (halt))
+)");
+  const auto net = build_network(program);
+  // The (a, b) join is shared; the final joins differ by their alpha.
+  EXPECT_EQ(net->counts().join_nodes, 3u);
+  EXPECT_EQ(net->counts().shared_join_nodes, 1u);
+  // Alphas: a(), b(), c(z=1), c(z=2).
+  EXPECT_EQ(net->counts().alpha_programs, 4u);
+}
+
+TEST(ReteBuilder, DifferentTestsDoNotShare) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x y)
+(literalize b z)
+(p p1 (a ^x <v>) (b ^z <v>) --> (halt))
+(p p2 (a ^y <v>) (b ^z <v>) --> (halt))
+)");
+  const auto net = build_network(program);
+  // Same alpha programs (both a-CEs are test-free) but different eq tests
+  // (slot 0 vs slot 1), so the joins are distinct.
+  EXPECT_EQ(net->counts().join_nodes, 2u);
+  EXPECT_EQ(net->counts().shared_join_nodes, 0u);
+}
+
+TEST(ReteBuilder, ConstantTestChainSharing) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x y z)
+(p p1 (a ^x 1 ^y 2) --> (halt))
+(p p2 (a ^x 1 ^y 3) --> (halt))
+)");
+  const auto net = build_network(program);
+  const ConstantTestNode* root = net->class_root(intern("a"));
+  ASSERT_NE(root, nullptr);
+  // Root has one child (x=1), which has two children (y=2, y=3).
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0]->children.size(), 2u);
+}
+
+TEST(ReteBuilder, EqTestsFeedHashingAndPredsStayResidual) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x)
+(literalize b y z)
+(p p1 (a ^x <v>) (b ^y <v> ^z > <v>) --> (halt))
+)");
+  const auto net = build_network(program);
+  ASSERT_EQ(net->joins().size(), 1u);
+  const JoinNode& j = *net->joins()[0];
+  ASSERT_EQ(j.eq_tests.size(), 1u);
+  EXPECT_EQ(j.eq_tests[0].tok_pos, 0);
+  EXPECT_EQ(j.eq_tests[0].tok_slot, 0);
+  EXPECT_EQ(j.eq_tests[0].wme_slot, 0);  // b.y
+  ASSERT_EQ(j.preds.size(), 1u);
+  EXPECT_EQ(j.preds[0].op, ops5::PredOp::Gt);
+  EXPECT_EQ(j.preds[0].wme_slot, 1);  // b.z
+}
+
+TEST(ReteBuilder, CrossProductJoinHasNoEqTests) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x)
+(literalize b y)
+(p culprit (a ^x <v>) (b ^y <w>) --> (halt))
+)");
+  const auto net = build_network(program);
+  ASSERT_EQ(net->joins().size(), 1u);
+  EXPECT_TRUE(net->joins()[0]->eq_tests.empty());
+  EXPECT_TRUE(net->joins()[0]->preds.empty());
+}
+
+TEST(ReteBuilder, SingleCeProductionGoesStraightToTerminal) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (halt))
+)");
+  const auto net = build_network(program);
+  EXPECT_EQ(net->counts().join_nodes, 0u);
+  ASSERT_EQ(net->alphas().size(), 1u);
+  EXPECT_EQ(net->alphas()[0]->terminal_dests.size(), 1u);
+}
+
+TEST(ReteBuilder, IntraCeVariableTestIsAlphaLevel) {
+  const auto program = ops5::Program::from_source(R"(
+(literalize a x y)
+(p p1 (a ^x <v> ^y <v>) --> (halt))
+)");
+  const auto net = build_network(program);
+  ASSERT_EQ(net->alphas().size(), 1u);
+  const AlphaProgram& a = *net->alphas()[0];
+  ASSERT_EQ(a.tests.size(), 1u);
+  EXPECT_EQ(a.tests[0].kind, AlphaTestKind::SlotPred);
+  EXPECT_EQ(a.tests[0].slot, 1u);
+  EXPECT_EQ(a.tests[0].other_slot, 0u);
+}
+
+TEST(RetePrinter, RendersWithoutCrashing) {
+  const auto program = ops5::Program::from_source(kFigure22);
+  const auto net = build_network(program);
+  const std::string out = print_network(*net, program);
+  EXPECT_NE(out.find("class C2"), std::string::npos);
+  EXPECT_NE(out.find("(negative)"), std::string::npos);
+  EXPECT_NE(out.find("p:p1"), std::string::npos);
+  EXPECT_NE(out.find("counts:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psme::rete

@@ -1,0 +1,169 @@
+// Threaded-code RHS compilation and evaluation.
+#include "runtime/rhs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+#include "runtime/working_memory.hpp"
+
+namespace psme {
+namespace {
+
+struct RecordingEffects : RhsEffects {
+  std::vector<const Wme*> made;
+  std::vector<const Wme*> removed;
+  std::string written;
+  bool halted = false;
+
+  void on_make(const Wme* wme) override { made.push_back(wme); }
+  void on_remove(const Wme* wme) override { removed.push_back(wme); }
+  void on_write(const std::string& text) override { written += text; }
+  void on_halt() override { halted = true; }
+};
+
+struct Fixture {
+  ops5::Program program;
+  WorkingMemory wm;
+  RecordingEffects fx;
+
+  explicit Fixture(const char* src)
+      : program(ops5::Program::from_source(src)), wm(program) {}
+
+  // Runs production 0's RHS with the given instantiation wmes.
+  void run(const std::vector<const Wme*>& wmes) {
+    const CompiledRhs rhs = compile_rhs(program, program.productions()[0]);
+    run_rhs(rhs, program, wmes, wm, fx);
+  }
+  const Wme* make(std::string_view cls, std::vector<Value> fields) {
+    return wm.make(intern(cls), std::move(fields));
+  }
+  std::uint16_t slot(const char* cls, const char* attr) const {
+    return program.slot(intern(cls), intern(attr));
+  }
+};
+
+TEST(Rhs, MakeWithConstantsAndVariables) {
+  Fixture f(R"(
+(literalize a x y)
+(p p1 (a ^x <v>) --> (make a ^x <v> ^y 7))
+)");
+  const Wme* w = f.make("a", {Value::integer(3), Value::nil()});
+  f.run({w});
+  ASSERT_EQ(f.fx.made.size(), 1u);
+  EXPECT_EQ(f.fx.made[0]->field(0), Value::integer(3));
+  EXPECT_EQ(f.fx.made[0]->field(1), Value::integer(7));
+  EXPECT_GT(f.fx.made[0]->timetag, w->timetag);
+}
+
+TEST(Rhs, ModifyIsRemovePlusMake) {
+  Fixture f(R"(
+(literalize a x y)
+(p p1 (a ^x <v> ^y <w>) --> (modify 1 ^y (compute <w> + 1)))
+)");
+  const Wme* w = f.make("a", {Value::integer(1), Value::integer(10)});
+  f.run({w});
+  ASSERT_EQ(f.fx.removed.size(), 1u);
+  EXPECT_EQ(f.fx.removed[0], w);
+  ASSERT_EQ(f.fx.made.size(), 1u);
+  EXPECT_EQ(f.fx.made[0]->field(0), Value::integer(1));  // untouched field
+  EXPECT_EQ(f.fx.made[0]->field(1), Value::integer(11));
+  EXPECT_FALSE(f.wm.is_live(w));
+  EXPECT_TRUE(f.wm.is_live(f.fx.made[0]));
+}
+
+TEST(Rhs, ComputeChainsLeftAssociative) {
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x <v>) --> (make a ^x (compute <v> + 2 * 3)))
+)");
+  // OPS5 compute is left-associative: (4 + 2) * 3 = 18.
+  const Wme* w = f.make("a", {Value::integer(4)});
+  f.run({w});
+  EXPECT_EQ(f.fx.made[0]->field(0), Value::integer(18));
+}
+
+TEST(Rhs, ArithmeticKinds) {
+  Fixture f(R"(
+(literalize a x y z)
+(p p1 (a ^x <v> ^y <w>)
+  -->
+  (make a ^x (compute <v> // <w>) ^y (compute <v> mod <w>)
+          ^z (compute <v> - 0.5)))
+)");
+  const Wme* w = f.make("a", {Value::integer(7), Value::integer(2),
+                              Value::nil()});
+  f.run({w});
+  EXPECT_EQ(f.fx.made[0]->field(0), Value::integer(3));
+  EXPECT_EQ(f.fx.made[0]->field(1), Value::integer(1));
+  EXPECT_EQ(f.fx.made[0]->field(2), Value::real(6.5));
+}
+
+TEST(Rhs, BindAndWrite) {
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x <v>)
+  -->
+  (bind <t> (compute <v> * 2))
+  (write answer <t> (crlf)))
+)");
+  const Wme* w = f.make("a", {Value::integer(21)});
+  f.run({w});
+  EXPECT_EQ(f.fx.written, "answer 42\n");
+}
+
+TEST(Rhs, Halt) {
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x 1) --> (halt))
+)");
+  const Wme* w = f.make("a", {Value::integer(1)});
+  f.run({w});
+  EXPECT_TRUE(f.fx.halted);
+  EXPECT_TRUE(f.fx.made.empty());
+}
+
+TEST(Rhs, DoubleRemoveOfSameWmeIsIgnored) {
+  // Two CEs matching the same wme: the second remove is a no-op.
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x <v>) (a ^x <v>) --> (remove 1) (remove 2))
+)");
+  const Wme* w = f.make("a", {Value::integer(1)});
+  f.run({w, w});
+  EXPECT_EQ(f.fx.removed.size(), 1u);
+  EXPECT_FALSE(f.wm.is_live(w));
+}
+
+TEST(Rhs, ModifyAfterRemoveIsIgnored) {
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x <v>) (a ^x <v>) --> (remove 1) (modify 2 ^x 9))
+)");
+  const Wme* w = f.make("a", {Value::integer(1)});
+  f.run({w, w});
+  EXPECT_EQ(f.fx.removed.size(), 1u);
+  EXPECT_TRUE(f.fx.made.empty());
+}
+
+TEST(Rhs, DivisionByZeroThrows) {
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x <v>) --> (make a ^x (compute 1 // <v>)))
+)");
+  const Wme* w = f.make("a", {Value::integer(0)});
+  EXPECT_THROW(f.run({w}), RhsError);
+}
+
+TEST(Rhs, ArithmeticOnSymbolsThrows) {
+  Fixture f(R"(
+(literalize a x)
+(p p1 (a ^x <v>) --> (make a ^x (compute <v> + 1)))
+)");
+  const Wme* w = f.make("a", {sym("not-a-number")});
+  EXPECT_THROW(f.run({w}), RhsError);
+}
+
+}  // namespace
+}  // namespace psme

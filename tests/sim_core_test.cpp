@@ -1,0 +1,183 @@
+// Unit tests for the discrete-event substrate: scheduler ordering, lock
+// probe accounting, sleep/wake, and SubTask chaining.
+#include "sim/sim_core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psme::sim {
+namespace {
+
+struct Harness {
+  CostModel cost;
+  Scheduler sched{cost};
+  std::vector<int> log;
+};
+
+TEST(SimScheduler, ResumesInTimeOrder) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  SimCpu& b = h.sched.add_cpu();
+  b.now = 5;  // b starts later
+
+  auto prog = [](Harness& hh, SimCpu& cpu, int id, VTime step) -> Proc {
+    for (int i = 0; i < 3; ++i) {
+      hh.log.push_back(id);
+      co_await hh.sched.spend(cpu, step);
+    }
+  };
+  h.sched.start(a, prog(h, a, 1, 10));  // at t = 0, 10, 20
+  h.sched.start(b, prog(h, b, 2, 10));  // at t = 5, 15, 25
+  h.sched.run();
+  EXPECT_EQ(h.log, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+  EXPECT_EQ(a.now, 30u);
+  EXPECT_EQ(b.now, 35u);
+}
+
+TEST(SimScheduler, TiesBreakBySequence) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  SimCpu& b = h.sched.add_cpu();
+  auto prog = [](Harness& hh, SimCpu& cpu, int id) -> Proc {
+    hh.log.push_back(id);
+    co_await hh.sched.spend(cpu, 1);
+    hh.log.push_back(id);
+  };
+  h.sched.start(a, prog(h, a, 1));
+  h.sched.start(b, prog(h, b, 2));
+  h.sched.run();
+  // Same timestamps: insertion order decides, deterministically.
+  EXPECT_EQ(h.log, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(SimLock, UncontendedAcquireIsOneProbe) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  SimLock lock;
+  std::uint64_t probes = 0, acqs = 0;
+  auto prog = [&]() -> Proc {
+    co_await h.sched.acquire(a, lock, &probes, &acqs);
+    co_await h.sched.spend(a, 10);
+    h.sched.release(lock, a.now);
+  };
+  h.sched.start(a, prog());
+  h.sched.run();
+  EXPECT_EQ(probes, 1u);
+  EXPECT_EQ(acqs, 1u);
+  EXPECT_FALSE(lock.held);
+  // lock_acquire cost + critical section.
+  EXPECT_EQ(a.now, h.cost.lock_acquire + 10);
+}
+
+TEST(SimLock, WaiterAccountsSpinProbesAndWaitsForRelease) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  SimCpu& b = h.sched.add_cpu();
+  SimLock lock;
+  std::uint64_t probes_a = 0, probes_b = 0;
+  VTime b_acquired_at = 0;
+
+  auto holder = [&]() -> Proc {
+    co_await h.sched.acquire(a, lock, &probes_a, nullptr);
+    co_await h.sched.spend(a, 100);  // long critical section
+    h.sched.release(lock, a.now);
+  };
+  auto waiter = [&]() -> Proc {
+    co_await h.sched.spend(b, 1);  // arrive just after the holder
+    co_await h.sched.acquire(b, lock, &probes_b, nullptr);
+    b_acquired_at = b.now;
+    h.sched.release(lock, b.now);
+  };
+  h.sched.start(a, holder());
+  h.sched.start(b, waiter());
+  h.sched.run();
+  // b spun for ~100 instructions at probe_interval granularity.
+  EXPECT_GE(probes_b, 100 / h.cost.probe_interval);
+  EXPECT_GE(b_acquired_at, h.cost.lock_acquire + 100);
+  EXPECT_FALSE(lock.held);
+}
+
+TEST(SimLock, ReleaseGrantsEarliestNextProbe) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  SimCpu& b = h.sched.add_cpu();
+  SimCpu& c = h.sched.add_cpu();
+  SimLock lock;
+  std::vector<int> order;
+  auto holder = [&]() -> Proc {
+    co_await h.sched.acquire(a, lock, nullptr, nullptr);
+    co_await h.sched.spend(a, 50);
+    h.sched.release(lock, a.now);
+  };
+  auto waiter = [&](SimCpu& cpu, int id, VTime arrive) -> Proc {
+    co_await h.sched.spend(cpu, arrive);
+    co_await h.sched.acquire(cpu, lock, nullptr, nullptr);
+    order.push_back(id);
+    co_await h.sched.spend(cpu, 5);
+    h.sched.release(lock, cpu.now);
+  };
+  h.sched.start(a, holder());
+  h.sched.start(b, waiter(b, 2, 30));  // arrives second
+  h.sched.start(c, waiter(c, 1, 10));  // arrives first
+  h.sched.run();
+  ASSERT_EQ(order.size(), 2u);
+  // The earlier arrival's spin probe lands first.
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(SimSleep, WakeOneResumesFifoWithLatency) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  SimCpu& b = h.sched.add_cpu();
+  SimCpu& waker = h.sched.add_cpu();
+  SleepList list;
+  std::vector<int> order;
+  auto sleeper = [&](SimCpu& cpu, int id) -> Proc {
+    co_await h.sched.sleep(cpu, list);
+    order.push_back(id);
+  };
+  auto wake = [&]() -> Proc {
+    co_await h.sched.spend(waker, 100);
+    h.sched.wake_one(list, waker.now);
+    co_await h.sched.spend(waker, 50);
+    h.sched.wake_one(list, waker.now);
+  };
+  h.sched.start(a, sleeper(a, 1));
+  h.sched.start(b, sleeper(b, 2));
+  h.sched.start(waker, wake());
+  h.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(a.now, 100 + h.cost.wake_latency);
+  EXPECT_EQ(b.now, 150 + h.cost.wake_latency);
+}
+
+TEST(SimSubTask, ChainsAndReturnsValues) {
+  Harness h;
+  SimCpu& a = h.sched.add_cpu();
+  auto inner = [&](int x) -> SubTask<int> {
+    co_await h.sched.spend(a, 10);
+    co_return x * 2;
+  };
+  int result = 0;
+  auto outer = [&]() -> Proc {
+    const int v1 = co_await inner(21);
+    const int v2 = co_await inner(v1);
+    result = v2;
+  };
+  h.sched.start(a, outer());
+  h.sched.run();
+  EXPECT_EQ(result, 84);
+  EXPECT_EQ(a.now, 20u);
+}
+
+TEST(SimCostModel, SecondsConversion) {
+  CostModel cm;
+  cm.mips = 0.75;
+  EXPECT_DOUBLE_EQ(cm.to_seconds(750000), 1.0);
+  EXPECT_DOUBLE_EQ(cm.to_seconds(0), 0.0);
+  cm.mips = 7.5;
+  EXPECT_DOUBLE_EQ(cm.to_seconds(750000), 0.1);
+}
+
+}  // namespace
+}  // namespace psme::sim

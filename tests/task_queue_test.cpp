@@ -1,0 +1,126 @@
+// Task queues and TaskCount: single-threaded semantics plus a real
+// multi-threaded producer/consumer stress.
+#include "match/task_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace psme::match {
+namespace {
+
+Task dummy_task(int tag) {
+  Task t;
+  t.kind = TaskKind::Root;
+  t.sign = +1;
+  t.wme = reinterpret_cast<const Wme*>(static_cast<std::uintptr_t>(tag));
+  return t;
+}
+
+TEST(TaskQueue, FifoWithinOneQueue) {
+  TaskQueueSet q(1);
+  MatchStats stats;
+  q.push(dummy_task(1), 0, stats);
+  q.push(dummy_task(2), 0, stats);
+  q.push(dummy_task(3), 0, stats);
+  EXPECT_EQ(q.task_count(), 3);
+  Task t;
+  ASSERT_TRUE(q.try_pop(&t, 0, stats));
+  EXPECT_EQ(t.wme, dummy_task(1).wme);
+  ASSERT_TRUE(q.try_pop(&t, 0, stats));
+  EXPECT_EQ(t.wme, dummy_task(2).wme);
+  q.task_done();
+  q.task_done();
+  EXPECT_EQ(q.task_count(), 1);
+  ASSERT_TRUE(q.try_pop(&t, 0, stats));
+  q.task_done();
+  EXPECT_TRUE(q.phase_complete());
+  EXPECT_FALSE(q.try_pop(&t, 0, stats));
+}
+
+TEST(TaskQueue, PopScansAllQueues) {
+  TaskQueueSet q(4);
+  MatchStats stats;
+  q.push(dummy_task(7), 2, stats);  // lands in queue 2 (it is free)
+  Task t;
+  // A pop with any hint must find it.
+  ASSERT_TRUE(q.try_pop(&t, 0, stats));
+  EXPECT_EQ(t.wme, dummy_task(7).wme);
+}
+
+TEST(TaskQueue, RequeueDoesNotTouchTaskCount) {
+  TaskQueueSet q(2);
+  MatchStats stats;
+  q.push(dummy_task(1), 0, stats);
+  EXPECT_EQ(q.task_count(), 1);
+  Task t;
+  ASSERT_TRUE(q.try_pop(&t, 0, stats));
+  q.requeue(t, 0, stats);
+  EXPECT_EQ(q.task_count(), 1);
+  EXPECT_EQ(stats.requeues, 1u);
+  ASSERT_TRUE(q.try_pop(&t, 0, stats));
+  q.task_done();
+  EXPECT_TRUE(q.phase_complete());
+}
+
+TEST(TaskQueue, ContentionStatsBaselineIsOneProbe) {
+  TaskQueueSet q(1);
+  MatchStats stats;
+  for (int i = 0; i < 100; ++i) q.push(dummy_task(i), 0, stats);
+  Task t;
+  while (q.try_pop(&t, 0, stats)) q.task_done();
+  // Uncontended: exactly one probe per acquisition.
+  EXPECT_DOUBLE_EQ(stats.queue_contention(), 1.0);
+}
+
+class TaskQueueStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskQueueStress, ConcurrentPushPopConservesTasks) {
+  const int num_queues = GetParam();
+  TaskQueueSet q(num_queues);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+
+  std::atomic<int> consumed{0};
+  std::atomic<std::uint64_t> checksum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      MatchStats stats;
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(dummy_task(p * kPerProducer + i + 1),
+               static_cast<unsigned>(i), stats);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      MatchStats stats;
+      while (consumed.load() < kProducers * kPerProducer) {
+        Task t;
+        if (q.try_pop(&t, static_cast<unsigned>(c), stats)) {
+          checksum.fetch_add(reinterpret_cast<std::uintptr_t>(t.wme));
+          q.task_done();
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_TRUE(q.phase_complete());
+  // Every task id was consumed exactly once.
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(checksum.load(), n * (n + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(QueueCounts, TaskQueueStress,
+                         ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace psme::match

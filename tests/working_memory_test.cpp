@@ -1,0 +1,78 @@
+#include "runtime/working_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+
+namespace psme {
+namespace {
+
+class WorkingMemoryTest : public ::testing::Test {
+ protected:
+  WorkingMemoryTest()
+      : program_(ops5::Program::from_source(R"(
+(literalize a x y)
+(p dummy (a ^x 1) --> (halt))
+)")),
+        wm_(program_) {}
+
+  ops5::Program program_;
+  WorkingMemory wm_;
+};
+
+TEST_F(WorkingMemoryTest, TimetagsAreMonotonic) {
+  const Wme* w1 = wm_.make(intern("a"), {Value::integer(1), Value::nil()});
+  const Wme* w2 = wm_.make(intern("a"), {Value::integer(2), Value::nil()});
+  EXPECT_LT(w1->timetag, w2->timetag);
+  EXPECT_EQ(wm_.last_timetag(), w2->timetag);
+  EXPECT_EQ(wm_.size(), 2u);
+}
+
+TEST_F(WorkingMemoryTest, BuildFieldsPlacesValuesBySlot) {
+  const auto fields = wm_.build_fields(
+      intern("a"), {{intern("y"), Value::integer(9)}});
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_TRUE(fields[0].is_nil());
+  EXPECT_EQ(fields[1], Value::integer(9));
+  EXPECT_THROW(
+      wm_.build_fields(intern("a"), {{intern("zz"), Value::integer(1)}}),
+      std::invalid_argument);
+}
+
+TEST_F(WorkingMemoryTest, FieldCountValidated) {
+  EXPECT_THROW(wm_.make(intern("a"), {Value::integer(1)}),
+               std::invalid_argument);
+}
+
+TEST_F(WorkingMemoryTest, RemoveRetainsStorageUntilCollect) {
+  const Wme* w = wm_.make(intern("a"), {Value::integer(1), Value::nil()});
+  const TimeTag tag = w->timetag;
+  wm_.remove(w);
+  EXPECT_FALSE(wm_.is_live(w));
+  EXPECT_EQ(wm_.find(tag), nullptr);
+  // The storage is still readable until collect() — match tasks in flight
+  // depend on this.
+  EXPECT_EQ(w->field(0), Value::integer(1));
+  wm_.collect();
+  EXPECT_THROW(wm_.remove(w), std::logic_error);
+}
+
+TEST_F(WorkingMemoryTest, SnapshotSortedByTimetag) {
+  const Wme* w1 = wm_.make(intern("a"), {Value::integer(1), Value::nil()});
+  const Wme* w2 = wm_.make(intern("a"), {Value::integer(2), Value::nil()});
+  const Wme* w3 = wm_.make(intern("a"), {Value::integer(3), Value::nil()});
+  wm_.remove(w2);
+  const auto snap = wm_.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0], w1);
+  EXPECT_EQ(snap[1], w3);
+}
+
+TEST_F(WorkingMemoryTest, WmeToString) {
+  const Wme* w = wm_.make(intern("a"),
+                          {Value::integer(5), sym("blue")});
+  EXPECT_EQ(wme_to_string(*w, program_), "(a ^x 5 ^y blue)");
+}
+
+}  // namespace
+}  // namespace psme

@@ -1,0 +1,192 @@
+// Workload generators: programs parse, run to their intended conclusion,
+// and exhibit the structural properties the paper tables depend on.
+#include "workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.hpp"
+#include "engine/sequential_engine.hpp"
+#include "rete/builder.hpp"
+
+namespace psme::workloads {
+namespace {
+
+TEST(Tourney, RunsToHaltAndSchedulesAllPairings) {
+  const int teams = 10;
+  const auto w = tourney(teams, false);
+  auto program = ops5::Program::from_source(w.source);
+  SequentialEngine eng(program, {});
+  load(eng, w);
+  const RunResult r = eng.run();
+  EXPECT_EQ(r.reason, StopReason::Halt);
+  // All C(teams,2) pairings were scheduled and the tally proves it.
+  const SymbolId tally = intern("tally");
+  const auto scheduled_slot = program.slot(tally, intern("scheduled"));
+  bool found = false;
+  for (const Wme* wme : eng.wm().snapshot()) {
+    if (wme->cls != tally) continue;
+    found = true;
+    EXPECT_EQ(wme->field(scheduled_slot),
+              Value::integer(teams * (teams - 1) / 2));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tourney, FixedVariantSchedulesTheSamePairings) {
+  const int teams = 10;
+  for (const bool fixed : {false, true}) {
+    const auto w = tourney(teams, fixed);
+    auto program = ops5::Program::from_source(w.source);
+    SequentialEngine eng(program, {});
+    load(eng, w);
+    const RunResult r = eng.run();
+    EXPECT_EQ(r.reason, StopReason::Halt) << "fixed=" << fixed;
+    // Count scheduled pairings in the final working memory is impossible
+    // (they are cleaned up); the tally survives.
+    const SymbolId tally = intern("tally");
+    const auto slot = program.slot(tally, intern("scheduled"));
+    for (const Wme* wme : eng.wm().snapshot()) {
+      if (wme->cls == tally) {
+        EXPECT_EQ(wme->field(slot), Value::integer(teams * (teams - 1) / 2))
+            << "fixed=" << fixed;
+      }
+    }
+  }
+}
+
+TEST(Tourney, CulpritJoinsAreCrossProducts) {
+  const auto w = tourney(10, false);
+  auto program = ops5::Program::from_source(w.source);
+  const auto net = rete::build_network(program);
+  // The culprit joins perform no equality tests at all (not even through
+  // their predicates' hashable part): team x team and pairing x week.
+  int cross_products = 0;
+  for (const auto& j : net->joins()) {
+    if (j->eq_tests.empty() && j->kind == rete::JoinKind::Positive)
+      ++cross_products;
+  }
+  EXPECT_GE(cross_products, 2);
+
+  // Dynamically, the rewrite is what matters: right activations of the
+  // culprit joins examine enormous opposite memories (the paper's Table 4-2
+  // reports 270.1 tokens for Tourney's right activations with linear
+  // memories); the domain-knowledge rewrite collapses that.
+  auto mean_opp_right = [](const Workload& wl) {
+    auto p = ops5::Program::from_source(wl.source);
+    EngineOptions opt;
+    opt.memory = match::MemoryStrategy::List;
+    SequentialEngine eng(p, opt);
+    load(eng, wl);
+    eng.run();
+    return eng.stats().match.mean_opp_examined(Side::Right);
+  };
+  const double unfixed = mean_opp_right(tourney(14, false));
+  const double fixed = mean_opp_right(tourney(14, true));
+  EXPECT_GT(unfixed, 100.0);  // the pathology is present...
+  EXPECT_GT(unfixed, fixed * 5.0);  // ...and the rewrite removes it
+}
+
+TEST(Rubik, SolvesScrambleAndHalts) {
+  const auto w = rubik(10);
+  auto program = ops5::Program::from_source(w.source);
+  SequentialEngine eng(program, {});
+  load(eng, w);
+  const RunResult r = eng.run();
+  EXPECT_EQ(r.reason, StopReason::Halt);
+  // The check phase asserted success: (result ^solved yes) exists.
+  const SymbolId result = intern("result");
+  const auto slot = program.slot(result, intern("solved"));
+  bool found = false;
+  for (const Wme* wme : eng.wm().snapshot()) {
+    if (wme->cls == result) {
+      found = true;
+      EXPECT_EQ(wme->field(slot), sym("yes"));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Rubik, OneFiringPerMovePlusCheck) {
+  // One whole quarter-turn per firing, plus script-done and check-ok.
+  const int moves = 6;
+  const auto w = rubik(moves);
+  auto program = ops5::Program::from_source(w.source);
+  SequentialEngine eng(program, {});
+  load(eng, w);
+  const RunResult r = eng.run();
+  EXPECT_EQ(r.stats.firings, static_cast<std::uint64_t>(moves + 2));
+  // Each move rewrites 20 stickers (40 changes) and bumps the cursor (2).
+  EXPECT_GE(r.stats.match.wme_changes, static_cast<std::uint64_t>(42 * moves));
+}
+
+TEST(Rubik, RulesetSizeComparableToOriginal) {
+  const auto w = rubik(6);
+  auto program = ops5::Program::from_source(w.source);
+  EXPECT_GE(program.productions().size(), 35u);
+  EXPECT_LE(program.productions().size(), 90u);
+}
+
+TEST(Weaver, RulesScaleWithRegionsAndRoutesComplete) {
+  const auto w = weaver(8, 1);
+  auto program = ops5::Program::from_source(w.source);
+  EXPECT_GE(program.productions().size(), 8u * 9u);
+  SequentialEngine eng(program, {});
+  load(eng, w);
+  const RunResult r = eng.run();
+  (void)r;  // May halt (all regions done) or stall on a blocked net.
+  // Every net should have left the 'pending' state.
+  const SymbolId net_cls = intern("net");
+  const auto status = program.slot(net_cls, intern("status"));
+  int done = 0, total = 0;
+  for (const Wme* wme : eng.wm().snapshot()) {
+    if (wme->cls != net_cls) continue;
+    ++total;
+    EXPECT_NE(wme->field(status), sym("pending"));
+    if (wme->field(status) == sym("done")) ++done;
+  }
+  EXPECT_EQ(total, 8);
+  EXPECT_GE(done, total / 2);  // most nets route successfully
+}
+
+TEST(Weaver, ChangeTouchesOnlyItsRegionSlice) {
+  // A change in region 0 must not activate region 1's joins: per-change
+  // activations stay bounded as regions grow (the Weaver property).
+  const auto w_small = weaver(4, 1);
+  const auto w_big = weaver(40, 1);
+  auto run_changes = [](const Workload& w) {
+    auto program = ops5::Program::from_source(w.source);
+    SequentialEngine eng(program, {});
+    load(eng, w);
+    eng.run();
+    return static_cast<double>(eng.stats().match.node_activations) /
+           static_cast<double>(eng.stats().match.wme_changes);
+  };
+  const double small_rate = run_changes(w_small);
+  const double big_rate = run_changes(w_big);
+  // 10x more regions must not mean 10x more activations per change.
+  EXPECT_LT(big_rate, small_rate * 3.0);
+}
+
+TEST(RandomProgram, GeneratesValidParseableSources) {
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const auto w = random_program(seed);
+    EXPECT_NO_THROW({
+      auto program = ops5::Program::from_source(w.source);
+      SequentialEngine eng(program, {});
+      for (const auto& wme : w.initial_wmes) eng.make(wme);
+    }) << "seed " << seed << "\n"
+       << w.source;
+  }
+}
+
+TEST(RandomProgram, DeterministicForSeed) {
+  const auto a = random_program(42);
+  const auto b = random_program(42);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.initial_wmes, b.initial_wmes);
+  const auto c = random_program(43);
+  EXPECT_NE(a.source, c.source);
+}
+
+}  // namespace
+}  // namespace psme::workloads

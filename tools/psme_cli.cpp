@@ -1,0 +1,217 @@
+// psme: command-line driver for the PSM-E OPS5 engine.
+//
+// Usage:
+//   psme_cli PROGRAM.ops [options]
+//   psme_cli --workload {weaver|rubik|tourney|tourney-fixed} [options]
+//
+// Options:
+//   --mode {seq|vs1|lisp|threads|sim|treat}  execution engine (default seq/vs2)
+//   --procs N        match processes for threads/sim modes (default 4)
+//   --queues N       task queues (default 1)
+//   --locks {simple|mrsw}
+//   --strategy {lex|mea}
+//   --wm "(class ^attr value ...)"      add an initial wme (repeatable)
+//   --wmfile FILE    file of wme literals, one per line ('#'/';' comments)
+//   --cycles N       recognize-act cycle cap (default 100000)
+//   --watch N        0 silent, 1 firings, 2 + wm changes
+//   --network        print the compiled Rete network and exit
+//   --analyze        static culprit analysis + intrinsic-parallelism
+//                    profile (runs the program once), then exit
+//   --dump-source    print the program source and exit (workloads)
+//   --stats          print match statistics after the run
+//
+// When PROGRAM.ops is given and PROGRAM.wm exists alongside it, that file
+// is loaded automatically.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "psme.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: psme_cli PROGRAM.ops [options]\n"
+               "       psme_cli --workload NAME [options]\n"
+               "run psme_cli --help for the option list\n";
+  std::exit(msg ? 1 : 0);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open " + path).c_str());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void load_wme_file(psme::Engine& engine, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open " + path).c_str());
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == ';')
+      continue;
+    engine.make(line);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string program_path;
+  std::string workload_name;
+  psme::EngineConfig config;
+  config.options.match_processes = 0;
+  config.options.out = &std::cout;
+  config.options.max_cycles = 100000;
+  int procs = 4;
+  std::vector<std::string> wmes;
+  std::string wmfile;
+  bool print_net = false, dump_source = false, print_stats = false;
+  bool analyze = false;
+  std::string mode = "seq";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") usage();
+    else if (arg == "--workload") workload_name = next();
+    else if (arg == "--mode") mode = next();
+    else if (arg == "--procs") procs = std::stoi(next());
+    else if (arg == "--queues") config.options.task_queues = std::stoi(next());
+    else if (arg == "--locks") {
+      const std::string v = next();
+      if (v == "simple") config.options.lock_scheme =
+          psme::match::LockScheme::Simple;
+      else if (v == "mrsw") config.options.lock_scheme =
+          psme::match::LockScheme::Mrsw;
+      else usage("unknown lock scheme");
+    } else if (arg == "--strategy") {
+      const std::string v = next();
+      if (v == "lex") config.options.strategy = psme::CrStrategy::Lex;
+      else if (v == "mea") config.options.strategy = psme::CrStrategy::Mea;
+      else usage("unknown strategy");
+    } else if (arg == "--wm") wmes.push_back(next());
+    else if (arg == "--wmfile") wmfile = next();
+    else if (arg == "--cycles") config.options.max_cycles =
+        static_cast<std::uint64_t>(std::stoll(next()));
+    else if (arg == "--watch") config.options.watch = std::stoi(next());
+    else if (arg == "--network") print_net = true;
+    else if (arg == "--analyze") analyze = true;
+    else if (arg == "--dump-source") dump_source = true;
+    else if (arg == "--stats") print_stats = true;
+    else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
+    else program_path = arg;
+  }
+
+  if (mode == "seq" || mode == "vs2") {
+    config.mode = psme::ExecutionMode::Sequential;
+  } else if (mode == "vs1") {
+    config.mode = psme::ExecutionMode::Sequential;
+    config.options.memory = psme::match::MemoryStrategy::List;
+  } else if (mode == "lisp") {
+    config.mode = psme::ExecutionMode::LispStyle;
+  } else if (mode == "threads") {
+    config.mode = psme::ExecutionMode::ParallelThreads;
+    config.options.match_processes = procs;
+  } else if (mode == "sim") {
+    config.mode = psme::ExecutionMode::SimulatedMultimax;
+    config.options.match_processes = procs;
+  } else if (mode == "treat") {
+    config.mode = psme::ExecutionMode::Treat;
+  } else {
+    usage("unknown mode");
+  }
+
+  // Resolve the program and initial working memory.
+  std::string source;
+  std::vector<std::string> workload_wmes;
+  if (!workload_name.empty()) {
+    psme::workloads::Workload w;
+    if (workload_name == "weaver") w = psme::workloads::weaver();
+    else if (workload_name == "rubik") w = psme::workloads::rubik();
+    else if (workload_name == "tourney") w = psme::workloads::tourney();
+    else if (workload_name == "tourney-fixed")
+      w = psme::workloads::tourney(14, true);
+    else usage("unknown workload");
+    source = w.source;
+    workload_wmes = w.initial_wmes;
+  } else if (!program_path.empty()) {
+    source = read_file(program_path);
+  } else {
+    usage("no program given");
+  }
+
+  if (dump_source) {
+    std::cout << source;
+    for (const std::string& w : workload_wmes) std::cout << "; wm " << w << "\n";
+    return 0;
+  }
+
+  const auto program = psme::ops5::Program::from_source(source);
+  std::cout << "; " << program.productions().size() << " productions, "
+            << program.classes().size() << " classes\n";
+
+  if (print_net) {
+    const auto net = psme::rete::build_network(program);
+    std::cout << psme::rete::print_network(*net, program);
+    return 0;
+  }
+  if (analyze) {
+    const auto net = psme::rete::build_network(program);
+    std::cout << psme::analysis::render_report(
+        psme::analysis::analyze_network(*net, program));
+    std::vector<std::string> all_wmes = workload_wmes;
+    all_wmes.insert(all_wmes.end(), wmes.begin(), wmes.end());
+    std::cout << "\n"
+              << psme::analysis::render_profile(
+                     psme::analysis::profile_parallelism(
+                         program, all_wmes, {}, config.options.max_cycles));
+    return 0;
+  }
+
+  psme::Engine engine(program, config);
+  for (const std::string& w : workload_wmes) engine.make(w);
+  if (!program_path.empty()) {
+    const std::string side = program_path.substr(0, program_path.rfind('.')) + ".wm";
+    if (std::ifstream probe(side); probe.good()) load_wme_file(engine, side);
+  }
+  if (!wmfile.empty()) load_wme_file(engine, wmfile);
+  for (const std::string& w : wmes) engine.make(w);
+
+  const psme::RunResult result = engine.run();
+  const char* reason =
+      result.reason == psme::StopReason::Halt ? "halt"
+      : result.reason == psme::StopReason::EmptyConflictSet
+          ? "empty conflict set"
+          : "cycle limit";
+  std::cout << "; stopped (" << reason << ") after " << result.stats.cycles
+            << " cycles\n";
+  if (print_stats) {
+    const psme::MatchStats& m = result.stats.match;
+    std::cout << "; wme changes:       " << m.wme_changes << "\n"
+              << "; node activations:  " << m.node_activations << "\n"
+              << "; emissions:         " << m.emissions << "\n"
+              << "; conjugate pairs:   " << m.conjugate_hits << "\n"
+              << "; opp examined L/R:  " << m.mean_opp_examined(psme::Side::Left)
+              << " / " << m.mean_opp_examined(psme::Side::Right) << "\n"
+              << "; queue contention:  " << m.queue_contention() << "\n"
+              << "; line contention:   " << m.line_contention(psme::Side::Left)
+              << " / " << m.line_contention(psme::Side::Right) << "\n"
+              << "; match time:        " << result.stats.match_seconds
+              << " s";
+    if (config.mode == psme::ExecutionMode::SimulatedMultimax)
+      std::cout << " (" << result.stats.sim_match_seconds
+                << " virtual s at 0.75 MIPS)";
+    std::cout << "\n";
+  }
+  return 0;
+}
