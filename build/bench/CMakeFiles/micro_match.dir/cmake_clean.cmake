@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_match.dir/micro_match.cpp.o"
+  "CMakeFiles/micro_match.dir/micro_match.cpp.o.d"
+  "micro_match"
+  "micro_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

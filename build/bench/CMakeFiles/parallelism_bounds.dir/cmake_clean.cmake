@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_bounds.dir/parallelism_bounds.cpp.o"
+  "CMakeFiles/parallelism_bounds.dir/parallelism_bounds.cpp.o.d"
+  "parallelism_bounds"
+  "parallelism_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

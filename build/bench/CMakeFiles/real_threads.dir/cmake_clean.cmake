@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_threads.dir/real_threads.cpp.o"
+  "CMakeFiles/real_threads.dir/real_threads.cpp.o.d"
+  "real_threads"
+  "real_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

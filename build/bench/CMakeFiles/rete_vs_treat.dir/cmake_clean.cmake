@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_vs_treat.dir/rete_vs_treat.cpp.o"
+  "CMakeFiles/rete_vs_treat.dir/rete_vs_treat.cpp.o.d"
+  "rete_vs_treat"
+  "rete_vs_treat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_vs_treat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

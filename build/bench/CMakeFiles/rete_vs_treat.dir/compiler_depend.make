@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rete_vs_treat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rete_vs_treat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_1.dir/table4_1.cpp.o"
+  "CMakeFiles/table4_1.dir/table4_1.cpp.o.d"
+  "table4_1"
+  "table4_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

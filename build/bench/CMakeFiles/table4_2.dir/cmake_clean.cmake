@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_2.dir/table4_2.cpp.o"
+  "CMakeFiles/table4_2.dir/table4_2.cpp.o.d"
+  "table4_2"
+  "table4_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

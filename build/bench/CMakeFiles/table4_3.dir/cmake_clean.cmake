@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_3.dir/table4_3.cpp.o"
+  "CMakeFiles/table4_3.dir/table4_3.cpp.o.d"
+  "table4_3"
+  "table4_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

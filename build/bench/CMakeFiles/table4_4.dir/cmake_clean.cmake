@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_4.dir/table4_4.cpp.o"
+  "CMakeFiles/table4_4.dir/table4_4.cpp.o.d"
+  "table4_4"
+  "table4_4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_5.dir/table4_5.cpp.o"
+  "CMakeFiles/table4_5.dir/table4_5.cpp.o.d"
+  "table4_5"
+  "table4_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

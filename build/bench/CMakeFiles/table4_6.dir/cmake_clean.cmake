@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_6.dir/table4_6.cpp.o"
+  "CMakeFiles/table4_6.dir/table4_6.cpp.o.d"
+  "table4_6"
+  "table4_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

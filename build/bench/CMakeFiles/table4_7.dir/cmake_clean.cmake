@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_7.dir/table4_7.cpp.o"
+  "CMakeFiles/table4_7.dir/table4_7.cpp.o.d"
+  "table4_7"
+  "table4_7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_8.dir/table4_8.cpp.o"
+  "CMakeFiles/table4_8.dir/table4_8.cpp.o.d"
+  "table4_8"
+  "table4_8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

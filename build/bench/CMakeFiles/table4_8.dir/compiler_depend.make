@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_9.dir/table4_9.cpp.o"
+  "CMakeFiles/table4_9.dir/table4_9.cpp.o.d"
+  "table4_9"
+  "table4_9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

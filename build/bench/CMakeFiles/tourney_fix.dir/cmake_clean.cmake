@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tourney_fix.dir/tourney_fix.cpp.o"
+  "CMakeFiles/tourney_fix.dir/tourney_fix.cpp.o.d"
+  "tourney_fix"
+  "tourney_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tourney_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tourney_fix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tourney_fix.
+# This may be replaced when dependencies are built.

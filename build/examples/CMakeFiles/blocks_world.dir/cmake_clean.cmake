@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocks_world.dir/blocks_world.cpp.o"
+  "CMakeFiles/blocks_world.dir/blocks_world.cpp.o.d"
+  "blocks_world"
+  "blocks_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocks_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

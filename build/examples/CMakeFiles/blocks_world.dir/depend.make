@@ -1,0 +1,2 @@
+# Empty dependencies file for blocks_world.
+# This may be replaced when dependencies are built.

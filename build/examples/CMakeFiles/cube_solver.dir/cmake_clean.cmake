@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_solver.dir/cube_solver.cpp.o"
+  "CMakeFiles/cube_solver.dir/cube_solver.cpp.o.d"
+  "cube_solver"
+  "cube_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

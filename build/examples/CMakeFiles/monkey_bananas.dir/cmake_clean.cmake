@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_bananas.dir/monkey_bananas.cpp.o"
+  "CMakeFiles/monkey_bananas.dir/monkey_bananas.cpp.o.d"
+  "monkey_bananas"
+  "monkey_bananas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_bananas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

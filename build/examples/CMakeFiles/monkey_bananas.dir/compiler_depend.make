@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for monkey_bananas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for monkey_bananas.
+# This may be replaced when dependencies are built.

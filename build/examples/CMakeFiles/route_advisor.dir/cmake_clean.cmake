@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_advisor.dir/route_advisor.cpp.o"
+  "CMakeFiles/route_advisor.dir/route_advisor.cpp.o.d"
+  "route_advisor"
+  "route_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tourney_scheduler.dir/tourney_scheduler.cpp.o"
+  "CMakeFiles/tourney_scheduler.dir/tourney_scheduler.cpp.o.d"
+  "tourney_scheduler"
+  "tourney_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tourney_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

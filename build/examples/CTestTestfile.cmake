@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;psme_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_blocks_world "/root/repo/build/examples/blocks_world")
+set_tests_properties(example_blocks_world PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;psme_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_route_advisor "/root/repo/build/examples/route_advisor")
+set_tests_properties(example_route_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;psme_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tourney_scheduler "/root/repo/build/examples/tourney_scheduler")
+set_tests_properties(example_tourney_scheduler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;psme_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cube_solver "/root/repo/build/examples/cube_solver")
+set_tests_properties(example_cube_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;psme_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_monkey_bananas "/root/repo/build/examples/monkey_bananas")
+set_tests_properties(example_monkey_bananas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;psme_example;/root/repo/examples/CMakeLists.txt;0;")

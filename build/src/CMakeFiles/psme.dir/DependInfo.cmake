@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/network_analysis.cpp" "src/CMakeFiles/psme.dir/analysis/network_analysis.cpp.o" "gcc" "src/CMakeFiles/psme.dir/analysis/network_analysis.cpp.o.d"
+  "/root/repo/src/analysis/parallelism.cpp" "src/CMakeFiles/psme.dir/analysis/parallelism.cpp.o" "gcc" "src/CMakeFiles/psme.dir/analysis/parallelism.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/psme.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/psme.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/symbol_table.cpp" "src/CMakeFiles/psme.dir/common/symbol_table.cpp.o" "gcc" "src/CMakeFiles/psme.dir/common/symbol_table.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/psme.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/engine_base.cpp" "src/CMakeFiles/psme.dir/engine/engine_base.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/engine_base.cpp.o.d"
+  "/root/repo/src/engine/lisp_engine.cpp" "src/CMakeFiles/psme.dir/engine/lisp_engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/lisp_engine.cpp.o.d"
+  "/root/repo/src/engine/parallel_engine.cpp" "src/CMakeFiles/psme.dir/engine/parallel_engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/parallel_engine.cpp.o.d"
+  "/root/repo/src/engine/sequential_engine.cpp" "src/CMakeFiles/psme.dir/engine/sequential_engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/sequential_engine.cpp.o.d"
+  "/root/repo/src/engine/treat_engine.cpp" "src/CMakeFiles/psme.dir/engine/treat_engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/treat_engine.cpp.o.d"
+  "/root/repo/src/match/kernel.cpp" "src/CMakeFiles/psme.dir/match/kernel.cpp.o" "gcc" "src/CMakeFiles/psme.dir/match/kernel.cpp.o.d"
+  "/root/repo/src/match/line_locks.cpp" "src/CMakeFiles/psme.dir/match/line_locks.cpp.o" "gcc" "src/CMakeFiles/psme.dir/match/line_locks.cpp.o.d"
+  "/root/repo/src/match/task_queue.cpp" "src/CMakeFiles/psme.dir/match/task_queue.cpp.o" "gcc" "src/CMakeFiles/psme.dir/match/task_queue.cpp.o.d"
+  "/root/repo/src/ops5/lexer.cpp" "src/CMakeFiles/psme.dir/ops5/lexer.cpp.o" "gcc" "src/CMakeFiles/psme.dir/ops5/lexer.cpp.o.d"
+  "/root/repo/src/ops5/parser.cpp" "src/CMakeFiles/psme.dir/ops5/parser.cpp.o" "gcc" "src/CMakeFiles/psme.dir/ops5/parser.cpp.o.d"
+  "/root/repo/src/ops5/printer.cpp" "src/CMakeFiles/psme.dir/ops5/printer.cpp.o" "gcc" "src/CMakeFiles/psme.dir/ops5/printer.cpp.o.d"
+  "/root/repo/src/ops5/program.cpp" "src/CMakeFiles/psme.dir/ops5/program.cpp.o" "gcc" "src/CMakeFiles/psme.dir/ops5/program.cpp.o.d"
+  "/root/repo/src/rete/builder.cpp" "src/CMakeFiles/psme.dir/rete/builder.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/builder.cpp.o.d"
+  "/root/repo/src/rete/network.cpp" "src/CMakeFiles/psme.dir/rete/network.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/network.cpp.o.d"
+  "/root/repo/src/rete/printer.cpp" "src/CMakeFiles/psme.dir/rete/printer.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/printer.cpp.o.d"
+  "/root/repo/src/runtime/conflict_set.cpp" "src/CMakeFiles/psme.dir/runtime/conflict_set.cpp.o" "gcc" "src/CMakeFiles/psme.dir/runtime/conflict_set.cpp.o.d"
+  "/root/repo/src/runtime/rhs.cpp" "src/CMakeFiles/psme.dir/runtime/rhs.cpp.o" "gcc" "src/CMakeFiles/psme.dir/runtime/rhs.cpp.o.d"
+  "/root/repo/src/runtime/wme.cpp" "src/CMakeFiles/psme.dir/runtime/wme.cpp.o" "gcc" "src/CMakeFiles/psme.dir/runtime/wme.cpp.o.d"
+  "/root/repo/src/runtime/working_memory.cpp" "src/CMakeFiles/psme.dir/runtime/working_memory.cpp.o" "gcc" "src/CMakeFiles/psme.dir/runtime/working_memory.cpp.o.d"
+  "/root/repo/src/sim/sim_engine.cpp" "src/CMakeFiles/psme.dir/sim/sim_engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/sim/sim_engine.cpp.o.d"
+  "/root/repo/src/workloads/random_program.cpp" "src/CMakeFiles/psme.dir/workloads/random_program.cpp.o" "gcc" "src/CMakeFiles/psme.dir/workloads/random_program.cpp.o.d"
+  "/root/repo/src/workloads/rubik.cpp" "src/CMakeFiles/psme.dir/workloads/rubik.cpp.o" "gcc" "src/CMakeFiles/psme.dir/workloads/rubik.cpp.o.d"
+  "/root/repo/src/workloads/tourney.cpp" "src/CMakeFiles/psme.dir/workloads/tourney.cpp.o" "gcc" "src/CMakeFiles/psme.dir/workloads/tourney.cpp.o.d"
+  "/root/repo/src/workloads/weaver.cpp" "src/CMakeFiles/psme.dir/workloads/weaver.cpp.o" "gcc" "src/CMakeFiles/psme.dir/workloads/weaver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_set_test.dir/conflict_set_test.cpp.o"
+  "CMakeFiles/conflict_set_test.dir/conflict_set_test.cpp.o.d"
+  "conflict_set_test"
+  "conflict_set_test.pdb"
+  "conflict_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_facade_test.dir/engine_facade_test.cpp.o"
+  "CMakeFiles/engine_facade_test.dir/engine_facade_test.cpp.o.d"
+  "engine_facade_test"
+  "engine_facade_test.pdb"
+  "engine_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_match_test.dir/engine_match_test.cpp.o"
+  "CMakeFiles/engine_match_test.dir/engine_match_test.cpp.o.d"
+  "engine_match_test"
+  "engine_match_test.pdb"
+  "engine_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

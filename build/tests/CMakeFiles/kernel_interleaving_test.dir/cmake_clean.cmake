@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_interleaving_test.dir/kernel_interleaving_test.cpp.o"
+  "CMakeFiles/kernel_interleaving_test.dir/kernel_interleaving_test.cpp.o.d"
+  "kernel_interleaving_test"
+  "kernel_interleaving_test.pdb"
+  "kernel_interleaving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_interleaving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsw_stress_test.dir/mrsw_stress_test.cpp.o"
+  "CMakeFiles/mrsw_stress_test.dir/mrsw_stress_test.cpp.o.d"
+  "mrsw_stress_test"
+  "mrsw_stress_test.pdb"
+  "mrsw_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsw_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

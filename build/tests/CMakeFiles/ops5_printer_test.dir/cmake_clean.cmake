@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops5_printer_test.dir/ops5_printer_test.cpp.o"
+  "CMakeFiles/ops5_printer_test.dir/ops5_printer_test.cpp.o.d"
+  "ops5_printer_test"
+  "ops5_printer_test.pdb"
+  "ops5_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops5_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_engine_test.dir/parallel_engine_test.cpp.o"
+  "CMakeFiles/parallel_engine_test.dir/parallel_engine_test.cpp.o.d"
+  "parallel_engine_test"
+  "parallel_engine_test.pdb"
+  "parallel_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

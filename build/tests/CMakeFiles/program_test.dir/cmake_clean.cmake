@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_test.dir/program_test.cpp.o"
+  "CMakeFiles/program_test.dir/program_test.cpp.o.d"
+  "program_test"
+  "program_test.pdb"
+  "program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_builder_test.dir/rete_builder_test.cpp.o"
+  "CMakeFiles/rete_builder_test.dir/rete_builder_test.cpp.o.d"
+  "rete_builder_test"
+  "rete_builder_test.pdb"
+  "rete_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

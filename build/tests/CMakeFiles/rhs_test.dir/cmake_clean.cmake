@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhs_test.dir/rhs_test.cpp.o"
+  "CMakeFiles/rhs_test.dir/rhs_test.cpp.o.d"
+  "rhs_test"
+  "rhs_test.pdb"
+  "rhs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_core_test.dir/sim_core_test.cpp.o"
+  "CMakeFiles/sim_core_test.dir/sim_core_test.cpp.o.d"
+  "sim_core_test"
+  "sim_core_test.pdb"
+  "sim_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_extensions_test.dir/sim_extensions_test.cpp.o"
+  "CMakeFiles/sim_extensions_test.dir/sim_extensions_test.cpp.o.d"
+  "sim_extensions_test"
+  "sim_extensions_test.pdb"
+  "sim_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_queue_test.dir/task_queue_test.cpp.o"
+  "CMakeFiles/task_queue_test.dir/task_queue_test.cpp.o.d"
+  "task_queue_test"
+  "task_queue_test.pdb"
+  "task_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

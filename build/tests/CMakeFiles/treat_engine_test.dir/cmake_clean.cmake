@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treat_engine_test.dir/treat_engine_test.cpp.o"
+  "CMakeFiles/treat_engine_test.dir/treat_engine_test.cpp.o.d"
+  "treat_engine_test"
+  "treat_engine_test.pdb"
+  "treat_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treat_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

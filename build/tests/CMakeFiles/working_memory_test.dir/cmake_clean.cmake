@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_memory_test.dir/working_memory_test.cpp.o"
+  "CMakeFiles/working_memory_test.dir/working_memory_test.cpp.o.d"
+  "working_memory_test"
+  "working_memory_test.pdb"
+  "working_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psme_cli.dir/psme_cli.cpp.o"
+  "CMakeFiles/psme_cli.dir/psme_cli.cpp.o.d"
+  "psme_cli"
+  "psme_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psme_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

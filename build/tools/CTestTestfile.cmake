@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_run_workload "/root/repo/build/tools/psme_cli" "--workload" "tourney" "--cycles" "60" "--stats")
+set_tests_properties(cli_run_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/psme_cli" "--workload" "rubik" "--analyze" "--cycles" "60")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_network "/root/repo/build/tools/psme_cli" "--workload" "tourney-fixed" "--network")
+set_tests_properties(cli_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sim_mode "/root/repo/build/tools/psme_cli" "--workload" "tourney" "--mode" "sim" "--procs" "5" "--queues" "2" "--cycles" "60" "--stats")
+set_tests_properties(cli_sim_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_vs1_mode "/root/repo/build/tools/psme_cli" "--workload" "tourney" "--mode" "vs1" "--cycles" "60")
+set_tests_properties(cli_vs1_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_treat_mode "/root/repo/build/tools/psme_cli" "--workload" "tourney" "--mode" "treat" "--cycles" "60")
+set_tests_properties(cli_treat_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
