@@ -1,29 +1,37 @@
 // Tournament scheduler: the paper's problem child, and how to fix it.
 //
-//   $ ./examples/tourney_scheduler [teams]
+//   $ ./examples/tourney_scheduler [teams] [trace-prefix]
 //
 // Tourney's culprit productions join condition elements with no common
 // variables — cross products that pile every token of a node onto one
 // hash-table line and convoy the match processes (Section 4.2, Table 4-9).
 // This example schedules a round-robin with the original rules and with
 // the domain-knowledge rewrite, printing the schedule and the contention
-// the two rule styles produce.
+// the two rule styles produce. With a trace-prefix argument it also
+// writes <prefix>.original.trace.json / <prefix>.fixed.trace.json —
+// Chrome traces of both runs' virtual-time interleavings; open them side
+// by side in Perfetto to *see* the convoy the numbers describe
+// (docs/observability.md walks through reading them).
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "psme.hpp"
 
 int main(int argc, char** argv) {
   const int teams = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::string trace_prefix = argc > 2 ? argv[2] : "";
 
   for (const bool fixed : {false, true}) {
     const auto workload = psme::workloads::tourney(teams, fixed);
     const auto program = psme::ops5::Program::from_source(workload.source);
 
+    psme::obs::Observability obs;
     psme::EngineConfig config;
     config.mode = psme::ExecutionMode::SimulatedMultimax;
     config.options.match_processes = 13;
     config.options.task_queues = 8;
+    if (!trace_prefix.empty()) config.options.obs = &obs;
     psme::Engine engine(program, config);
     psme::workloads::load(engine, workload);
     const psme::RunResult result = engine.run();
@@ -42,6 +50,15 @@ int main(int argc, char** argv) {
               << " probes/access (1.0 = uncontended)\n";
     std::cout << "  match time on 1+13 simulated CPUs: "
               << result.stats.sim_match_seconds << " s\n";
+    if (!trace_prefix.empty()) {
+      const std::string path = trace_prefix +
+                               (fixed ? ".fixed" : ".original") +
+                               ".trace.json";
+      std::ofstream out(path);
+      obs.trace.write_json(out);
+      std::cout << "  trace (" << obs.trace.event_count() << " events) -> "
+                << path << "\n";
+    }
   }
 
   // Show the actual schedule from the unfixed program at small scale.

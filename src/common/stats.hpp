@@ -2,7 +2,12 @@
 //
 // Every engine (sequential, threaded, simulated) accumulates a MatchStats
 // per worker and merges them at the end of a run, so instrumenting never
-// introduces extra sharing between match processes. The counters map
+// introduces extra sharing between match processes. MatchStats is the
+// hot-path per-worker shard of the observability layer: src/obs's registry
+// publishes these scalars under documented metric names (see
+// docs/observability.md), and the HistogramShard pointers below let the
+// task queues, hash-line locks, and the match kernel sample distributions
+// in place when an obs::Observability is attached. The counters map
 // directly onto the paper's tables:
 //   - Table 4-1: wme_changes, node_activations
 //   - Table 4-2: opp_examined / opp_activations   (by activation side)
@@ -12,6 +17,10 @@
 #pragma once
 
 #include <cstdint>
+
+namespace psme::obs {
+struct HistogramShard;  // obs/metrics.hpp
+}  // namespace psme::obs
 
 namespace psme {
 
@@ -47,6 +56,14 @@ struct MatchStats {
   std::uint64_t queue_acquisitions = 0;
   std::uint64_t line_probes[2] = {0, 0};
   std::uint64_t line_acquisitions[2] = {0, 0};
+
+  // Observability wiring (obs::Observability::attach_worker): this worker's
+  // shards of the registry's distribution metrics. Null when no observer is
+  // attached; merge() ignores them — they are wiring, not data.
+  obs::HistogramShard* queue_depth_hist = nullptr;   // psme.queue.depth
+  obs::HistogramShard* queue_probe_hist = nullptr;   // probes_per_acquisition
+  obs::HistogramShard* line_probe_hist[2] = {nullptr, nullptr};
+  obs::HistogramShard* opp_chain_hist[2] = {nullptr, nullptr};
 
   void merge(const MatchStats& o) {
     wme_changes += o.wme_changes;

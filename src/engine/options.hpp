@@ -10,6 +10,10 @@
 #include "match/line_locks.hpp"
 #include "runtime/conflict_set.hpp"
 
+namespace psme::obs {
+struct Observability;  // obs/observability.hpp
+}  // namespace psme::obs
+
 namespace psme {
 
 struct EngineOptions {
@@ -34,6 +38,13 @@ struct EngineOptions {
   // OPS5-style watch levels, printed to `out`:
   //   0 = silent, 1 = production firings, 2 = + working-memory changes.
   int watch = 0;
+
+  // Optional observability sink (metrics registry + trace recorder, not
+  // owned; must outlive the engine). The parallel and simulator engines
+  // wire per-worker histogram shards and emit per-task trace events into
+  // it; every engine's end-of-run statistics can be exported into its
+  // registry with obs::Observability::export_run. See docs/observability.md.
+  obs::Observability* obs = nullptr;
 };
 
 struct FiringRecord {

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/observability.hpp"
+#include "obs/task_events.hpp"
+
 namespace psme {
 
 ParallelEngine::ParallelEngine(const ops5::Program& program,
@@ -32,6 +35,15 @@ void ParallelEngine::begin_run() {
   workers_.clear();
   for (int i = 0; i < options_.match_processes; ++i)
     workers_.push_back(std::make_unique<Worker>());
+  if (options_.obs) {
+    // Worker i records into observability stream i+1; the control thread
+    // (root pushes, stats_.match) is stream 0.
+    options_.obs->trace.enable(options_.match_processes + 1, "wall");
+    options_.obs->attach_worker(stats_.match, 0);
+    for (int i = 0; i < options_.match_processes; ++i)
+      options_.obs->attach_worker(workers_[i]->stats, i + 1);
+    trace_epoch_ = std::chrono::steady_clock::now();
+  }
   for (int i = 0; i < options_.match_processes; ++i)
     workers_[i]->thread = std::thread([this, i] { worker_main(i); });
 }
@@ -100,14 +112,44 @@ void ParallelEngine::worker_main(int index) {
       continue;
     }
     idle = 0;
-    execute_task(ctx, task, emit_buf, &hint, w.stats);
+    execute_task(ctx, task, emit_buf, &hint, w.stats, index + 1);
   }
 }
 
 void ParallelEngine::execute_task(match::MatchContext& ctx,
                                   const match::Task& task,
                                   std::vector<match::Task>& emit_buf,
-                                  unsigned* hint, MatchStats& stats) {
+                                  unsigned* hint, MatchStats& stats,
+                                  int worker) {
+  obs::TraceRecorder* tracer =
+      options_.obs && options_.obs->trace.enabled() ? &options_.obs->trace
+                                                    : nullptr;
+  double ts0 = 0;
+  std::uint64_t line0 = 0, queue0 = 0;
+  if (tracer) {
+    ts0 = trace_now_us();
+    line0 = stats.line_probes[0] + stats.line_probes[1];
+    queue0 = stats.queue_probes;
+  }
+  // Stamps one complete event covering the task just processed (including
+  // the emission pushes) with the lock probes it accrued.
+  auto record = [&](obs::TraceEventKind kind) {
+    obs::TraceEvent ev;
+    ev.ts_us = ts0;
+    ev.dur_us = trace_now_us() - ts0;
+    ev.kind = kind;
+    ev.sign = task.sign;
+    ev.node = obs::trace_node_of(task);
+    ev.line_probes = static_cast<std::uint32_t>(
+        stats.line_probes[0] + stats.line_probes[1] - line0);
+    ev.queue_probes =
+        static_cast<std::uint32_t>(stats.queue_probes - queue0);
+    tracer->record(worker, ev);
+  };
+  auto record_requeue = [&] {
+    if (tracer) record(obs::trace_requeue_kind_of(task));
+  };
+
   emit_buf.clear();
   switch (task.kind) {
     case match::TaskKind::Root:
@@ -130,6 +172,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       if (task.join->kind == rete::JoinKind::Negative) {
         if (!line_locks_.try_enter_exclusive(line, side, stats)) {
           queues_.requeue(task, (*hint)++, stats);
+          record_requeue();
           return;  // task still counted in TaskCount
         }
         match::process_join(ctx, task, emit_buf);
@@ -138,6 +181,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       }
       if (!line_locks_.try_enter(line, side, stats)) {
         queues_.requeue(task, (*hint)++, stats);
+        record_requeue();
         return;
       }
       line_locks_.lock_modification(line, side, stats);
@@ -151,6 +195,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
   for (const match::Task& t : emit_buf) queues_.push(t, (*hint)++, stats);
   stats.tasks_executed += 1;
   queues_.task_done();
+  if (tracer) record(obs::trace_kind_of(task.kind));
 }
 
 }  // namespace psme

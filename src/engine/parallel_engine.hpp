@@ -47,9 +47,15 @@ class ParallelEngine : public EngineBase {
 
   void worker_main(int index);
   // Executes one popped task with the appropriate locking; pushes emissions.
+  // `worker` is the observability stream (0 control, 1..k match processes).
   void execute_task(match::MatchContext& ctx, const match::Task& task,
                     std::vector<match::Task>& emit_buf, unsigned* hint,
-                    MatchStats& stats);
+                    MatchStats& stats, int worker);
+  double trace_now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - trace_epoch_)
+        .count();
+  }
 
   match::HashTokenTable left_table_;
   match::HashTokenTable right_table_;
@@ -61,6 +67,7 @@ class ParallelEngine : public EngineBase {
                                     // root tasks but required by contexts)
   unsigned control_hint_ = 0;
   std::chrono::steady_clock::time_point phase_start_;
+  std::chrono::steady_clock::time_point trace_epoch_;  // ts 0 of the trace
   bool phase_open_ = false;
 };
 

@@ -2,8 +2,21 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace psme::match {
 namespace {
+
+// Table 4-2 accounting: tokens examined in the opposite memory, counted
+// only for non-empty probes, plus the per-probe distribution when an
+// observer is attached.
+inline void count_opp_examined(MatchStats& stats, int si,
+                               std::uint32_t examined) {
+  if (examined == 0) return;
+  stats.opp_examined[si] += examined;
+  stats.opp_activations[si] += 1;
+  if (stats.opp_chain_hist[si]) stats.opp_chain_hist[si]->record(examined);
+}
 
 std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
@@ -239,10 +252,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       emit_to_successors(ctx, j, extended, task.sign, out);
       ++pairs;
     }
-    if (examined > 0) {
-      ctx.stats->opp_examined[si] += examined;
-      ctx.stats->opp_activations[si] += 1;
-    }
+    count_opp_examined(*ctx.stats, si, examined);
     ctx.stats->emissions += pairs;
     if (cost) {
       cost->opp_examined += examined;
@@ -262,10 +272,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
         if (!entry_of_node(ctx, e, j, update.hash)) continue;
         if (beta_match(j, task.token, e->wme)) ++count;
       }
-      if (examined > 0) {
-        ctx.stats->opp_examined[si] += examined;
-        ctx.stats->opp_activations[si] += 1;
-      }
+      count_opp_examined(*ctx.stats, si, examined);
       if (cost) cost->opp_examined += examined;
       update.entry->neg_count.store(count, std::memory_order_relaxed);
       if (count == 0) {
@@ -311,10 +318,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       }
     }
   }
-  if (examined > 0) {
-    ctx.stats->opp_examined[si] += examined;
-    ctx.stats->opp_activations[si] += 1;
-  }
+  count_opp_examined(*ctx.stats, si, examined);
   if (cost) cost->opp_examined += examined;
 }
 

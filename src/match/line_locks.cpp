@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace psme::match {
+
+namespace {
+inline void sample_line_probes(MatchStats& stats, int si,
+                               std::uint64_t probes) {
+  stats.line_probes[si] += probes;
+  stats.line_acquisitions[si] += 1;
+  if (stats.line_probe_hist[si]) stats.line_probe_hist[si]->record(probes);
+}
+}  // namespace
 
 LineLocks::LineLocks(std::uint32_t num_lines, LockScheme scheme)
     : scheme_(scheme), lines_(num_lines) {}
@@ -10,8 +21,7 @@ LineLocks::LineLocks(std::uint32_t num_lines, LockScheme scheme)
 void LineLocks::lock_exclusive(std::uint32_t line, Side side,
                                MatchStats& stats) {
   const int si = side_index(side);
-  stats.line_probes[si] += lines_[line].simple.lock();
-  stats.line_acquisitions[si] += 1;
+  sample_line_probes(stats, si, lines_[line].simple.lock());
 }
 
 void LineLocks::unlock_exclusive(std::uint32_t line) {
@@ -22,8 +32,7 @@ bool LineLocks::try_enter(std::uint32_t line, Side side, MatchStats& stats) {
   Line& l = lines_[line];
   const int si = side_index(side);
   const std::uint8_t mine = side == Side::Left ? kLeft : kRight;
-  stats.line_probes[si] += l.guard.lock();
-  stats.line_acquisitions[si] += 1;
+  sample_line_probes(stats, si, l.guard.lock());
   if (l.flag == kUnused || l.flag == mine) {
     l.flag = mine;
     ++l.users;
@@ -46,8 +55,7 @@ bool LineLocks::try_enter_exclusive(std::uint32_t line, Side side,
                                     MatchStats& stats) {
   Line& l = lines_[line];
   const int si = side_index(side);
-  stats.line_probes[si] += l.guard.lock();
-  stats.line_acquisitions[si] += 1;
+  sample_line_probes(stats, si, l.guard.lock());
   if (l.flag == kUnused) {
     l.flag = kExclusive;
     l.users = 1;
@@ -63,8 +71,7 @@ void LineLocks::leave_exclusive(std::uint32_t line) { leave(line); }
 void LineLocks::lock_modification(std::uint32_t line, Side side,
                                   MatchStats& stats) {
   const int si = side_index(side);
-  stats.line_probes[si] += lines_[line].modification.lock();
-  stats.line_acquisitions[si] += 1;
+  sample_line_probes(stats, si, lines_[line].modification.lock());
 }
 
 void LineLocks::unlock_modification(std::uint32_t line) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace psme::match {
 
 TaskQueueSet::TaskQueueSet(int num_queues) {
@@ -22,22 +24,26 @@ void TaskQueueSet::enqueue(const Task& task, unsigned hint,
     ++probes;
     if (q.lock.try_lock()) {
       q.items.push_back(task);
-      q.approx_size.store(static_cast<std::uint32_t>(q.items.size()),
-                          std::memory_order_relaxed);
+      const auto depth = static_cast<std::uint32_t>(q.items.size());
+      q.approx_size.store(depth, std::memory_order_relaxed);
       q.lock.unlock();
       stats.queue_probes += probes;
       stats.queue_acquisitions += 1;
+      if (stats.queue_probe_hist) stats.queue_probe_hist->record(probes);
+      if (stats.queue_depth_hist) stats.queue_depth_hist->record(depth);
       return;
     }
   }
   Queue& q = *queues_[hint % n];
   probes += q.lock.lock() - 1;  // first probe of lock() already counted above
   q.items.push_back(task);
-  q.approx_size.store(static_cast<std::uint32_t>(q.items.size()),
-                      std::memory_order_relaxed);
+  const auto depth = static_cast<std::uint32_t>(q.items.size());
+  q.approx_size.store(depth, std::memory_order_relaxed);
   q.lock.unlock();
   stats.queue_probes += probes;
   stats.queue_acquisitions += 1;
+  if (stats.queue_probe_hist) stats.queue_probe_hist->record(probes);
+  if (stats.queue_depth_hist) stats.queue_depth_hist->record(depth);
 }
 
 void TaskQueueSet::push(const Task& task, unsigned hint, MatchStats& stats) {
@@ -59,6 +65,7 @@ bool TaskQueueSet::try_pop(Task* out, unsigned hint, MatchStats& stats) {
     const std::uint64_t probes = q.lock.lock();
     stats.queue_probes += probes;
     stats.queue_acquisitions += 1;
+    if (stats.queue_probe_hist) stats.queue_probe_hist->record(probes);
     if (!q.items.empty()) {
       *out = q.items.front();
       q.items.pop_front();

@@ -1,0 +1,321 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace psme::obs {
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* j = find(key);
+  if (!j)
+    throw std::out_of_range("missing JSON member: " + std::string(key));
+  return *j;
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* j = find(key);
+  return j && j->is_number() ? j->as_double() : fallback;
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;  // UTF-8 passes through unescaped
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void write_number(std::ostream& os, double d) {
+  // Integers (the common case: counters, bucket counts) print exactly;
+  // other values keep round-trip precision.
+  if (std::nearbyint(d) == d && std::abs(d) < 9.0e15) {
+    os << static_cast<std::int64_t>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+void write_indent(std::ostream& os, int level) {
+  os << '\n';
+  for (int i = 0; i < level; ++i) os << "  ";
+}
+
+void write_value(std::ostream& os, const Json& j, int indent, int level) {
+  if (j.is_null()) {
+    os << "null";
+  } else if (j.is_bool()) {
+    os << (j.as_bool() ? "true" : "false");
+  } else if (j.is_number()) {
+    write_number(os, j.as_double());
+  } else if (j.is_string()) {
+    json_escape(os, j.as_string());
+  } else if (j.is_array()) {
+    const JsonArray& a = j.as_array();
+    if (a.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) os << ',';
+      if (indent) write_indent(os, level + 1);
+      write_value(os, a[i], indent, level + 1);
+    }
+    if (indent) write_indent(os, level);
+    os << ']';
+  } else {
+    const JsonObject& o = j.as_object();
+    if (o.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i) os << ',';
+      if (indent) write_indent(os, level + 1);
+      json_escape(os, o[i].first);
+      os << (indent ? ": " : ":");
+      write_value(os, o[i].second, indent, level + 1);
+    }
+    if (indent) write_indent(os, level);
+    os << '}';
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_)
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word, Json v, Json* out) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs unsupported —
+          // our own writer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    double d = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc{} || ptr != text_.data() + pos_)
+      return fail("bad number");
+    *out = Json(d);
+    return true;
+  }
+
+  bool value(Json* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') return literal("null", Json(nullptr), out);
+    if (c == 't') return literal("true", Json(true), out);
+    if (c == 'f') return literal("false", Json(false), out);
+    if (c == '"') {
+      std::string s;
+      if (!string(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonArray a;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        *out = Json(std::move(a));
+        return true;
+      }
+      for (;;) {
+        Json v;
+        skip_ws();
+        if (!value(&v)) return false;
+        a.push_back(std::move(v));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          *out = Json(std::move(a));
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      JsonObject o;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        *out = Json(std::move(o));
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!string(&key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':')
+          return fail("expected ':'");
+        ++pos_;
+        skip_ws();
+        Json v;
+        if (!value(&v)) return false;
+        o.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          *out = Json(std::move(o));
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    return number(out);
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::write(std::ostream& os, int indent) const {
+  write_value(os, *this, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream ss;
+  write(ss, indent);
+  return ss.str();
+}
+
+bool json_parse(std::string_view text, Json* out, std::string* error) {
+  return Parser(text, error).parse(out);
+}
+
+}  // namespace psme::obs

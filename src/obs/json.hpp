@@ -1,0 +1,86 @@
+// Minimal JSON value, parser, and writer for the observability layer.
+//
+// The metrics registry and the trace recorder emit JSON (chrome://tracing's
+// trace_event format, and a flat metrics dump); tools/trace_report and the
+// round-trip tests read it back. The engine has no third-party dependencies,
+// so this is a small self-contained implementation: UTF-8 pass-through
+// strings, doubles for all numbers (with integer-preserving printing), and
+// insertion-ordered objects so emitted files diff stably.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace psme::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// Insertion-ordered; lookup is linear (objects here are small).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : v_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : v_(static_cast<double>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_double()); }
+  std::uint64_t as_uint() const {
+    return static_cast<std::uint64_t>(as_double());
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(v_); }
+  JsonArray& as_array() { return std::get<JsonArray>(v_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(v_); }
+  JsonObject& as_object() { return std::get<JsonObject>(v_); }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  // find() that dies with a parse-context-free message when absent — for
+  // readers of files this library itself wrote.
+  const Json& at(std::string_view key) const;
+  // Convenience: member `key` as double/uint, or `fallback` when absent.
+  double number_or(std::string_view key, double fallback) const;
+
+  void write(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+  bool operator==(const Json& o) const { return v_ == o.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v_;
+};
+
+// Parses `text`; returns false and fills *error (with offset context) on
+// malformed input. Accepts any top-level value.
+bool json_parse(std::string_view text, Json* out, std::string* error);
+
+void json_escape(std::ostream& os, std::string_view s);
+
+}  // namespace psme::obs

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace psme::obs {
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+template <typename T>
+T& Registry::find_or_create(std::vector<std::unique_ptr<T>>& vec,
+                            const MetricDesc& desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : vec) {
+    if (m->desc().name == desc.name) return *m;
+  }
+  // A name must keep its kind; catching this at registration beats
+  // emitting a file with two metrics of the same name.
+  for (const MetricDesc& d : descs_unlocked()) {
+    if (d.name == desc.name)
+      throw std::logic_error("metric registered with two kinds: " +
+                             desc.name);
+  }
+  vec.push_back(std::make_unique<T>(desc));
+  order_.emplace_back(desc.kind, vec.size() - 1);
+  return *vec.back();
+}
+
+Counter& Registry::counter(const MetricDesc& desc) {
+  MetricDesc d = desc;
+  d.kind = MetricKind::Counter;
+  return find_or_create(counters_, d);
+}
+
+Gauge& Registry::gauge(const MetricDesc& desc) {
+  MetricDesc d = desc;
+  d.kind = MetricKind::Gauge;
+  return find_or_create(gauges_, d);
+}
+
+Histogram& Registry::histogram(const MetricDesc& desc) {
+  MetricDesc d = desc;
+  d.kind = MetricKind::Histogram;
+  return find_or_create(histograms_, d);
+}
+
+std::vector<MetricDesc> Registry::descs_unlocked() const {
+  std::vector<MetricDesc> out;
+  for (const auto& [kind, idx] : order_) {
+    switch (kind) {
+      case MetricKind::Counter: out.push_back(counters_[idx]->desc()); break;
+      case MetricKind::Gauge: out.push_back(gauges_[idx]->desc()); break;
+      case MetricKind::Histogram:
+        out.push_back(histograms_[idx]->desc());
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<MetricDesc> Registry::descs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return descs_unlocked();
+}
+
+std::vector<std::string> Registry::metric_names() const {
+  std::vector<std::string> names;
+  for (const MetricDesc& d : descs()) names.push_back(d.name);
+  return names;
+}
+
+Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonArray metrics;
+  for (const auto& [kind, idx] : order_) {
+    JsonObject m;
+    const MetricDesc* desc = nullptr;
+    switch (kind) {
+      case MetricKind::Counter: desc = &counters_[idx]->desc(); break;
+      case MetricKind::Gauge: desc = &gauges_[idx]->desc(); break;
+      case MetricKind::Histogram: desc = &histograms_[idx]->desc(); break;
+    }
+    m.emplace_back("name", desc->name);
+    m.emplace_back("kind", metric_kind_name(kind));
+    m.emplace_back("unit", desc->unit);
+    m.emplace_back("help", desc->help);
+    if (!desc->table.empty()) m.emplace_back("table", desc->table);
+    switch (kind) {
+      case MetricKind::Counter:
+        m.emplace_back("value", counters_[idx]->value());
+        break;
+      case MetricKind::Gauge:
+        m.emplace_back("value", gauges_[idx]->value());
+        break;
+      case MetricKind::Histogram: {
+        const HistogramSnapshot snap = histograms_[idx]->snapshot();
+        m.emplace_back("samples", snap.samples);
+        m.emplace_back("sum", snap.sum);
+        m.emplace_back("mean", snap.mean());
+        JsonArray buckets;
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          const std::uint64_t count = snap.buckets[static_cast<std::size_t>(b)];
+          if (count == 0) continue;
+          JsonObject bucket;
+          bucket.emplace_back("ge", bucket_lower_bound(b));
+          bucket.emplace_back("lt", b + 1 < kHistogramBuckets
+                                        ? Json(bucket_lower_bound(b + 1))
+                                        : Json(nullptr));
+          bucket.emplace_back("count", count);
+          buckets.push_back(Json(std::move(bucket)));
+        }
+        m.emplace_back("buckets", Json(std::move(buckets)));
+        break;
+      }
+    }
+    metrics.push_back(Json(std::move(m)));
+  }
+  JsonObject root;
+  root.emplace_back("schema", "psme.metrics.v1");
+  root.emplace_back("metrics", Json(std::move(metrics)));
+  return Json(std::move(root));
+}
+
+void Registry::write_json(std::ostream& os) const {
+  to_json().write(os, /*indent=*/1);
+  os << '\n';
+}
+
+}  // namespace psme::obs

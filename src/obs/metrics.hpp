@@ -1,0 +1,196 @@
+// Typed metrics registry with cache-line-padded per-worker shards.
+//
+// This is the observability layer the paper's evaluation is made of: the
+// spin-probe counts behind Tables 4-7/4-9 and the examined-token means
+// behind Tables 4-2/4-3 are counters and histograms here, with documented
+// names (docs/observability.md — a test diffs that file against this
+// registry). Three metric kinds:
+//
+//  - Counter: monotonic sum, one padded shard per worker so increments
+//    never share a cache line between match processes;
+//  - Gauge: a last-write-wins scalar (times, derived ratios);
+//  - Histogram: log2-bucketed distribution (bucket k>=1 holds values v
+//    with bit_width(v)==k, i.e. [2^(k-1), 2^k); bucket 0 holds v==0),
+//    also sharded per worker.
+//
+// Aggregation happens on demand: snapshot()/value() sum the shards; the
+// hot path touches only its own shard with relaxed atomics. The shard
+// index is a worker id (0 = control process, 1..k = match processes).
+// The match kernel's `MatchStats` (common/stats.hpp) is this registry's
+// hot-path companion: each worker's MatchStats is a per-worker shard of
+// the scalar counters, exported into the registry under the documented
+// names by obs::Observability (observability.hpp); MatchStats additionally
+// carries HistogramShard pointers so the task queues, hash-line locks, and
+// the match kernel can sample distributions in place.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace psme::obs {
+
+// Shards beyond this index fold onto the last shard (the paper's machine
+// tops out at 1+15 processes; kMaxShards just bounds memory).
+inline constexpr int kMaxShards = 32;
+inline constexpr int kHistogramBuckets = 32;
+
+inline int shard_index(int worker) {
+  if (worker < 0) return 0;
+  return worker < kMaxShards ? worker : kMaxShards - 1;
+}
+
+// Log2 bucketing: 0 -> 0; v>0 -> bit_width(v), capped at the last bucket.
+inline int bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v);
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+// Smallest value that lands in bucket `b` (inclusive lower bound).
+inline std::uint64_t bucket_lower_bound(int b) {
+  if (b <= 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+std::string_view metric_kind_name(MetricKind kind);
+
+struct MetricDesc {
+  std::string name;   // dotted, e.g. "psme.line.probes.left"
+  std::string unit;   // e.g. "probes", "tokens", "seconds"
+  std::string help;   // one-line meaning
+  std::string table;  // paper table this reproduces ("" if none)
+  MetricKind kind = MetricKind::Counter;
+};
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) HistogramShard {
+  std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> samples{0};
+
+  void record(std::uint64_t v) {
+    buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    samples.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+class Counter {
+ public:
+  explicit Counter(MetricDesc desc) : desc_(std::move(desc)) {}
+  const MetricDesc& desc() const { return desc_; }
+
+  void add(int worker, std::uint64_t n) {
+    shards_[shard_index(worker)].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+  // Aggregates all shards (on-demand; not linearizable against writers).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const CounterShard& s : shards_)
+      total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  MetricDesc desc_;
+  std::array<CounterShard, kMaxShards> shards_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(MetricDesc desc) : desc_(std::move(desc)) {}
+  const MetricDesc& desc() const { return desc_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  MetricDesc desc_;
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets = {};
+  std::uint64_t sum = 0;
+  std::uint64_t samples = 0;
+  double mean() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(samples);
+  }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(MetricDesc desc) : desc_(std::move(desc)) {}
+  const MetricDesc& desc() const { return desc_; }
+
+  HistogramShard& shard(int worker) { return shards_[shard_index(worker)]; }
+  void record(int worker, std::uint64_t v) { shard(worker).record(v); }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot snap;
+    for (const HistogramShard& s : shards_) {
+      for (int b = 0; b < kHistogramBuckets; ++b)
+        snap.buckets[static_cast<std::size_t>(b)] +=
+            s.buckets[b].load(std::memory_order_relaxed);
+      snap.sum += s.sum.load(std::memory_order_relaxed);
+      snap.samples += s.samples.load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+ private:
+  MetricDesc desc_;
+  std::array<HistogramShard, kMaxShards> shards_;
+};
+
+// Owns metrics by name. Registration (counter()/gauge()/histogram()) takes
+// a mutex and returns a stable reference — call it at setup/export time and
+// keep the reference (or a shard pointer) for the hot path. Re-registering
+// a name returns the existing metric.
+class Registry {
+ public:
+  Counter& counter(const MetricDesc& desc);
+  Gauge& gauge(const MetricDesc& desc);
+  Histogram& histogram(const MetricDesc& desc);
+
+  // Descriptors of every registered metric, in registration order.
+  std::vector<MetricDesc> descs() const;
+  // Names only (for the documentation-diff test).
+  std::vector<std::string> metric_names() const;
+
+  // {"schema": "psme.metrics.v1", "metrics": [...]} — see
+  // docs/observability.md for the exact per-kind fields.
+  Json to_json() const;
+  void write_json(std::ostream& os) const;
+
+ private:
+  template <typename T>
+  T& find_or_create(std::vector<std::unique_ptr<T>>& vec,
+                    const MetricDesc& desc);
+  std::vector<MetricDesc> descs_unlocked() const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  // Registration order across all three kinds, for stable output.
+  std::vector<std::pair<MetricKind, std::size_t>> order_;
+};
+
+}  // namespace psme::obs

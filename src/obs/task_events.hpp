@@ -1,0 +1,35 @@
+// Adapter: match tasks -> trace events.
+//
+// Shared by the threaded engine and the Multimax simulator so a task shows
+// up identically in a wall-clock and a virtual-clock trace, and so
+// tools/trace_report can rely on one naming scheme for both.
+#pragma once
+
+#include "match/task.hpp"
+#include "obs/trace.hpp"
+
+namespace psme::obs {
+
+inline std::uint32_t trace_node_of(const match::Task& task) {
+  if (task.join) return static_cast<std::uint32_t>(task.join->id);
+  if (task.terminal)
+    return static_cast<std::uint32_t>(task.terminal->prod_index);
+  return 0;
+}
+
+inline TraceEventKind trace_kind_of(match::TaskKind kind) {
+  switch (kind) {
+    case match::TaskKind::Root: return TraceEventKind::Root;
+    case match::TaskKind::JoinLeft: return TraceEventKind::JoinLeft;
+    case match::TaskKind::JoinRight: return TraceEventKind::JoinRight;
+    case match::TaskKind::Terminal: return TraceEventKind::Terminal;
+  }
+  return TraceEventKind::Root;
+}
+
+inline TraceEventKind trace_requeue_kind_of(const match::Task& task) {
+  return task.side() == Side::Left ? TraceEventKind::RequeueLeft
+                                   : TraceEventKind::RequeueRight;
+}
+
+}  // namespace psme::obs

@@ -9,6 +9,7 @@
 #include "common/symbol_table.hpp"  // IWYU pragma: export
 #include "common/value.hpp"         // IWYU pragma: export
 #include "engine/engine.hpp"        // IWYU pragma: export
+#include "obs/observability.hpp"    // IWYU pragma: export
 #include "ops5/program.hpp"         // IWYU pragma: export
 #include "rete/printer.hpp"         // IWYU pragma: export
 #include "workloads/workloads.hpp"  // IWYU pragma: export

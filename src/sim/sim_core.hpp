@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/cost_model.hpp"
 
 namespace psme::sim {
@@ -93,6 +94,7 @@ struct SimLock {
     VTime arrival;
     std::coroutine_handle<> cont;
     std::uint64_t* probes;  // where this waiter accounts its probe count
+    obs::HistogramShard* hist;  // optional probes-per-acquisition sample
   };
   bool held = false;
   std::deque<Waiter> waiters;
@@ -163,30 +165,35 @@ class Scheduler {
     return Aw{*this, cpu, n};
   }
 
-  // Acquire a simulated spin lock, accounting probes/acquisitions.
+  // Acquire a simulated spin lock, accounting probes/acquisitions and,
+  // when `hist` is given, the probes-per-acquisition distribution
+  // (psme.queue/line.probes_per_acquisition in the obs registry).
   auto acquire(SimCpu& cpu, SimLock& lock, std::uint64_t* probes,
-               std::uint64_t* acquisitions) {
+               std::uint64_t* acquisitions,
+               obs::HistogramShard* hist = nullptr) {
     struct Aw {
       Scheduler& s;
       SimCpu& c;
       SimLock& l;
       std::uint64_t* probes;
       std::uint64_t* acqs;
+      obs::HistogramShard* hist;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         if (acqs) *acqs += 1;
         if (!l.held) {
           l.held = true;
           if (probes) *probes += 1;
+          if (hist) hist->record(1);
           c.now += s.cost_.lock_acquire;
           s.ready(c, h);
           return;
         }
-        l.waiters.push_back(SimLock::Waiter{&c, c.now, h, probes});
+        l.waiters.push_back(SimLock::Waiter{&c, c.now, h, probes, hist});
       }
       void await_resume() const noexcept {}
     };
-    return Aw{*this, cpu, lock, probes, acquisitions};
+    return Aw{*this, cpu, lock, probes, acquisitions, hist};
   }
 
   // Release; hands the lock to the waiter whose next spin-probe comes first.
@@ -209,7 +216,9 @@ class Scheduler {
     SimLock::Waiter w = lock.waiters[best];
     lock.waiters.erase(lock.waiters.begin() +
                        static_cast<std::ptrdiff_t>(best));
-    if (w.probes) *w.probes += (best_t - w.arrival) / p + 1;
+    const std::uint64_t spins = (best_t - w.arrival) / p + 1;
+    if (w.probes) *w.probes += spins;
+    if (w.hist) w.hist->record(spins);
     w.cpu->now = best_t + cost_.lock_acquire;
     ready(*w.cpu, w.cont);
   }

@@ -5,6 +5,8 @@
 
 #include "common/symbol_table.hpp"
 #include "match/kernel.hpp"
+#include "obs/observability.hpp"
+#include "obs/task_events.hpp"
 
 namespace psme::sim {
 
@@ -53,9 +55,13 @@ SubTask<bool> SimEngine::push_task(SimCpu& cpu, match::Task task,
   if (config_.hardware_scheduler) {
     // One uncontended bus transaction (idealized HTS model).
     co_await sched_->spend(cpu, config_.cost.hts_op);
-    queues_[hint % queues_.size()].items.push_back(task);
+    SimQueue& q = queues_[hint % queues_.size()];
+    q.items.push_back(task);
     stats.queue_acquisitions += 1;
     stats.queue_probes += 1;
+    if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
+    if (stats.queue_depth_hist)
+      stats.queue_depth_hist->record(q.items.size());
     sched_->wake_one(idle_workers_, cpu.now);
     co_return true;
   }
@@ -73,9 +79,12 @@ SubTask<bool> SimEngine::push_task(SimCpu& cpu, match::Task task,
   stats.queue_probes += failed_probes;
   if (!q) q = &queues_[hint % n];
   co_await sched_->acquire(cpu, q->lock, &stats.queue_probes,
-                           &stats.queue_acquisitions);
+                           &stats.queue_acquisitions,
+                           stats.queue_probe_hist);
   co_await sched_->spend(cpu, config_.cost.queue_push);
   q->items.push_back(task);
+  if (stats.queue_depth_hist)
+    stats.queue_depth_hist->record(q->items.size());
   sched_->release(q->lock, cpu.now);
   sched_->wake_one(idle_workers_, cpu.now);
   co_return true;
@@ -94,6 +103,7 @@ SubTask<bool> SimEngine::pop_task(SimCpu& cpu, match::Task* out,
       q.items.pop_front();
       stats.queue_acquisitions += 1;
       stats.queue_probes += 1;
+      if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
       co_return true;
     }
     co_return false;
@@ -102,7 +112,8 @@ SubTask<bool> SimEngine::pop_task(SimCpu& cpu, match::Task* out,
     SimQueue& q = queues_[(hint + i) % n];
     if (q.items.empty()) continue;
     co_await sched_->acquire(cpu, q.lock, &stats.queue_probes,
-                             &stats.queue_acquisitions);
+                             &stats.queue_acquisitions,
+                             stats.queue_probe_hist);
     if (q.items.empty()) {  // drained while we spun
       sched_->release(q.lock, cpu.now);
       continue;
@@ -127,7 +138,8 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
 
   if (options_.lock_scheme == match::LockScheme::Simple) {
     co_await sched_->acquire(cpu, simple_lines_[line], &st.line_probes[si],
-                             &st.line_acquisitions[si]);
+                             &st.line_acquisitions[si],
+                             st.line_probe_hist[si]);
     match::ActivationCost ac;
     const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
     co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
@@ -144,7 +156,8 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
   const std::uint8_t mine =
       exclusive ? kExclusive : (side == Side::Left ? kLeft : kRight);
   co_await sched_->acquire(cpu, L.guard, &st.line_probes[si],
-                           &st.line_acquisitions[si]);
+                           &st.line_acquisitions[si],
+                           st.line_probe_hist[si]);
   co_await sched_->spend(cpu, cm.mrsw_enter);
   const bool ok = exclusive ? L.flag == kUnused
                             : (L.flag == kUnused || L.flag == mine);
@@ -168,7 +181,8 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
     co_await sched_->spend(cpu, probe_cost(ap));
   } else {
     co_await sched_->acquire(cpu, L.modification, &st.line_probes[si],
-                             &st.line_acquisitions[si]);
+                             &st.line_acquisitions[si],
+                             st.line_probe_hist[si]);
     match::ActivationCost ac;
     const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
     co_await sched_->spend(cpu,
@@ -191,6 +205,22 @@ Proc SimEngine::worker_main(WorkerState& w) {
   SimCpu& cpu = *w.cpu;
   std::vector<match::Task> emit;
   const CostModel& cm = config_.cost;
+  // Stamps one complete event (virtual-clock microseconds) for the task
+  // processed since `t0`, with the lock probes it accrued.
+  auto record = [&](const match::Task& task, obs::TraceEventKind kind,
+                    VTime t0, std::uint64_t line0, std::uint64_t queue0) {
+    obs::TraceEvent ev;
+    ev.ts_us = cm.to_seconds(t0) * 1e6;
+    ev.dur_us = cm.to_seconds(cpu.now - t0) * 1e6;
+    ev.kind = kind;
+    ev.sign = task.sign;
+    ev.node = obs::trace_node_of(task);
+    ev.line_probes = static_cast<std::uint32_t>(
+        w.stats.line_probes[0] + w.stats.line_probes[1] - line0);
+    ev.queue_probes =
+        static_cast<std::uint32_t>(w.stats.queue_probes - queue0);
+    options_.obs->trace.record(cpu.id, ev);
+  };
   for (;;) {
     if (shutdown_) co_return;
     match::Task task;
@@ -201,6 +231,11 @@ Proc SimEngine::worker_main(WorkerState& w) {
       continue;
     }
     w.hint += 1;
+    const bool tracing = options_.obs && options_.obs->trace.enabled();
+    const VTime t0 = cpu.now;
+    const std::uint64_t line0 =
+        w.stats.line_probes[0] + w.stats.line_probes[1];
+    const std::uint64_t queue0 = w.stats.queue_probes;
     co_await sched_->spend(cpu, cm.task_dispatch);
     emit.clear();
     bool done = true;
@@ -221,10 +256,16 @@ Proc SimEngine::worker_main(WorkerState& w) {
         done = co_await join_task(cpu, w, task, emit);
         break;
     }
-    if (!done) continue;  // requeued; still counted in TaskCount
+    if (!done) {  // requeued; still counted in TaskCount
+      if (tracing)
+        record(task, obs::trace_requeue_kind_of(task), t0, line0, queue0);
+      continue;
+    }
     for (const match::Task& t : emit)
       co_await push_task(cpu, t, w.hint++, w.stats, false);
     w.stats.tasks_executed += 1;
+    if (tracing)
+      record(task, obs::trace_kind_of(task.kind), t0, line0, queue0);
     --task_count_;
     if (task_count_ == 0) sched_->wake_all(control_wait_, cpu.now);
   }
@@ -355,6 +396,15 @@ RunResult SimEngine::run() {
     w->ctx.arena = &w->arena;
     w->ctx.stats = &w->stats;
     workers_.push_back(std::move(w));
+  }
+  if (options_.obs) {
+    // Virtual-clock trace: stream 0 is the control CPU, i+1 is match CPU i
+    // (matching the SimCpu ids handed out above).
+    options_.obs->trace.enable(options_.match_processes + 1, "virtual");
+    options_.obs->attach_worker(control_stats_, 0);
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      options_.obs->attach_worker(workers_[i]->stats,
+                                  static_cast<int>(i) + 1);
   }
 
   sched_->start(*control_cpu_, control_main());

@@ -1,0 +1,100 @@
+// docs/observability.md must document exactly the metric names the engines
+// export — this diffs the doc's backticked `psme.*` tokens against a
+// registry populated the same way psme_cli populates one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "obs/observability.hpp"
+
+#ifndef PSME_SOURCE_DIR
+#error "PSME_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace psme::obs {
+namespace {
+
+std::string read_doc() {
+  const std::string path =
+      std::string(PSME_SOURCE_DIR) + "/docs/observability.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Every `psme.*` token in backticks in the doc.
+std::set<std::string> documented_names(const std::string& doc) {
+  std::set<std::string> names;
+  std::size_t pos = 0;
+  while ((pos = doc.find("`psme.", pos)) != std::string::npos) {
+    const std::size_t end = doc.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    names.insert(doc.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return names;
+}
+
+// Registers everything an instrumented run exports: the attach_worker
+// histograms, the RunStats scalars, and the configuration gauges.
+std::set<std::string> exported_names() {
+  Observability obs;
+  MatchStats stats;
+  obs.attach_worker(stats, 0);
+  obs.export_run(RunStats{});
+  Observability::export_config(4, 2, true, obs.registry);
+  const auto names = obs.registry.metric_names();
+  return {names.begin(), names.end()};
+}
+
+TEST(ObservabilityDoc, DocumentsEveryExportedMetric) {
+  const std::set<std::string> documented = documented_names(read_doc());
+  const std::set<std::string> exported = exported_names();
+  ASSERT_FALSE(exported.empty());
+
+  std::string missing;
+  for (const std::string& name : exported)
+    if (!documented.count(name)) missing += "  " + name + "\n";
+  EXPECT_TRUE(missing.empty())
+      << "metrics exported but not documented in docs/observability.md:\n"
+      << missing;
+}
+
+TEST(ObservabilityDoc, DocumentsNoStaleMetrics) {
+  const std::set<std::string> documented = documented_names(read_doc());
+  const std::set<std::string> exported = exported_names();
+
+  std::string stale;
+  for (const std::string& name : documented) {
+    // Only whole metric names are checked; prose may mention prefixes
+    // like `psme.line.*`.
+    if (name.find('*') != std::string::npos) continue;
+    if (!exported.count(name)) stale += "  " + name + "\n";
+  }
+  EXPECT_TRUE(stale.empty())
+      << "names documented in docs/observability.md but never exported:\n"
+      << stale;
+}
+
+TEST(ObservabilityDoc, EveryMetricHasUnitAndHelp) {
+  Observability obs;
+  MatchStats stats;
+  obs.attach_worker(stats, 0);
+  obs.export_run(RunStats{});
+  Observability::export_config(4, 2, true, obs.registry);
+  for (const MetricDesc& d : obs.registry.descs()) {
+    EXPECT_FALSE(d.unit.empty()) << d.name;
+    EXPECT_FALSE(d.help.empty()) << d.name;
+    EXPECT_TRUE(d.name.starts_with("psme.")) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace psme::obs

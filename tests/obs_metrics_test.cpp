@@ -1,0 +1,207 @@
+// Metrics registry: log2 bucketing, sharded aggregation under concurrent
+// writers, registration semantics, and the JSON dump format.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace psme::obs {
+namespace {
+
+MetricDesc desc(const char* name, MetricKind kind = MetricKind::Counter) {
+  MetricDesc d;
+  d.name = name;
+  d.unit = "units";
+  d.help = "test metric";
+  d.kind = kind;
+  return d;
+}
+
+TEST(Bucketing, BoundariesArePowersOfTwo) {
+  EXPECT_EQ(bucket_of(0), 0);
+  EXPECT_EQ(bucket_of(1), 1);
+  EXPECT_EQ(bucket_of(2), 2);
+  EXPECT_EQ(bucket_of(3), 2);
+  EXPECT_EQ(bucket_of(4), 3);
+  EXPECT_EQ(bucket_of(7), 3);
+  EXPECT_EQ(bucket_of(8), 4);
+  EXPECT_EQ(bucket_of(1u << 20), 21);
+
+  EXPECT_EQ(bucket_lower_bound(0), 0u);
+  EXPECT_EQ(bucket_lower_bound(1), 1u);
+  EXPECT_EQ(bucket_lower_bound(2), 2u);
+  EXPECT_EQ(bucket_lower_bound(3), 4u);
+
+  // Bucket b >= 1 is exactly [2^(b-1), 2^b): both edges land back in b.
+  for (int b = 1; b < kHistogramBuckets - 1; ++b) {
+    EXPECT_EQ(bucket_of(bucket_lower_bound(b)), b) << b;
+    EXPECT_EQ(bucket_of(bucket_lower_bound(b + 1) - 1), b) << b;
+  }
+  // Values past the last boundary fold into the final bucket.
+  EXPECT_EQ(bucket_of(std::uint64_t{1} << 62), kHistogramBuckets - 1);
+  EXPECT_EQ(bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(Bucketing, ShardIndexClamps) {
+  EXPECT_EQ(shard_index(-1), 0);
+  EXPECT_EQ(shard_index(0), 0);
+  EXPECT_EQ(shard_index(kMaxShards - 1), kMaxShards - 1);
+  EXPECT_EQ(shard_index(kMaxShards + 10), kMaxShards - 1);
+}
+
+TEST(Counter, AggregatesAcrossShards) {
+  Counter c(desc("c"));
+  c.add(0, 5);
+  c.add(1, 7);
+  c.add(kMaxShards + 3, 1);  // clamps to the last shard, still counted
+  EXPECT_EQ(c.value(), 13u);
+}
+
+TEST(Counter, ExactUnderConcurrentIncrements) {
+  Counter own(desc("own"));     // each thread its own shard
+  Counter shared(desc("shared"));  // all threads the same shard
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        own.add(t, 1);
+        shared.add(3, 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(own.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(shared.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(HistogramTest, ExactUnderConcurrentRecords) {
+  Histogram h(desc("h", MetricKind::Histogram));
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i)
+        h.record(t, static_cast<std::uint64_t>(i % 10));
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.samples, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.sum, static_cast<std::uint64_t>(kThreads) * kIters / 10 * 45);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.samples);
+  // i%10: one zero per decade -> bucket 0; 1 -> b1; 2,3 -> b2; 4..7 -> b3;
+  // 8,9 -> b4.
+  const std::uint64_t decade = static_cast<std::uint64_t>(kThreads) * kIters / 10;
+  EXPECT_EQ(snap.buckets[0], decade);
+  EXPECT_EQ(snap.buckets[1], decade);
+  EXPECT_EQ(snap.buckets[2], 2 * decade);
+  EXPECT_EQ(snap.buckets[3], 4 * decade);
+  EXPECT_EQ(snap.buckets[4], 2 * decade);
+  EXPECT_DOUBLE_EQ(snap.mean(), 4.5);
+}
+
+TEST(RegistryTest, ReregistrationReturnsSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter(desc("psme.test.a"));
+  Counter& b = reg.counter(desc("psme.test.a"));
+  EXPECT_EQ(&a, &b);
+  a.add(0, 1);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.metric_names(), std::vector<std::string>{"psme.test.a"});
+}
+
+TEST(RegistryTest, KindConflictThrows) {
+  Registry reg;
+  reg.counter(desc("psme.test.x"));
+  EXPECT_THROW(reg.histogram(desc("psme.test.x", MetricKind::Histogram)),
+               std::logic_error);
+  EXPECT_THROW(reg.gauge(desc("psme.test.x", MetricKind::Gauge)),
+               std::logic_error);
+}
+
+TEST(RegistryTest, NamesInRegistrationOrder) {
+  Registry reg;
+  reg.counter(desc("b"));
+  reg.gauge(desc("a", MetricKind::Gauge));
+  reg.histogram(desc("c", MetricKind::Histogram));
+  EXPECT_EQ(reg.metric_names(), (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(RegistryTest, JsonDumpRoundTrips) {
+  Registry reg;
+  MetricDesc cd = desc("psme.test.count");
+  cd.table = "4-1";
+  reg.counter(cd).add(2, 42);
+  reg.gauge(desc("psme.test.ratio", MetricKind::Gauge)).set(1.5);
+  Histogram& h = reg.histogram(desc("psme.test.dist", MetricKind::Histogram));
+  h.record(0, 0);
+  h.record(0, 1);
+  h.record(1, 3);
+  h.record(1, 8);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(json_parse(os.str(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.at("schema").as_string(), "psme.metrics.v1");
+  const JsonArray& metrics = parsed.at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), 3u);
+
+  EXPECT_EQ(metrics[0].at("name").as_string(), "psme.test.count");
+  EXPECT_EQ(metrics[0].at("kind").as_string(), "counter");
+  EXPECT_EQ(metrics[0].at("table").as_string(), "4-1");
+  EXPECT_EQ(metrics[0].at("value").as_uint(), 42u);
+
+  EXPECT_EQ(metrics[1].at("kind").as_string(), "gauge");
+  EXPECT_DOUBLE_EQ(metrics[1].at("value").as_double(), 1.5);
+  EXPECT_EQ(metrics[1].find("table"), nullptr);  // omitted when empty
+
+  EXPECT_EQ(metrics[2].at("kind").as_string(), "histogram");
+  EXPECT_EQ(metrics[2].at("samples").as_uint(), 4u);
+  EXPECT_EQ(metrics[2].at("sum").as_uint(), 12u);
+  const JsonArray& buckets = metrics[2].at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 4u);  // zero-count buckets are omitted
+  EXPECT_EQ(buckets[0].at("ge").as_uint(), 0u);   // value 0
+  EXPECT_EQ(buckets[1].at("ge").as_uint(), 1u);   // value 1
+  EXPECT_EQ(buckets[2].at("ge").as_uint(), 2u);   // value 3 in [2,4)
+  EXPECT_EQ(buckets[2].at("lt").as_uint(), 4u);
+  EXPECT_EQ(buckets[3].at("ge").as_uint(), 8u);   // value 8 in [8,16)
+  for (const Json& b : buckets) EXPECT_EQ(b.at("count").as_uint(), 1u);
+}
+
+TEST(JsonTest, ParserReportsErrors) {
+  Json out;
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\": ", &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json_parse("[1, 2,]", &out, &error));
+  EXPECT_TRUE(json_parse("  [1, 2, {\"k\": null}]  ", &out, &error)) << error;
+  ASSERT_TRUE(out.is_array());
+  EXPECT_TRUE(out.as_array()[2].at("k").is_null());
+}
+
+TEST(JsonTest, EscapesRoundTrip) {
+  JsonObject o;
+  o.emplace_back("key \"q\"\n\t", Json("v\\ \x01 ü"));
+  const std::string text = Json(std::move(o)).dump();
+  Json back;
+  std::string error;
+  ASSERT_TRUE(json_parse(text, &back, &error)) << error;
+  EXPECT_EQ(back.as_object()[0].first, "key \"q\"\n\t");
+  EXPECT_EQ(back.as_object()[0].second.as_string(), "v\\ \x01 ü");
+}
+
+}  // namespace
+}  // namespace psme::obs

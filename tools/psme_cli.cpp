@@ -19,6 +19,11 @@
 //                    profile (runs the program once), then exit
 //   --dump-source    print the program source and exit (workloads)
 //   --stats          print match statistics after the run
+//   --metrics-json FILE   write the observability registry (counters,
+//                    gauges, histograms) as JSON after the run
+//   --trace FILE     record per-task events (threads/sim modes) and write
+//                    Chrome trace_event JSON; open in chrome://tracing or
+//                    Perfetto, or summarize with tools/trace_report
 //
 // When PROGRAM.ops is given and PROGRAM.wm exists alongside it, that file
 // is loaded automatically.
@@ -72,6 +77,7 @@ int main(int argc, char** argv) {
   int procs = 4;
   std::vector<std::string> wmes;
   std::string wmfile;
+  std::string metrics_path, trace_path;
   bool print_net = false, dump_source = false, print_stats = false;
   bool analyze = false;
   std::string mode = "seq";
@@ -108,6 +114,8 @@ int main(int argc, char** argv) {
     else if (arg == "--analyze") analyze = true;
     else if (arg == "--dump-source") dump_source = true;
     else if (arg == "--stats") print_stats = true;
+    else if (arg == "--metrics-json") metrics_path = next();
+    else if (arg == "--trace") trace_path = next();
     else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
     else program_path = arg;
   }
@@ -178,6 +186,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  psme::obs::Observability obs;
+  if (!metrics_path.empty() || !trace_path.empty())
+    config.options.obs = &obs;
+
   psme::Engine engine(program, config);
   for (const std::string& w : workload_wmes) engine.make(w);
   if (!program_path.empty()) {
@@ -195,6 +207,27 @@ int main(int argc, char** argv) {
           : "cycle limit";
   std::cout << "; stopped (" << reason << ") after " << result.stats.cycles
             << " cycles\n";
+  if (config.options.obs) {
+    obs.export_run(result.stats);
+    psme::obs::Observability::export_config(
+        config.options.match_processes, config.options.task_queues,
+        config.options.lock_scheme == psme::match::LockScheme::Mrsw,
+        obs.registry);
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) usage(("cannot write " + metrics_path).c_str());
+      obs.registry.write_json(out);
+      std::cout << "; metrics -> " << metrics_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) usage(("cannot write " + trace_path).c_str());
+      obs.trace.write_json(out);
+      std::cout << "; trace -> " << trace_path << " ("
+                << obs.trace.event_count() << " events, "
+                << obs.trace.clock() << " clock)\n";
+    }
+  }
   if (print_stats) {
     const psme::MatchStats& m = result.stats.match;
     std::cout << "; wme changes:       " << m.wme_changes << "\n"
