@@ -5,16 +5,31 @@
 // comparison (who wins, by what factor, where it saturates) is immediate.
 //
 // Set PSME_BENCH_FAST=1 to run every bench at reduced scale (CI smoke).
+//
+// Benches that take (argc, argv) also accept `--json FILE`: every table
+// row is mirrored as a JSON object (schema psme.bench.v1) so baselines can
+// be diffed mechanically — BENCH_seed.json at the repo root is the
+// committed fast-mode baseline.
 #pragma once
+
+// GCC 12 emits spurious -Wmaybe-uninitialized warnings through
+// fully-inlined std::variant moves (gcc PR 105562); the obs::Json row
+// building in the benches trips it. Bench TUs only — the library itself
+// builds clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "engine/lisp_engine.hpp"
 #include "engine/parallel_engine.hpp"
 #include "engine/sequential_engine.hpp"
+#include "obs/json.hpp"
 #include "sim/sim_engine.hpp"
 #include "workloads/workloads.hpp"
 
@@ -95,6 +110,51 @@ inline SimOutcome run_sim(const ProgramSpec& spec, int procs, int queues,
 inline SimOutcome run_sim_baseline(const ProgramSpec& spec) {
   return run_sim(spec, 1, 1, match::LockScheme::Simple, /*pipeline=*/false);
 }
+
+// --- machine-readable results ---------------------------------------------
+
+// Collects one JSON object per table row and writes them on destruction
+// when the bench was invoked with `--json FILE`:
+//
+//   { "schema": "psme.bench.v1", "bench": "<name>", "fast": <bool>,
+//     "results": [ {"label": ..., ...}, ... ] }
+//
+// Rows are recorded unconditionally (cheap) so callers don't need to
+// branch on enabled(); without --json the destructor writes nothing.
+class BenchJson {
+ public:
+  BenchJson(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+        ++i;
+      }
+    }
+  }
+  ~BenchJson() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    obs::JsonObject doc;
+    doc.emplace_back("schema", obs::Json("psme.bench.v1"));
+    doc.emplace_back("bench", obs::Json(bench_));
+    doc.emplace_back("fast", obs::Json(fast_mode()));
+    doc.emplace_back("results", obs::Json(std::move(results_)));
+    out << obs::Json(std::move(doc)).dump(2) << "\n";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  void add(obs::Json row) { results_.push_back(std::move(row)); }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  obs::JsonArray results_;
+};
 
 // --- printing -------------------------------------------------------------
 

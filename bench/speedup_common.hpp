@@ -20,7 +20,8 @@ struct SpeedupPaperRow {
 inline void run_speedup_table(const char* title, const char* paper_ref,
                               match::LockScheme scheme,
                               const SweepColumn (&cols)[6],
-                              const SpeedupPaperRow (&paper)[3]) {
+                              const SpeedupPaperRow (&paper)[3],
+                              BenchJson* json = nullptr) {
   print_header(title, paper_ref);
 
   std::printf("%-10s %10s |", "PROGRAM", "uniproc");
@@ -38,10 +39,24 @@ inline void run_speedup_table(const char* title, const char* paper_ref,
         run_sim(specs[i], 1, 1, scheme, /*pipeline=*/false);
     std::printf("%-10s %10.2f |", specs[i].label.c_str(),
                 base.match_seconds);
+    obs::JsonArray procs, queues, speedups;
     for (const auto& c : cols) {
       const SimOutcome out =
           run_sim(specs[i], c.procs, c.queues, scheme, /*pipeline=*/true);
-      std::printf(" %6.2f", base.match_seconds / out.match_seconds);
+      const double speedup = base.match_seconds / out.match_seconds;
+      std::printf(" %6.2f", speedup);
+      procs.push_back(obs::Json(c.procs));
+      queues.push_back(obs::Json(c.queues));
+      speedups.push_back(obs::Json(speedup));
+    }
+    if (json) {
+      obs::JsonObject row;
+      row.emplace_back("label", obs::Json(specs[i].label));
+      row.emplace_back("uniproc_virt_s", obs::Json(base.match_seconds));
+      row.emplace_back("procs", obs::Json(std::move(procs)));
+      row.emplace_back("queues", obs::Json(std::move(queues)));
+      row.emplace_back("speedups", obs::Json(std::move(speedups)));
+      json->add(obs::Json(std::move(row)));
     }
     std::printf("\n%-10s %10.1f |", "", paper[i].uniproc_seconds);
     for (double s : paper[i].speedups) std::printf(" %6.2f", s);

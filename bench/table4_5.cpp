@@ -7,7 +7,8 @@
 using namespace psme;
 using namespace psme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("table4_5", argc, argv);
   const SweepColumn cols[6] = {{1, 1}, {3, 1}, {5, 1},
                                {7, 1}, {11, 1}, {13, 1}};
   const SpeedupPaperRow paper[3] = {
@@ -17,7 +18,7 @@ int main() {
   };
   run_speedup_table(
       "Table 4-5: speed-up, single task queue, simple hash-table locks",
-      "Table 4-5", match::LockScheme::Simple, cols, paper);
+      "Table 4-5", match::LockScheme::Simple, cols, paper, &json);
   std::printf(
       "\nShape check: speed-up saturates well below the process count for\n"
       "all programs (single-queue convoying); Tourney is worst and even\n"

@@ -7,7 +7,8 @@
 using namespace psme;
 using namespace psme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("table4_6", argc, argv);
   const SweepColumn cols[6] = {{1, 1}, {3, 2}, {5, 4},
                                {7, 8}, {11, 8}, {13, 8}};
   const SpeedupPaperRow paper[3] = {
@@ -17,7 +18,7 @@ int main() {
   };
   run_speedup_table(
       "Table 4-6: speed-up, multiple task queues, simple hash-table locks",
-      "Table 4-6", match::LockScheme::Simple, cols, paper);
+      "Table 4-6", match::LockScheme::Simple, cols, paper, &json);
   std::printf(
       "\nShape check: Weaver and Rubik gain strongly from multiple queues;\n"
       "Tourney stays flat (its bottleneck is hash-line convoying on the\n"

@@ -9,7 +9,8 @@
 using namespace psme;
 using namespace psme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("table4_8", argc, argv);
   const SweepColumn cols[6] = {{1, 1}, {3, 2}, {5, 4},
                                {7, 8}, {11, 8}, {13, 8}};
   const SpeedupPaperRow paper[3] = {
@@ -19,7 +20,7 @@ int main() {
   };
   run_speedup_table(
       "Table 4-8: speed-up, multiple queues, MRSW hash-table locks",
-      "Table 4-8", match::LockScheme::Mrsw, cols, paper);
+      "Table 4-8", match::LockScheme::Mrsw, cols, paper, &json);
 
   // The paper's Section 5 observation: MRSW's uniprocessor time is WORSE
   // than the simple scheme's (compare the uniproc columns of Tables 4-6

@@ -58,6 +58,40 @@ void EngineBase::on_write(const std::string& text) {
 }
 void EngineBase::on_halt() { halted_ = true; }
 
+EngineSnapshot EngineBase::snapshot_state() const {
+  EngineSnapshot snap;
+  snap.next_timetag = wm_.last_timetag() + 1;
+  for (const Wme* w : wm_.snapshot())
+    snap.wmes.push_back({w->timetag, w->cls, w->fields});
+  for (const Instantiation& inst : cs_.snapshot())
+    if (inst.fired) snap.fired.push_back({inst.prod_index, inst.tags_in_order()});
+  snap.trace = trace_;
+  snap.cycles = stats_.cycles;
+  snap.halted = halted_;
+  return snap;
+}
+
+void EngineBase::restore_state(const EngineSnapshot& snap) {
+  if (wm_.size() != 0 || !trace_.empty() || stats_.cycles != 0)
+    throw std::logic_error("restore_state: engine is not fresh");
+  for (const WmeSnapshot& w : snap.wmes) {
+    const Wme* wme = wm_.make_with_tag(w.timetag, w.cls, w.fields);
+    pending_.emplace_back(wme, +1);
+  }
+  wm_.set_next_tag(snap.next_timetag);
+  restored_fired_ = snap.fired;
+  trace_ = snap.trace;
+  stats_.cycles = snap.cycles;
+  stats_.firings = snap.cycles;
+  halted_ = snap.halted;
+}
+
+void EngineBase::apply_restored_refraction() {
+  for (const FiringRecord& rec : restored_fired_)
+    cs_.mark_fired(rec.prod_index, rec.timetags);
+  restored_fired_.clear();
+}
+
 RunResult EngineBase::run() {
   using Clock = std::chrono::steady_clock;
   const auto run_start = Clock::now();
@@ -69,6 +103,7 @@ RunResult EngineBase::run() {
   pending_.clear();
   wait_quiescent();
   wm_.collect();
+  apply_restored_refraction();
 
   RunResult result;
   while (true) {

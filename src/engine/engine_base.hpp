@@ -23,6 +23,28 @@
 
 namespace psme {
 
+// Full engine state at a quiescent point (between run() calls): enough to
+// reconstruct working memory, the timetag counter, conflict-set refraction,
+// and the firing-trace position in a fresh engine of any mode. Match
+// memories are NOT captured — restore_state() rebuilds them by replaying
+// the live wmes through the matcher, and the deterministic conflict
+// resolution guarantees the resumed run continues the original trace.
+// serve/checkpoint.hpp gives this a serialized form.
+struct WmeSnapshot {
+  TimeTag timetag = 0;
+  SymbolId cls = 0;
+  std::vector<Value> fields;
+};
+
+struct EngineSnapshot {
+  TimeTag next_timetag = 1;
+  std::vector<WmeSnapshot> wmes;      // live wmes, ascending timetag
+  std::vector<FiringRecord> fired;    // live-but-fired instantiations
+  std::vector<FiringRecord> trace;    // firing trace so far
+  std::uint64_t cycles = 0;
+  bool halted = false;
+};
+
 class EngineBase : public RhsEffects {
  public:
   EngineBase(const ops5::Program& program, EngineOptions options);
@@ -37,6 +59,20 @@ class EngineBase : public RhsEffects {
 
   // Runs recognize-act cycles until halt / empty conflict set / max_cycles.
   virtual RunResult run();
+
+  // Captures the engine state between runs (see EngineSnapshot). The wmes
+  // queued by make()/remove() since the last run are part of the state:
+  // they restore as wmes the resumed run feeds to the matcher first, which
+  // is exactly what the uninterrupted run would have done.
+  EngineSnapshot snapshot_state() const;
+  // Injects a snapshot into a freshly constructed engine (no wmes made, no
+  // runs yet). The next run() rebuilds the match memories from the restored
+  // working memory and re-applies refraction before firing.
+  void restore_state(const EngineSnapshot& snap);
+
+  // Serving support: adjusts the recognize-act cycle cap between runs, so
+  // a session can run in deadline-checked slices.
+  void set_max_cycles(std::uint64_t n) { options_.max_cycles = n; }
 
   const ops5::Program& program() const { return program_; }
   const rete::Network& network() const { return *network_; }
@@ -62,6 +98,11 @@ class EngineBase : public RhsEffects {
   virtual void begin_run() {}
   virtual void end_run() {}
 
+  // Re-marks restored fired instantiations in the (rebuilt) conflict set.
+  // Called once per run, right after the initial match phase reaches
+  // quiescence; a no-op unless restore_state() queued refraction records.
+  void apply_restored_refraction();
+
   const ops5::Program& program_;
   EngineOptions options_;
   std::unique_ptr<rete::Network> network_;
@@ -74,6 +115,9 @@ class EngineBase : public RhsEffects {
 
   // Changes submitted before run() starts (consumed by run()).
   std::vector<std::pair<const Wme*, std::int8_t>> pending_;
+  // Refraction records queued by restore_state(), consumed by the first
+  // run()'s apply_restored_refraction().
+  std::vector<FiringRecord> restored_fired_;
 
  private:
   bool running_ = false;

@@ -24,17 +24,27 @@ ParallelEngine::ParallelEngine(const ops5::Program& program,
 }
 
 ParallelEngine::~ParallelEngine() {
-  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_.store(true, std::memory_order_release);
+    active_.store(false, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
 void ParallelEngine::begin_run() {
-  shutdown_.store(false, std::memory_order_release);
-  workers_.clear();
-  for (int i = 0; i < options_.match_processes; ++i)
-    workers_.push_back(std::make_unique<Worker>());
+  ++runs_started_;
+  if (workers_.empty()) {
+    for (int i = 0; i < options_.match_processes; ++i)
+      workers_.push_back(std::make_unique<Worker>());
+    for (int i = 0; i < options_.match_processes; ++i) {
+      workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+      ++thread_spawns_;
+    }
+  }
   if (options_.obs) {
     // Worker i records into observability stream i+1; the control thread
     // (root pushes, stats_.match) is stream 0.
@@ -44,15 +54,26 @@ void ParallelEngine::begin_run() {
       options_.obs->attach_worker(workers_[i]->stats, i + 1);
     trace_epoch_ = std::chrono::steady_clock::now();
   }
-  for (int i = 0; i < options_.match_processes; ++i)
-    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    active_.store(true, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
 }
 
 void ParallelEngine::end_run() {
-  shutdown_.store(true, std::memory_order_release);
+  active_.store(false, std::memory_order_release);
+  // Wait for every worker to park, so their stats are quiescent to merge
+  // (the task queues are already drained — run() reached quiescence).
+  {
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    pool_cv_.wait(lk, [this] {
+      return parked_ == static_cast<int>(workers_.size());
+    });
+  }
   for (auto& w : workers_) {
-    if (w->thread.joinable()) w->thread.join();
     stats_.match.merge(w->stats);
+    w->stats = MatchStats{};  // shard pointers re-wired at next begin_run
   }
 }
 
@@ -98,21 +119,37 @@ void ParallelEngine::worker_main(int index) {
 
   std::vector<match::Task> emit_buf;
   unsigned hint = static_cast<unsigned>(index);
-  std::uint32_t idle = 0;
-  while (!shutdown_.load(std::memory_order_acquire)) {
-    match::Task task;
-    if (!queues_.try_pop(&task, hint, w.stats)) {
-      // Idle: between phases, or starved. Back off politely so the control
-      // thread (and, on small hosts, other match processes) can run.
-      if (++idle >= 16) {
-        std::this_thread::yield();
-      } else {
-        SpinLock::cpu_relax();
-      }
-      continue;
+  for (;;) {
+    {
+      // Park between runs; begin_run() wakes the pool.
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      ++parked_;
+      pool_cv_.notify_all();
+      pool_cv_.wait(lk, [this] {
+        return active_.load(std::memory_order_acquire) ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+      --parked_;
+      if (shutdown_.load(std::memory_order_acquire)) return;
     }
-    idle = 0;
-    execute_task(ctx, task, emit_buf, &hint, w.stats, index + 1);
+    std::uint32_t idle = 0;
+    while (active_.load(std::memory_order_acquire) &&
+           !shutdown_.load(std::memory_order_acquire)) {
+      match::Task task;
+      if (!queues_.try_pop(&task, hint, w.stats)) {
+        // Idle: between phases, or starved. Back off politely so the
+        // control thread (and, on small hosts, other match processes) can
+        // run.
+        if (++idle >= 16) {
+          std::this_thread::yield();
+        } else {
+          SpinLock::cpu_relax();
+        }
+        continue;
+      }
+      idle = 0;
+      execute_task(ctx, task, emit_buf, &hint, w.stats, index + 1);
+    }
   }
 }
 

@@ -10,12 +10,20 @@
 //  - the control process pushes root tokens *while still evaluating the
 //    RHS*, so match pipelines with RHS evaluation.
 //
-// Match processes are started by begin_run() and killed by end_run(),
-// matching the paper's per-run process lifetime.
+// Match processes are spawned once, on the first begin_run(), and then
+// parked on a condition variable between runs: end_run() quiesces and
+// parks them, the next begin_run() wakes them. (The paper spawned and
+// killed per run; under the serving layer per-request thread creation
+// dominates latency, and the persistent pool also keeps worker token
+// arenas alive across runs, which the persistent hash-table memories
+// require when working memory carries over.) threads_spawned() exposes
+// the pool's creation count so tests can assert reuse.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "engine/engine_base.hpp"
@@ -31,6 +39,12 @@ class ParallelEngine : public EngineBase {
 
   // Aggregated match-process statistics (valid after run()).
   const MatchStats& match_stats() const { return stats_.match; }
+
+  // Pool lifetime counters: threads created so far, and runs started.
+  // threads_spawned() stays at match_processes however many runs execute —
+  // the thread-reuse guarantee the serving layer depends on.
+  std::uint64_t threads_spawned() const { return thread_spawns_; }
+  std::uint64_t runs_started() const { return runs_started_; }
 
  protected:
   void submit_change(const Wme* wme, std::int8_t sign) override;
@@ -63,6 +77,14 @@ class ParallelEngine : public EngineBase {
   match::TaskQueueSet queues_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> shutdown_{false};
+  // Pool parking: workers spin on `active_` while a run is live and wait
+  // on `pool_cv_` between runs; `parked_` counts waiters (under pool_mu_).
+  std::atomic<bool> active_{false};
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  int parked_ = 0;
+  std::uint64_t thread_spawns_ = 0;
+  std::uint64_t runs_started_ = 0;
   match::BumpArena control_arena_;  // for the control thread (unused by
                                     // root tasks but required by contexts)
   unsigned control_hint_ = 0;

@@ -132,6 +132,31 @@ struct HistogramSnapshot {
                         : static_cast<double>(sum) /
                               static_cast<double>(samples);
   }
+
+  // Approximate quantile (q in [0,1]) from the log2 buckets: the target
+  // rank's bucket, linearly interpolated across its [2^(k-1), 2^k) span.
+  // The relative error is bounded by the bucket width (< 2x); the serving
+  // layer reports latency percentiles through this.
+  double percentile(double q) const {
+    if (samples == 0) return 0.0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const double rank = q * static_cast<double>(samples);
+    double seen = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const auto count = buckets[static_cast<std::size_t>(b)];
+      if (count == 0) continue;
+      if (seen + static_cast<double>(count) >= rank) {
+        const double lo = static_cast<double>(bucket_lower_bound(b));
+        const double width = b == 0 ? 0.0 : lo;  // [2^(k-1), 2^k)
+        const double frac =
+            (rank - seen) / static_cast<double>(count);
+        return lo + width * frac;
+      }
+      seen += static_cast<double>(count);
+    }
+    return static_cast<double>(bucket_lower_bound(kHistogramBuckets - 1));
+  }
 };
 
 class Histogram {

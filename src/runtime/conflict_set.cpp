@@ -66,6 +66,19 @@ void ConflictSet::remove(std::uint32_t prod_index,
   if (--it->second.refcount == 0) entries_.erase(it);
 }
 
+bool ConflictSet::mark_fired(std::uint32_t prod_index,
+                             const std::vector<TimeTag>& tags) {
+  SpinGuard g(lock_);
+  for (auto& [key, inst] : entries_) {
+    (void)key;
+    if (inst.prod_index != prod_index || inst.refcount <= 0) continue;
+    if (inst.tags_in_order() != tags) continue;
+    inst.fired = true;
+    return true;
+  }
+  return false;
+}
+
 bool ConflictSet::contains(std::uint32_t prod_index,
                            const std::vector<const Wme*>& wmes) const {
   Key k{prod_index, wmes};

@@ -66,6 +66,12 @@ class ConflictSet {
   // process only).
   std::optional<Instantiation> select_and_fire(CrStrategy strategy);
 
+  // Checkpoint restore: marks the live instantiation of `prod_index` whose
+  // positive CEs carry exactly `tags` (in CE order) as already fired, so a
+  // resumed run does not fire it again. Returns false when no live
+  // instantiation matches (e.g. its wmes died before the checkpoint).
+  bool mark_fired(std::uint32_t prod_index, const std::vector<TimeTag>& tags);
+
   // Snapshot of live instantiations (refcount > 0), unsorted. For tests.
   std::vector<Instantiation> snapshot() const;
   std::size_t size() const;

@@ -45,6 +45,30 @@ void WorkingMemory::remove(const Wme* wme) {
   live_.erase(it);
 }
 
+const Wme* WorkingMemory::make_with_tag(TimeTag tag, SymbolId cls,
+                                        std::vector<Value> fields) {
+  const ops5::ClassInfo& info = program_.class_of(cls);
+  if (fields.size() != info.slot_attrs.size())
+    throw std::invalid_argument("wme field count mismatch for class " +
+                                symbol_name(cls));
+  if (tag == 0 || live_.count(tag))
+    throw std::invalid_argument("make_with_tag: timetag unusable");
+  auto wme = std::make_unique<Wme>();
+  wme->timetag = tag;
+  wme->cls = cls;
+  wme->fields = std::move(fields);
+  const Wme* raw = wme.get();
+  live_.emplace(tag, std::move(wme));
+  if (tag >= next_tag_) next_tag_ = tag + 1;
+  return raw;
+}
+
+void WorkingMemory::set_next_tag(TimeTag next) {
+  if (next <= last_timetag())
+    throw std::invalid_argument("set_next_tag: counter behind a live wme");
+  next_tag_ = next;
+}
+
 const Wme* WorkingMemory::find(TimeTag tag) const {
   auto it = live_.find(tag);
   return it == live_.end() ? nullptr : it->second.get();

@@ -39,6 +39,14 @@ class WorkingMemory {
   // Frees removed wmes. Call only when no match task can reference them.
   void collect() { retired_.clear(); }
 
+  // Checkpoint restore: re-creates a wme under its original timetag.
+  // `tag` must be unused and below the restored counter.
+  const Wme* make_with_tag(TimeTag tag, SymbolId cls,
+                           std::vector<Value> fields);
+  // Checkpoint restore: continues timetag allocation from `next` (which
+  // must be past every live tag).
+  void set_next_tag(TimeTag next);
+
   // Live wmes sorted by timetag (for tests and wm dumps).
   std::vector<const Wme*> snapshot() const;
 

@@ -1,0 +1,159 @@
+#include "serve/checkpoint.hpp"
+
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::serve {
+
+namespace {
+
+constexpr std::string_view kSchema = "psme.checkpoint.v1";
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+obs::Json value_to_json(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Nil:
+      return obs::Json(nullptr);
+    case ValueKind::Symbol:
+      return obs::Json(symbol_name(v.as_symbol()));
+    case ValueKind::Int:
+      return obs::Json(v.as_int());
+    case ValueKind::Float:
+      return obs::Json(obs::JsonObject{{"f", obs::Json(v.as_float())}});
+  }
+  return obs::Json(nullptr);
+}
+
+Value value_from_json(const obs::Json& j) {
+  if (j.is_null()) return Value::nil();
+  if (j.is_string()) return Value::symbol(intern(j.as_string()));
+  if (j.is_number()) return Value::integer(j.as_int());
+  if (j.is_object()) return Value::real(j.at("f").as_double());
+  throw CheckpointError("malformed field value");
+}
+
+obs::Json firing_to_json(const FiringRecord& rec) {
+  obs::JsonArray tags;
+  tags.reserve(rec.timetags.size());
+  for (const TimeTag t : rec.timetags) tags.emplace_back(t);
+  return obs::Json(
+      obs::JsonArray{obs::Json(std::uint64_t{rec.prod_index}),
+                     obs::Json(std::move(tags))});
+}
+
+FiringRecord firing_from_json(const obs::Json& j) {
+  const obs::JsonArray& pair = j.as_array();
+  if (pair.size() != 2) throw CheckpointError("malformed firing record");
+  FiringRecord rec;
+  rec.prod_index = static_cast<std::uint32_t>(pair[0].as_uint());
+  for (const obs::Json& t : pair[1].as_array())
+    rec.timetags.push_back(t.as_uint());
+  return rec;
+}
+
+}  // namespace
+
+std::uint64_t Checkpoint::fingerprint_of(const ops5::Program& program) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const ops5::ClassInfo& cls : program.classes()) {
+    h = fnv1a(h, symbol_name(cls.cls));
+    for (const SymbolId attr : cls.slot_attrs) h = fnv1a(h, symbol_name(attr));
+    h = fnv1a(h, "|");
+  }
+  for (const auto& prod : program.productions()) {
+    h = fnv1a(h, symbol_name(prod.name));
+    h = fnv1a(h, ";");
+  }
+  return h;
+}
+
+Checkpoint Checkpoint::capture(const EngineBase& engine) {
+  Checkpoint ckpt;
+  ckpt.fingerprint = fingerprint_of(engine.program());
+  ckpt.snapshot = engine.snapshot_state();
+  return ckpt;
+}
+
+void Checkpoint::restore(EngineBase& engine) const {
+  if (fingerprint_of(engine.program()) != fingerprint)
+    throw CheckpointError("program fingerprint mismatch");
+  engine.restore_state(snapshot);
+}
+
+obs::Json Checkpoint::to_json() const {
+  obs::JsonArray wmes;
+  wmes.reserve(snapshot.wmes.size());
+  for (const WmeSnapshot& w : snapshot.wmes) {
+    obs::JsonArray fields;
+    fields.reserve(w.fields.size());
+    for (const Value& v : w.fields) fields.push_back(value_to_json(v));
+    wmes.push_back(obs::Json(obs::JsonArray{
+        obs::Json(w.timetag), obs::Json(symbol_name(w.cls)),
+        obs::Json(std::move(fields))}));
+  }
+  obs::JsonArray fired, trace;
+  for (const FiringRecord& rec : snapshot.fired)
+    fired.push_back(firing_to_json(rec));
+  for (const FiringRecord& rec : snapshot.trace)
+    trace.push_back(firing_to_json(rec));
+  return obs::Json(obs::JsonObject{
+      {"schema", obs::Json(kSchema)},
+      // Decimal string: fingerprints use all 64 bits, which a JSON double
+      // cannot carry exactly.
+      {"fingerprint", obs::Json(std::to_string(fingerprint))},
+      {"next_timetag", obs::Json(snapshot.next_timetag)},
+      {"cycles", obs::Json(snapshot.cycles)},
+      {"halted", obs::Json(snapshot.halted)},
+      {"wmes", obs::Json(std::move(wmes))},
+      {"fired", obs::Json(std::move(fired))},
+      {"trace", obs::Json(std::move(trace))},
+  });
+}
+
+Checkpoint Checkpoint::from_json(const obs::Json& doc) {
+  const obs::Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != kSchema)
+    throw CheckpointError("not a psme.checkpoint.v1 document");
+  Checkpoint ckpt;
+  ckpt.fingerprint = std::stoull(doc.at("fingerprint").as_string());
+  ckpt.snapshot.next_timetag = doc.at("next_timetag").as_uint();
+  ckpt.snapshot.cycles = doc.at("cycles").as_uint();
+  ckpt.snapshot.halted = doc.at("halted").as_bool();
+  for (const obs::Json& j : doc.at("wmes").as_array()) {
+    const obs::JsonArray& triple = j.as_array();
+    if (triple.size() != 3) throw CheckpointError("malformed wme record");
+    WmeSnapshot w;
+    w.timetag = triple[0].as_uint();
+    w.cls = intern(triple[1].as_string());
+    for (const obs::Json& f : triple[2].as_array())
+      w.fields.push_back(value_from_json(f));
+    ckpt.snapshot.wmes.push_back(std::move(w));
+  }
+  for (const obs::Json& j : doc.at("fired").as_array())
+    ckpt.snapshot.fired.push_back(firing_from_json(j));
+  for (const obs::Json& j : doc.at("trace").as_array())
+    ckpt.snapshot.trace.push_back(firing_from_json(j));
+  return ckpt;
+}
+
+std::string Checkpoint::serialize(int indent) const {
+  return to_json().dump(indent);
+}
+
+Checkpoint Checkpoint::deserialize(std::string_view text) {
+  obs::Json doc;
+  std::string error;
+  if (!obs::json_parse(text, &doc, &error))
+    throw CheckpointError("parse error: " + error);
+  return from_json(doc);
+}
+
+}  // namespace psme::serve

@@ -1,0 +1,232 @@
+#include "serve/loadgen.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "ops5/program.hpp"
+
+namespace psme::serve {
+
+namespace {
+
+struct Client {
+  int kind = 0;
+  SessionId id = 0;
+};
+
+obs::HistogramSnapshot snapshot_delta(const obs::HistogramSnapshot& before,
+                                      const obs::HistogramSnapshot& after) {
+  obs::HistogramSnapshot d;
+  for (int b = 0; b < obs::kHistogramBuckets; ++b)
+    d.buckets[static_cast<std::size_t>(b)] =
+        after.buckets[static_cast<std::size_t>(b)] -
+        before.buckets[static_cast<std::size_t>(b)];
+  d.sum = after.sum - before.sum;
+  d.samples = after.samples - before.samples;
+  return d;
+}
+
+}  // namespace
+
+obs::Json LoadGenReport::to_json() const {
+  return obs::Json(obs::JsonObject{
+      {"schema", obs::Json("psme.loadgen.v1")},
+      {"sessions", obs::Json(sessions)},
+      {"requests", obs::Json(requests)},
+      {"completed", obs::Json(completed)},
+      {"shed", obs::Json(shed)},
+      {"deadline_misses", obs::Json(deadline_misses)},
+      {"errors", obs::Json(errors)},
+      {"verified", obs::Json(verified)},
+      {"divergent", obs::Json(divergent)},
+      {"wall_seconds", obs::Json(wall_seconds)},
+      {"throughput_rps", obs::Json(throughput_rps)},
+      {"latency_mean_us", obs::Json(latency_mean_us)},
+      {"p50_us", obs::Json(p50_us)},
+      {"p95_us", obs::Json(p95_us)},
+      {"p99_us", obs::Json(p99_us)},
+  });
+}
+
+std::string LoadGenReport::render() const {
+  std::ostringstream out;
+  out << "sessions:    " << sessions << " (" << verified << " verified, "
+      << divergent << " divergent)\n"
+      << "requests:    " << requests << " (" << completed << " ok, " << shed
+      << " shed, " << deadline_misses << " deadline, " << errors
+      << " errors)\n"
+      << "throughput:  " << throughput_rps << " req/s over " << wall_seconds
+      << " s\n"
+      << "latency us:  mean " << latency_mean_us << "  p50 " << p50_us
+      << "  p95 " << p95_us << "  p99 " << p99_us << "\n";
+  return out.str();
+}
+
+LoadGenReport run_loadgen(Server& server, const LoadGenConfig& config,
+                          obs::Registry& registry) {
+  using Clock = std::chrono::steady_clock;
+  if (config.sessions < 1)
+    throw std::invalid_argument("loadgen: sessions must be positive");
+  if (config.mix.size() != 3)
+    throw std::invalid_argument("loadgen: mix needs 3 weights");
+
+  const workloads::Workload kinds[3] = {
+      workloads::weaver(config.weaver_regions, 2),
+      workloads::rubik(config.rubik_moves),
+      workloads::tourney(config.tourney_teams, false)};
+  std::vector<ops5::Program> programs;
+  programs.reserve(3);
+  for (const workloads::Workload& w : kinds)
+    programs.push_back(ops5::Program::from_source(w.source));
+
+  // Per-kind scripts: the setup (unmeasured) loads working memory, the
+  // measured part advances the run in identical slices.
+  std::vector<std::string> setup[3];
+  for (int k = 0; k < 3; ++k)
+    for (const std::string& wme : kinds[k].initial_wmes)
+      setup[k].push_back("make " + wme);
+  const std::string run_cmd = "run " + std::to_string(config.run_cycles);
+
+  // Reference traces: the same script on a direct (serverless) session.
+  std::string reference[3];
+  if (config.verify_traces) {
+    for (int k = 0; k < 3; ++k) {
+      Session ref(programs[static_cast<std::size_t>(k)], config.engine);
+      for (const std::string& cmd : setup[k]) ref.execute(cmd);
+      for (int s = 0; s < config.run_slices; ++s) ref.execute(run_cmd);
+      reference[k] = ref.execute("trace").text;
+    }
+  }
+
+  // Draw the workload mix and open the fleet.
+  Rng rng(config.seed);
+  const double mix_total =
+      config.mix[0] + config.mix[1] + config.mix[2];
+  std::vector<Client> clients(static_cast<std::size_t>(config.sessions));
+  for (Client& c : clients) {
+    double r = rng.uniform() * mix_total;
+    c.kind = r < config.mix[0] ? 0 : (r < config.mix[0] + config.mix[1] ? 1 : 2);
+    c.id = server.open_session(programs[static_cast<std::size_t>(c.kind)],
+                               config.engine);
+  }
+
+  obs::Histogram& latency = registry.histogram(
+      {"psme.serve.latency_us", "microseconds",
+       "request latency, enqueue to completion", "",
+       obs::MetricKind::Histogram});
+  const obs::HistogramSnapshot before = latency.snapshot();
+
+  std::atomic<std::uint64_t> requests{0}, completed{0}, shed{0},
+      deadline_misses{0}, errors{0};
+  auto account = [&](const Response& r, int client) {
+    const double lat = r.complete_us - r.enqueue_us;
+    latency.record(client, static_cast<std::uint64_t>(lat > 0 ? lat : 0));
+    if (r.ok)
+      ++completed;
+    else if (r.text.starts_with("overloaded"))
+      ++shed;
+    else if (r.text.starts_with("deadline"))
+      ++deadline_misses;
+    else
+      ++errors;
+  };
+  auto deadline_for = [&config]() -> Deadline {
+    if (config.deadline_ms <= 0) return kNoDeadline;
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  config.deadline_ms));
+  };
+
+  // Warm-up (unmeasured, closed loop): load every session's wm.
+  {
+    std::vector<std::thread> drivers;
+    drivers.reserve(clients.size());
+    for (const Client& c : clients)
+      drivers.emplace_back([&server, &setup, c] {
+        for (const std::string& cmd : setup[c.kind]) server.call(c.id, cmd);
+      });
+    for (std::thread& t : drivers) t.join();
+  }
+
+  // Measured phase.
+  const auto t0 = Clock::now();
+  if (config.open_rate <= 0) {
+    // Closed loop: one driver per client, request -> response -> think.
+    std::vector<std::thread> drivers;
+    drivers.reserve(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i)
+      drivers.emplace_back([&, i] {
+        const Client& c = clients[i];
+        for (int s = 0; s < config.run_slices; ++s) {
+          ++requests;
+          account(server.call(c.id, run_cmd, deadline_for()),
+                  static_cast<int>(i));
+          if (config.think_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(config.think_ms));
+        }
+      });
+    for (std::thread& t : drivers) t.join();
+  } else {
+    // Open loop: Poisson arrivals at open_rate req/s, round-robin over the
+    // fleet, no waiting — queueing delay shows up in the latency tail.
+    std::vector<std::pair<std::future<Response>, int>> in_flight;
+    in_flight.reserve(clients.size() *
+                      static_cast<std::size_t>(config.run_slices));
+    auto next_arrival = t0;
+    for (int s = 0; s < config.run_slices; ++s) {
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        const double gap_s =
+            -std::log1p(-rng.uniform()) / config.open_rate;
+        next_arrival += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(gap_s));
+        std::this_thread::sleep_until(next_arrival);
+        ++requests;
+        in_flight.emplace_back(
+            server.submit(clients[i].id, run_cmd, deadline_for()),
+            static_cast<int>(i));
+      }
+    }
+    for (auto& [future, client] : in_flight) account(future.get(), client);
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadGenReport report;
+  report.sessions = static_cast<std::uint64_t>(config.sessions);
+  report.requests = requests.load();
+  report.completed = completed.load();
+  report.shed = shed.load();
+  report.deadline_misses = deadline_misses.load();
+  report.errors = errors.load();
+  report.wall_seconds = wall;
+  report.throughput_rps =
+      wall > 0 ? static_cast<double>(report.completed) / wall : 0;
+
+  // Zero-divergence check: every session's firing trace must equal the
+  // reference single-session run of the same script. Only meaningful when
+  // nothing was shed — a shed run slice legitimately shortens a trace.
+  if (config.verify_traces && report.shed == 0 &&
+      report.deadline_misses == 0) {
+    for (const Client& c : clients) {
+      const Response r = server.call(c.id, "trace");
+      ++report.verified;
+      if (!r.ok || r.text != reference[c.kind]) ++report.divergent;
+    }
+  }
+
+  for (const Client& c : clients) server.close_session(c.id);
+
+  const obs::HistogramSnapshot lat =
+      snapshot_delta(before, latency.snapshot());
+  report.latency_mean_us = lat.mean();
+  report.p50_us = lat.percentile(0.50);
+  report.p95_us = lat.percentile(0.95);
+  report.p99_us = lat.percentile(0.99);
+  return report;
+}
+
+}  // namespace psme::serve

@@ -1,0 +1,79 @@
+// LoadGen: open/closed-loop client simulator for the serving subsystem.
+//
+// Simulates `sessions` concurrent clients against a Server, each owning
+// one session running a workload drawn from the weaver/rubik/tourney mix.
+// Every client executes the same per-workload script — load the initial
+// working memory, then advance the run in fixed-size cycle slices — so a
+// session's firing trace is comparable against a reference single-session
+// run of the identical script (the zero-divergence check).
+//
+// Two driving disciplines:
+//  - closed loop (open_rate == 0): one driver thread per client submits a
+//    request, waits for the response, thinks for think_ms, repeats — the
+//    classic interactive-user model, concurrency fixed at `sessions`;
+//  - open loop (open_rate > 0): after a closed-loop warm-up that loads
+//    each session's working memory, a dispatcher fires the run-slice
+//    requests at exponentially distributed inter-arrival times (Poisson
+//    arrivals at open_rate req/s) without waiting — measuring queueing
+//    delay under a fixed offered load. Run slices of one session commute
+//    (the server serializes per-session execution), so arrival-order
+//    races cannot change the final trace.
+//
+// Latency (enqueue to completion, server-stamped) is recorded into the
+// obs registry histogram `psme.serve.latency_us`, sharded by client; the
+// report's percentiles read that histogram back, so they carry the log2
+// bucket resolution documented in docs/serving.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "workloads/workloads.hpp"
+
+namespace psme::serve {
+
+struct LoadGenConfig {
+  int sessions = 100;
+  double think_ms = 0.0;       // closed-loop think time between requests
+  double open_rate = 0.0;      // req/s, all clients; 0 = closed loop
+  int run_slices = 4;          // `run` commands per client
+  int run_cycles = 25;         // cycles per `run` command
+  double deadline_ms = 0.0;    // per-request deadline; 0 = none
+  std::uint64_t seed = 1;
+  bool verify_traces = true;   // compare each trace to a reference run
+  std::vector<double> mix = {1.0, 1.0, 1.0};  // weaver : rubik : tourney
+  EngineConfig engine;         // per-session engine configuration
+  // Workload scale (small: a 100-session fleet must stay interactive).
+  int weaver_regions = 4;
+  int rubik_moves = 10;
+  int tourney_teams = 6;
+};
+
+struct LoadGenReport {
+  std::uint64_t sessions = 0;
+  std::uint64_t requests = 0;   // measured requests submitted
+  std::uint64_t completed = 0;  // answered ok
+  std::uint64_t shed = 0;       // err overloaded (admission control)
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t errors = 0;     // any other err
+  std::uint64_t verified = 0;   // sessions whose trace was checked
+  std::uint64_t divergent = 0;  // ... and differed from the reference
+  double wall_seconds = 0;
+  double throughput_rps = 0;    // completed / wall_seconds
+  double latency_mean_us = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+
+  obs::Json to_json() const;
+  std::string render() const;  // human-readable multi-line summary
+};
+
+// Drives `server` (which supplies the worker pool and admission control).
+// Latency lands in `registry`'s psme.serve.latency_us histogram; pass the
+// registry shared with the rest of the process or a scratch one. Opened
+// sessions are closed before returning.
+LoadGenReport run_loadgen(Server& server, const LoadGenConfig& config,
+                          obs::Registry& registry);
+
+}  // namespace psme::serve

@@ -1,0 +1,155 @@
+#include "serve/server.hpp"
+
+namespace psme::serve {
+
+Server::Server(ServerConfig config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.workers < 1)
+    throw std::invalid_argument("Server requires at least one worker");
+  if (config_.queue_capacity < 1)
+    throw std::invalid_argument("Server requires a non-empty queue");
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+Server::~Server() { drain(); }
+
+double Server::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SessionId Server::open_session(const ops5::Program& program,
+                               EngineConfig config) {
+  // Engine construction (Rete compilation) happens on the caller's thread,
+  // outside the server lock.
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::make_unique<Session>(program, config);
+  std::lock_guard<std::mutex> lk(mu_);
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(entry));
+  return id;
+}
+
+bool Server::close_session(SessionId id) {
+  std::shared_ptr<Entry> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    doomed = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // An in-flight request still holds a shared_ptr; the session dies when
+  // the last holder drops it.
+  std::lock_guard<std::mutex> busy(doomed->mu);
+  return true;
+}
+
+std::size_t Server::session_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.size();
+}
+
+std::future<Response> Server::submit(SessionId id, std::string line,
+                                     Deadline deadline) {
+  Item item;
+  item.id = id;
+  item.line = std::move(line);
+  item.deadline = deadline;
+  item.enqueue_us = now_us();
+  std::future<Response> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_ || queue_.size() >= config_.queue_capacity) {
+      ++stats_.shed_overload;
+      Response r{false,
+                 draining_ ? std::string("overloaded server draining")
+                           : "overloaded queue=" +
+                                 std::to_string(queue_.size()) + " cap=" +
+                                 std::to_string(config_.queue_capacity)};
+      r.enqueue_us = item.enqueue_us;
+      r.complete_us = item.enqueue_us;
+      item.promise.set_value(std::move(r));
+      return future;
+    }
+    ++stats_.accepted;
+    queue_.push_back(std::move(item));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+Response Server::call(SessionId id, std::string line, Deadline deadline) {
+  return submit(id, std::move(line), deadline).get();
+}
+
+Session* Server::session(SessionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second->session.get();
+}
+
+void Server::worker_main() {
+  for (;;) {
+    Item item;
+    std::shared_ptr<Entry> entry;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped_ and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      auto it = sessions_.find(item.id);
+      if (it != sessions_.end()) entry = it->second;
+    }
+
+    Response response;
+    if (!entry) {
+      response = {false, "no such session " + std::to_string(item.id)};
+    } else if (std::chrono::steady_clock::now() > item.deadline) {
+      response = {false, "deadline expired in queue"};
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.shed_deadline;
+    } else {
+      std::lock_guard<std::mutex> session_lock(entry->mu);
+      response = entry->session->execute(item.line, item.deadline);
+    }
+    response.enqueue_us = item.enqueue_us;
+    response.complete_us = now_us();
+    item.promise.set_value(std::move(response));
+
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.completed;
+      --in_flight_;
+      idle = queue_.empty() && in_flight_ == 0;
+    }
+    if (idle) drain_cv_.notify_all();
+  }
+}
+
+void Server::drain() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    draining_ = true;
+    drain_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+    stopped_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace psme::serve

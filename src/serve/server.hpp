@@ -1,0 +1,108 @@
+// Server: a bounded request queue feeding a worker pool that multiplexes
+// many sessions over one process.
+//
+// Clients open sessions (each owning an engine in a configurable execution
+// mode) and submit protocol commands (serve/session.hpp); a fixed pool of
+// worker threads executes them. Two admission-control knobs keep the
+// server responsive under overload:
+//
+//  - backpressure: the request queue is bounded (ServerConfig::
+//    queue_capacity); submit() on a full queue is rejected immediately
+//    with `err overloaded ...` instead of queuing unbounded work;
+//  - deadline shedding: a request whose deadline has already passed when
+//    a worker picks it up is answered `err deadline ...` without touching
+//    the engine (and `run` slices check the deadline while executing).
+//
+// One session's requests execute in submission order (a per-session mutex
+// serializes them); different sessions run in parallel across the pool.
+// drain() is the graceful shutdown: it stops admission, lets the queue
+// empty, and joins the workers — queued work is finished, not dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/session.hpp"
+
+namespace psme::serve {
+
+using SessionId = std::uint64_t;
+
+struct ServerConfig {
+  int workers = 4;
+  std::size_t queue_capacity = 1024;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed_overload = 0;  // rejected at submit (queue full/draining)
+  std::uint64_t shed_deadline = 0;  // expired before a worker picked them up
+  std::uint64_t completed = 0;      // executed (ok or err) by a worker
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();  // drains
+
+  // Sessions. `program` must outlive the session.
+  SessionId open_session(const ops5::Program& program, EngineConfig config);
+  bool close_session(SessionId id);  // queued requests answer `err`
+  std::size_t session_count() const;
+
+  // Enqueues one command. The future resolves when a worker has executed
+  // it; on overload or after drain() it is already resolved with `err`.
+  std::future<Response> submit(SessionId id, std::string line,
+                               Deadline deadline = kNoDeadline);
+  // Synchronous convenience: submit + wait.
+  Response call(SessionId id, std::string line, Deadline deadline = kNoDeadline);
+
+  // Post-drain inspection (e.g. trace verification). Not synchronized
+  // against in-flight requests for the same session.
+  Session* session(SessionId id);
+
+  // Graceful shutdown: reject new work, finish everything queued, join
+  // the workers. Idempotent; the destructor calls it.
+  void drain();
+
+  ServerStats stats() const;
+  // Microseconds since the server's epoch (the Response timestamp base).
+  double now_us() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Session> session;
+    std::mutex mu;  // serializes this session's requests
+  };
+  struct Item {
+    SessionId id = 0;
+    std::string line;
+    Deadline deadline;
+    std::promise<Response> promise;
+    double enqueue_us = 0;
+  };
+
+  void worker_main();
+
+  ServerConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards sessions_, queue_, stats_, flags
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable drain_cv_;  // drain(): queue empty and idle
+  std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
+  std::deque<Item> queue_;
+  std::vector<std::thread> workers_;
+  SessionId next_id_ = 1;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace psme::serve

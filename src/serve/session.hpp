@@ -1,0 +1,87 @@
+// Session: one client's engine instance behind a text command protocol.
+//
+// A session owns an Engine (any execution mode) and executes one command
+// per request, with an optional per-request deadline:
+//
+//   make (class ^attr value ...)      -> ok <timetag>
+//   modify <timetag> ^attr value ...  -> ok <new-timetag>   (remove + make)
+//   remove <timetag>                  -> ok <timetag>
+//   run [max-cycles]                  -> ok cycles=<delta> total=<total>
+//                                           reason=<halt|empty|max-cycles>
+//   dump                              -> ok <n>\n<wme literal per line>
+//   trace                             -> ok <n>\n<prod tag tag ... per line>
+//   stats                             -> ok cycles=<n> firings=<n> wm=<n>
+//   checkpoint                        -> ok <single-line checkpoint JSON>
+//   restore <checkpoint JSON>         -> ok <cycles restored>
+//
+// Failures answer `err <reason ...>`. `run` executes in small slices and
+// checks the deadline between slices, so a request can never overrun its
+// deadline by more than one slice; a deadline miss answers
+// `err deadline ...` with the state advanced by the cycles already run
+// (working memory stays consistent — slicing stops only at quiescent
+// points). `restore` replaces the engine with a fresh instance of the same
+// mode restored from the checkpoint.
+//
+// Sessions are not internally synchronized: the Server serializes the
+// requests of one session and runs different sessions in parallel.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace psme::serve {
+
+using Deadline = std::chrono::steady_clock::time_point;
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+struct Response {
+  bool ok = false;
+  std::string text;  // payload after the ok/err verb
+  // Server stamps (microseconds since the server's epoch); zero when the
+  // session is driven directly.
+  double enqueue_us = 0;
+  double complete_us = 0;
+
+  std::string render() const { return (ok ? "ok " : "err ") + text; }
+};
+
+class Session {
+ public:
+  // `program` must outlive the session. The engine is constructed
+  // immediately (Rete compilation happens here, not per request).
+  Session(const ops5::Program& program, EngineConfig config);
+
+  // Executes one protocol command. Never throws: protocol and engine
+  // errors come back as `err` responses.
+  Response execute(const std::string& line, Deadline deadline = kNoDeadline);
+
+  const psme::Engine& engine() const { return *engine_; }
+  const std::vector<FiringRecord>& trace() const { return engine_->trace(); }
+  std::uint64_t requests() const { return requests_; }
+
+  // Recognize-act cycles per deadline-check slice of `run`.
+  static constexpr std::uint64_t kRunSlice = 32;
+
+ private:
+  Response dispatch(const std::string& line, Deadline deadline);
+  Response cmd_make(const std::string& args);
+  Response cmd_modify(const std::string& args);
+  Response cmd_remove(const std::string& args);
+  Response cmd_run(const std::string& args, Deadline deadline);
+  Response cmd_dump() const;
+  Response cmd_trace() const;
+  Response cmd_stats() const;
+  Response cmd_checkpoint() const;
+  Response cmd_restore(const std::string& args);
+
+  const ops5::Program& program_;
+  EngineConfig config_;
+  std::unique_ptr<psme::Engine> engine_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace psme::serve

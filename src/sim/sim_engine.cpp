@@ -320,6 +320,7 @@ Proc SimEngine::control_main() {
   co_await push_changes(std::move(pending_));
   pending_.clear();
   wm_.collect();
+  apply_restored_refraction();
 
   for (;;) {
     if (halted_) {
@@ -384,19 +385,24 @@ RunResult SimEngine::run() {
   sim_match_time_ = 0;
 
   control_cpu_ = &sched_->add_cpu();
-  workers_.clear();
-  for (int i = 0; i < options_.match_processes; ++i) {
-    auto w = std::make_unique<WorkerState>();
-    w->cpu = &sched_->add_cpu();
-    w->hint = static_cast<unsigned>(i);
-    w->ctx.strategy = match::MemoryStrategy::Hash;
-    w->ctx.left_table = left_table_.get();
-    w->ctx.right_table = right_table_.get();
-    w->ctx.conflict_set = &cs_;
-    w->ctx.arena = &w->arena;
-    w->ctx.stats = &w->stats;
-    workers_.push_back(std::move(w));
+  // Worker states persist across run() calls: the hash-table memories keep
+  // tokens allocated from the workers' arenas between runs, so destroying a
+  // worker would leave the persistent memories dangling. Only the virtual
+  // CPUs are per-run.
+  if (workers_.empty()) {
+    for (int i = 0; i < options_.match_processes; ++i) {
+      auto w = std::make_unique<WorkerState>();
+      w->hint = static_cast<unsigned>(i);
+      w->ctx.strategy = match::MemoryStrategy::Hash;
+      w->ctx.left_table = left_table_.get();
+      w->ctx.right_table = right_table_.get();
+      w->ctx.conflict_set = &cs_;
+      w->ctx.arena = &w->arena;
+      w->ctx.stats = &w->stats;
+      workers_.push_back(std::move(w));
+    }
   }
+  for (auto& w : workers_) w->cpu = &sched_->add_cpu();
   if (options_.obs) {
     // Virtual-clock trace: stream 0 is the control CPU, i+1 is match CPU i
     // (matching the SimCpu ids handed out above).
@@ -414,13 +420,16 @@ RunResult SimEngine::run() {
   VTime end_time = control_cpu_->now;
   for (auto& w : workers_) {
     stats_.match.merge(w->stats);
+    // Reset after merging so the next run() doesn't double-count (the obs
+    // shard pointers are re-attached at the top of the next run).
+    w->stats = MatchStats{};
     end_time = std::max(end_time, w->cpu->now);
+    w->cpu = nullptr;
   }
   stats_.match.merge(control_stats_);
   control_stats_ = MatchStats{};
   stats_.sim_match_seconds = config_.cost.to_seconds(sim_match_time_);
   sim_total_seconds_ = config_.cost.to_seconds(end_time);
-  workers_.clear();
   sched_.reset();
 
   RunResult result;

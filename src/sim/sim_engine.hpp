@@ -105,6 +105,8 @@ class SimEngine : public EngineBase {
   std::vector<SimQueue> queues_;
   std::vector<SimLock> simple_lines_;
   std::vector<MrswLine> mrsw_lines_;
+  // Persistent across runs: the hash-table memories hold tokens allocated
+  // from the workers' arenas, so worker state must outlive any single run.
   std::vector<std::unique_ptr<WorkerState>> workers_;
   SimCpu* control_cpu_ = nullptr;
   MatchStats control_stats_;

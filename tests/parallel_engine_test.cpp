@@ -35,13 +35,29 @@ TEST(ParallelEngine, RunCanBeResumedAfterNewWmes) {
   ParallelEngine eng(program, opt);
   eng.make("(a ^x 1)");
   EXPECT_EQ(eng.run().stats.firings, 1u);
-  // Second batch: the match processes are respawned per run (the paper
-  // starts them at the beginning of a run and kills them at the end).
+  // Second batch: the match processes stay parked between runs (unlike the
+  // paper's start/kill-per-run model) and must pick the new work up.
   eng.make("(a ^x 2)");
   eng.make("(a ^x 3)");
   const RunResult r2 = eng.run();
   EXPECT_EQ(r2.stats.firings, 3u);  // cumulative stats
   EXPECT_EQ(eng.trace().size(), 3u);
+}
+
+TEST(ParallelEngine, WorkerThreadsAreReusedAcrossRuns) {
+  const auto w = workloads::rubik(6);
+  auto program = ops5::Program::from_source(w.source);
+  EngineOptions opt;
+  opt.match_processes = 3;
+  opt.max_cycles = 5;
+  ParallelEngine eng(program, opt);
+  workloads::load(eng, w);
+  eng.run();
+  eng.run();
+  eng.run();
+  EXPECT_EQ(eng.runs_started(), 3u);
+  // The pool is spawned once, on the first run; later runs reuse it.
+  EXPECT_EQ(eng.threads_spawned(), 3u);
 }
 
 TEST(ParallelEngine, MrswRequeuesOccurUnderCrossSideLoad) {
