@@ -89,12 +89,15 @@ struct SimOutcome {
 };
 
 inline SimOutcome run_sim(const ProgramSpec& spec, int procs, int queues,
-                          match::LockScheme scheme, bool pipeline) {
+                          match::LockScheme scheme, bool pipeline,
+                          match::SchedulerKind sched =
+                              match::SchedulerKind::Central) {
   auto program = ops5::Program::from_source(spec.workload.source);
   EngineOptions opt;
   opt.match_processes = procs;
   opt.task_queues = queues;
   opt.lock_scheme = scheme;
+  opt.scheduler = sched;
   opt.max_cycles = 10'000'000;
   sim::SimConfig cfg;
   cfg.pipeline = pipeline;

@@ -57,6 +57,13 @@ struct MatchStats {
   std::uint64_t line_probes[2] = {0, 0};
   std::uint64_t line_acquisitions[2] = {0, 0};
 
+  // Work-stealing discipline (match/scheduler.hpp): victim-deque probes
+  // (failed + successful, incl. CAS retries), tasks actually stolen, and
+  // tasks spilled to an overflow list because the owner's deque was full.
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_successes = 0;
+  std::uint64_t steal_overflow = 0;
+
   // Observability wiring (obs::Observability::attach_worker): this worker's
   // shards of the registry's distribution metrics. Null when no observer is
   // attached; merge() ignores them — they are wiring, not data.
@@ -82,6 +89,9 @@ struct MatchStats {
     }
     queue_probes += o.queue_probes;
     queue_acquisitions += o.queue_acquisitions;
+    steal_attempts += o.steal_attempts;
+    steal_successes += o.steal_successes;
+    steal_overflow += o.steal_overflow;
   }
 
   double mean_opp_examined(Side s) const {

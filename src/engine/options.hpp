@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "match/kernel.hpp"
 #include "match/line_locks.hpp"
+#include "match/scheduler.hpp"
 #include "runtime/conflict_set.hpp"
 
 namespace psme::obs {
@@ -26,6 +27,14 @@ struct EngineOptions {
   int match_processes = 0;
   int task_queues = 1;
   match::LockScheme lock_scheme = match::LockScheme::Simple;
+
+  // Task-scheduling discipline: the paper's central spin-locked queues
+  // (task_queues of them) or per-worker work-stealing deques (see
+  // docs/scheduling.md). steal_deque_capacity bounds each worker's deque
+  // (rounded up to a power of two); overfull deques spill to a locked
+  // overflow list.
+  match::SchedulerKind scheduler = match::SchedulerKind::Central;
+  std::uint32_t steal_deque_capacity = match::WsDeque::kDefaultCapacity;
 
   // Token hash tables: number of buckets per side (power of two).
   std::uint32_t hash_buckets = 512;

@@ -14,7 +14,9 @@ ParallelEngine::ParallelEngine(const ops5::Program& program,
       left_table_(options_.hash_buckets),
       right_table_(options_.hash_buckets),
       line_locks_(options_.hash_buckets, options_.lock_scheme),
-      queues_(options_.task_queues) {
+      sched_(match::make_scheduler(options_.scheduler, options_.task_queues,
+                                   options_.match_processes + 1,
+                                   options_.steal_deque_capacity)) {
   if (options_.match_processes < 1)
     throw std::invalid_argument(
         "ParallelEngine requires at least one match process");
@@ -86,12 +88,13 @@ void ParallelEngine::submit_change(const Wme* wme, std::int8_t sign) {
   root.kind = match::TaskKind::Root;
   root.sign = sign;
   root.wme = wme;
-  queues_.push(root, control_hint_++, stats_.match);
+  sched_->push(root, static_cast<unsigned>(options_.match_processes),
+               stats_.match);
 }
 
 void ParallelEngine::wait_quiescent() {
   std::uint32_t spins = 0;
-  while (!queues_.phase_complete()) {
+  while (!sched_->phase_complete()) {
     SpinLock::cpu_relax();
     if (++spins >= 64) {
       std::this_thread::yield();
@@ -118,7 +121,7 @@ void ParallelEngine::worker_main(int index) {
   ctx.stats = &w.stats;
 
   std::vector<match::Task> emit_buf;
-  unsigned hint = static_cast<unsigned>(index);
+  const unsigned ep = static_cast<unsigned>(index);
   for (;;) {
     {
       // Park between runs; begin_run() wakes the pool.
@@ -136,7 +139,7 @@ void ParallelEngine::worker_main(int index) {
     while (active_.load(std::memory_order_acquire) &&
            !shutdown_.load(std::memory_order_acquire)) {
       match::Task task;
-      if (!queues_.try_pop(&task, hint, w.stats)) {
+      if (!sched_->try_pop(&task, ep, w.stats)) {
         // Idle: between phases, or starved. Back off politely so the
         // control thread (and, on small hosts, other match processes) can
         // run.
@@ -148,7 +151,7 @@ void ParallelEngine::worker_main(int index) {
         continue;
       }
       idle = 0;
-      execute_task(ctx, task, emit_buf, &hint, w.stats, index + 1);
+      execute_task(ctx, task, emit_buf, ep, w.stats, index + 1);
     }
   }
 }
@@ -156,7 +159,7 @@ void ParallelEngine::worker_main(int index) {
 void ParallelEngine::execute_task(match::MatchContext& ctx,
                                   const match::Task& task,
                                   std::vector<match::Task>& emit_buf,
-                                  unsigned* hint, MatchStats& stats,
+                                  unsigned ep, MatchStats& stats,
                                   int worker) {
   obs::TraceRecorder* tracer =
       options_.obs && options_.obs->trace.enabled() ? &options_.obs->trace
@@ -208,7 +211,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       // MRSW scheme.
       if (task.join->kind == rete::JoinKind::Negative) {
         if (!line_locks_.try_enter_exclusive(line, side, stats)) {
-          queues_.requeue(task, (*hint)++, stats);
+          sched_->requeue(task, ep, stats);
           record_requeue();
           return;  // task still counted in TaskCount
         }
@@ -217,7 +220,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
         break;
       }
       if (!line_locks_.try_enter(line, side, stats)) {
-        queues_.requeue(task, (*hint)++, stats);
+        sched_->requeue(task, ep, stats);
         record_requeue();
         return;
       }
@@ -229,9 +232,11 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       break;
     }
   }
-  for (const match::Task& t : emit_buf) queues_.push(t, (*hint)++, stats);
+  // Batched handoff: all emissions of this task are published in one
+  // scheduler operation (a single release store in the steal discipline).
+  sched_->push_batch(emit_buf.data(), emit_buf.size(), ep, stats);
   stats.tasks_executed += 1;
-  queues_.task_done();
+  sched_->task_done();
   if (tracer) record(obs::trace_kind_of(task.kind));
 }
 

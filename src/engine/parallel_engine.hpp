@@ -5,7 +5,9 @@
 //  - a single shared Rete network;
 //  - global left/right token hash tables with per-line locks (Simple or
 //    MRSW scheme);
-//  - one or more central task queues guarded by spin locks;
+//  - a task scheduler: the paper's central spin-locked queues, or
+//    per-worker lock-free deques with work stealing
+//    (EngineOptions::scheduler; see match/scheduler.hpp);
 //  - a TaskCount counter for match-phase termination;
 //  - the control process pushes root tokens *while still evaluating the
 //    RHS*, so match pipelines with RHS evaluation.
@@ -28,7 +30,7 @@
 
 #include "engine/engine_base.hpp"
 #include "match/line_locks.hpp"
-#include "match/task_queue.hpp"
+#include "match/scheduler.hpp"
 
 namespace psme {
 
@@ -60,10 +62,11 @@ class ParallelEngine : public EngineBase {
   };
 
   void worker_main(int index);
-  // Executes one popped task with the appropriate locking; pushes emissions.
-  // `worker` is the observability stream (0 control, 1..k match processes).
+  // Executes one popped task with the appropriate locking; pushes emissions
+  // through scheduler endpoint `ep`. `worker` is the observability stream
+  // (0 control, 1..k match processes).
   void execute_task(match::MatchContext& ctx, const match::Task& task,
-                    std::vector<match::Task>& emit_buf, unsigned* hint,
+                    std::vector<match::Task>& emit_buf, unsigned ep,
                     MatchStats& stats, int worker);
   double trace_now_us() const {
     return std::chrono::duration<double, std::micro>(
@@ -74,7 +77,8 @@ class ParallelEngine : public EngineBase {
   match::HashTokenTable left_table_;
   match::HashTokenTable right_table_;
   match::LineLocks line_locks_;
-  match::TaskQueueSet queues_;
+  // Scheduler endpoints: worker i -> i, control thread -> match_processes.
+  std::unique_ptr<match::Scheduler> sched_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> shutdown_{false};
   // Pool parking: workers spin on `active_` while a run is live and wait
@@ -87,7 +91,6 @@ class ParallelEngine : public EngineBase {
   std::uint64_t runs_started_ = 0;
   match::BumpArena control_arena_;  // for the control thread (unused by
                                     // root tasks but required by contexts)
-  unsigned control_hint_ = 0;
   std::chrono::steady_clock::time_point phase_start_;
   std::chrono::steady_clock::time_point trace_epoch_;  // ts 0 of the trace
   bool phase_open_ = false;

@@ -149,6 +149,24 @@ void Observability::export_run_stats(const RunStats& stats,
   }
 
   registry
+      .counter(c("psme.steal.attempts", "probes",
+                 "victim deques probed during steal sweeps (work-stealing "
+                 "scheduler only)",
+                 "4-7"))
+      .add(0, m.steal_attempts);
+  registry
+      .counter(c("psme.steal.successes", "tasks",
+                 "tasks taken from another endpoint's deque or overflow "
+                 "list",
+                 "4-7"))
+      .add(0, m.steal_successes);
+  registry
+      .counter(c("psme.steal.overflow_spills", "tasks",
+                 "tasks spilled to a locked overflow list because the "
+                 "owner's deque was full"))
+      .add(0, m.steal_overflow);
+
+  registry
       .counter(c("psme.queue.probes", "probes",
                  "task-queue lock spin probes", "4-7"))
       .add(0, m.queue_probes);
@@ -185,7 +203,8 @@ void Observability::export_run_stats(const RunStats& stats,
 }
 
 void Observability::export_config(int match_processes, int task_queues,
-                                  bool mrsw_locks, Registry& registry) {
+                                  bool mrsw_locks, bool work_stealing,
+                                  Registry& registry) {
   registry
       .gauge(g("psme.config.match_processes", "processes",
                "the k in the paper's 1+k configuration"))
@@ -198,6 +217,11 @@ void Observability::export_config(int match_processes, int task_queues,
       .gauge(g("psme.config.mrsw_locks", "bool",
                "1 when the MRSW hash-line lock scheme is active"))
       .set(mrsw_locks ? 1 : 0);
+  registry
+      .gauge(g("psme.config.work_stealing", "bool",
+               "1 when the work-stealing deque scheduler is active "
+               "(0 = the paper's central queues)"))
+      .set(work_stealing ? 1 : 0);
 }
 
 }  // namespace psme::obs

@@ -36,9 +36,11 @@ struct Observability {
 
   // Static exporters, usable with a bare Registry.
   static void export_run_stats(const RunStats& stats, Registry& registry);
-  // Engine-configuration gauges (worker/queue counts, lock scheme).
+  // Engine-configuration gauges (worker/queue counts, lock scheme,
+  // scheduler discipline).
   static void export_config(int match_processes, int task_queues,
-                            bool mrsw_locks, Registry& registry);
+                            bool mrsw_locks, bool work_stealing,
+                            Registry& registry);
 };
 
 }  // namespace psme::obs

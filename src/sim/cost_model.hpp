@@ -27,6 +27,17 @@ struct CostModel {
   VTime queue_push = 7;
   VTime task_dispatch = 14;  // fetch token, decode destination
 
+  // Work-stealing deques (match/scheduler.hpp; not in the paper — the
+  // modern alternative to its proposed hardware scheduler). The owner's
+  // paths carry no lock acquisition; a batch publication pays one
+  // release-store charge plus a per-task slot write.
+  VTime deque_pop = 7;        // owner take: fence + bounds check + read
+  VTime deque_publish = 6;    // owner batch publication (release store)
+  VTime deque_task_copy = 3;  // per-task slot write within a batch
+  VTime steal_probe = 4;      // thief reads a victim's top/bottom
+  VTime steal_cas = 12;       // interlocked advance of the victim's top
+  VTime overflow_op = 9;      // locked overflow-list push/pop (rare)
+
   // Constant-test / alpha level ("3 machine instructions" per test).
   VTime root_base = 24;        // build token, locate class bucket
   VTime alpha_test = 3;        // the paper's number

@@ -127,6 +127,142 @@ SubTask<bool> SimEngine::pop_task(SimCpu& cpu, match::Task* out,
   co_return false;
 }
 
+SubTask<bool> SimEngine::steal_push(SimCpu& cpu, match::Task task,
+                                    unsigned who, MatchStats& stats,
+                                    bool is_requeue) {
+  if (!is_requeue) ++task_count_;
+  SimDeque& d = deques_[who];
+  const CostModel& cm = config_.cost;
+  if (d.items.size() >= options_.steal_deque_capacity) {
+    // Full deque: spill to the locked overflow list (the rare slow path).
+    co_await sched_->acquire(cpu, d.overflow_lock, &stats.queue_probes,
+                             &stats.queue_acquisitions,
+                             stats.queue_probe_hist);
+    co_await sched_->spend(cpu, cm.overflow_op);
+    d.overflow.push_back(task);
+    sched_->release(d.overflow_lock, cpu.now);
+    stats.steal_overflow += 1;
+  } else {
+    // Owner-end publish: no lock, one release store.
+    co_await sched_->spend(cpu, cm.deque_publish + cm.deque_task_copy);
+    d.items.push_back(task);
+    stats.queue_probes += 1;
+    stats.queue_acquisitions += 1;
+    if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
+    if (stats.queue_depth_hist)
+      stats.queue_depth_hist->record(d.items.size());
+  }
+  sched_->wake_one(idle_workers_, cpu.now);
+  co_return true;
+}
+
+SubTask<bool> SimEngine::steal_push_batch(SimCpu& cpu,
+                                          const std::vector<match::Task>& tasks,
+                                          unsigned who, MatchStats& stats) {
+  if (tasks.empty()) co_return true;
+  // One TaskCount bump covers the whole batch, before any task is visible.
+  task_count_ += static_cast<std::int64_t>(tasks.size());
+  SimDeque& d = deques_[who];
+  const CostModel& cm = config_.cost;
+  const std::size_t cap = options_.steal_deque_capacity;
+  const std::size_t room = d.items.size() >= cap ? 0 : cap - d.items.size();
+  const std::size_t fit = tasks.size() < room ? tasks.size() : room;
+  if (fit > 0) {
+    // Batched handoff: n slot writes, one publication charge.
+    co_await sched_->spend(
+        cpu, cm.deque_publish + cm.deque_task_copy * static_cast<VTime>(fit));
+    for (std::size_t i = 0; i < fit; ++i) d.items.push_back(tasks[i]);
+    stats.queue_probes += 1;
+    stats.queue_acquisitions += 1;
+    if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
+    if (stats.queue_depth_hist)
+      stats.queue_depth_hist->record(d.items.size());
+  }
+  if (fit < tasks.size()) {
+    co_await sched_->acquire(cpu, d.overflow_lock, &stats.queue_probes,
+                             &stats.queue_acquisitions,
+                             stats.queue_probe_hist);
+    co_await sched_->spend(
+        cpu, cm.overflow_op * static_cast<VTime>(tasks.size() - fit));
+    for (std::size_t i = fit; i < tasks.size(); ++i)
+      d.overflow.push_back(tasks[i]);
+    sched_->release(d.overflow_lock, cpu.now);
+    stats.steal_overflow += tasks.size() - fit;
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    sched_->wake_one(idle_workers_, cpu.now);
+  co_return true;
+}
+
+SubTask<bool> SimEngine::steal_pop(SimCpu& cpu, match::Task* out,
+                                   unsigned who, MatchStats& stats) {
+  SimDeque& mine = deques_[who];
+  const CostModel& cm = config_.cost;
+  if (!mine.items.empty()) {
+    co_await sched_->spend(cpu, cm.deque_pop);
+    if (!mine.items.empty()) {  // thieves may have drained it while we spent
+      *out = mine.items.back();
+      mine.items.pop_back();
+      stats.queue_probes += 1;
+      stats.queue_acquisitions += 1;
+      if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
+      co_return true;
+    }
+  }
+  if (!mine.overflow.empty()) {
+    co_await sched_->acquire(cpu, mine.overflow_lock, &stats.queue_probes,
+                             &stats.queue_acquisitions,
+                             stats.queue_probe_hist);
+    if (!mine.overflow.empty()) {
+      co_await sched_->spend(cpu, cm.overflow_op);
+      *out = mine.overflow.front();
+      mine.overflow.pop_front();
+      sched_->release(mine.overflow_lock, cpu.now);
+      co_return true;
+    }
+    sched_->release(mine.overflow_lock, cpu.now);
+  }
+  // Steal sweep: probe every other endpoint once, starting past our id.
+  const std::size_t n = deques_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    SimDeque& v = deques_[(who + i) % n];
+    co_await sched_->spend(cpu, cm.steal_probe);
+    stats.steal_attempts += 1;
+    if (!v.items.empty()) {
+      co_await sched_->spend(cpu, cm.steal_cas);
+      if (v.items.empty()) continue;  // CAS lost to a faster thief
+      *out = v.items.front();
+      v.items.pop_front();
+      stats.steal_successes += 1;
+      stats.queue_probes += 1;
+      stats.queue_acquisitions += 1;
+      if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
+      co_return true;
+    }
+    if (!v.overflow.empty()) {
+      co_await sched_->acquire(cpu, v.overflow_lock, &stats.queue_probes,
+                               &stats.queue_acquisitions,
+                               stats.queue_probe_hist);
+      if (!v.overflow.empty()) {
+        co_await sched_->spend(cpu, cm.overflow_op);
+        *out = v.overflow.front();
+        v.overflow.pop_front();
+        stats.steal_successes += 1;
+        sched_->release(v.overflow_lock, cpu.now);
+        co_return true;
+      }
+      sched_->release(v.overflow_lock, cpu.now);
+    }
+  }
+  co_return false;
+}
+
+bool SimEngine::any_deque_ready() const {
+  for (const SimDeque& d : deques_)
+    if (!d.items.empty() || !d.overflow.empty()) return true;
+  return false;
+}
+
 SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                                    match::Task task,
                                    std::vector<match::Task>& emit) {
@@ -168,7 +304,11 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
   sched_->release(L.guard, cpu.now);
   if (!ok) {
     st.requeues += 1;
-    co_await push_task(cpu, task, w.hint++, st, /*is_requeue=*/true);
+    if (steal_mode()) {
+      co_await steal_push(cpu, task, w.id, st, /*is_requeue=*/true);
+    } else {
+      co_await push_task(cpu, task, w.hint++, st, /*is_requeue=*/true);
+    }
     co_return false;
   }
 
@@ -224,9 +364,19 @@ Proc SimEngine::worker_main(WorkerState& w) {
   for (;;) {
     if (shutdown_) co_return;
     match::Task task;
-    const bool got = co_await pop_task(cpu, &task, w.hint, w.stats);
+    bool got;
+    if (steal_mode()) {
+      got = co_await steal_pop(cpu, &task, w.id, w.stats);
+    } else {
+      got = co_await pop_task(cpu, &task, w.hint, w.stats);
+    }
     if (!got) {
       if (shutdown_) co_return;
+      // Steal mode: the sweep contains awaits, so work pushed mid-sweep can
+      // be missed by every worker at once. This await-free re-check runs
+      // atomically within the coroutine resume, closing the window before
+      // we commit to sleeping.
+      if (steal_mode() && any_deque_ready()) continue;
       co_await sched_->sleep(cpu, idle_workers_);
       continue;
     }
@@ -261,8 +411,14 @@ Proc SimEngine::worker_main(WorkerState& w) {
         record(task, obs::trace_requeue_kind_of(task), t0, line0, queue0);
       continue;
     }
-    for (const match::Task& t : emit)
-      co_await push_task(cpu, t, w.hint++, w.stats, false);
+    if (steal_mode()) {
+      // Batched handoff: the whole emission set becomes visible in one
+      // owner-end publication, as in WorkStealingScheduler::push_batch.
+      co_await steal_push_batch(cpu, emit, w.id, w.stats);
+    } else {
+      for (const match::Task& t : emit)
+        co_await push_task(cpu, t, w.hint++, w.stats, false);
+    }
     w.stats.tasks_executed += 1;
     if (tracing)
       record(task, obs::trace_kind_of(task.kind), t0, line0, queue0);
@@ -275,6 +431,9 @@ Proc SimEngine::control_main() {
   SimCpu& cpu = *control_cpu_;
   const CostModel& cm = config_.cost;
   unsigned hint = 0;
+  // Steal discipline: the control CPU owns the last endpoint's deque (the
+  // injection queue); workers acquire roots by stealing from it.
+  const unsigned ctrl_ep = static_cast<unsigned>(options_.match_processes);
   VTime last_idle = 0;  // control idle time in the last quiescence wait
 
   auto push_changes =
@@ -294,7 +453,11 @@ Proc SimEngine::control_main() {
         root.kind = match::TaskKind::Root;
         root.sign = sign;
         root.wme = wme;
-        co_await push_task(cpu, root, hint++, control_stats_, false);
+        if (steal_mode()) {
+          co_await steal_push(cpu, root, ctrl_ep, control_stats_, false);
+        } else {
+          co_await push_task(cpu, root, hint++, control_stats_, false);
+        }
       }
     } else {
       // Non-pipelined baseline: evaluate the whole RHS first, then match.
@@ -306,7 +469,11 @@ Proc SimEngine::control_main() {
         root.kind = match::TaskKind::Root;
         root.sign = sign;
         root.wme = wme;
-        co_await push_task(cpu, root, hint++, control_stats_, false);
+        if (steal_mode()) {
+          co_await steal_push(cpu, root, ctrl_ep, control_stats_, false);
+        } else {
+          co_await push_task(cpu, root, hint++, control_stats_, false);
+        }
       }
     }
     const VTime pushes_done = cpu.now;
@@ -375,6 +542,10 @@ RunResult SimEngine::run() {
   sched_ = std::make_unique<Scheduler>(config_.cost);
   queues_ = std::vector<SimQueue>(
       static_cast<std::size_t>(options_.task_queues));
+  deques_.clear();
+  if (steal_mode())
+    deques_ = std::vector<SimDeque>(
+        static_cast<std::size_t>(options_.match_processes) + 1);
   if (options_.lock_scheme == match::LockScheme::Simple) {
     simple_lines_ = std::vector<SimLock>(options_.hash_buckets);
   } else {
@@ -393,6 +564,7 @@ RunResult SimEngine::run() {
     for (int i = 0; i < options_.match_processes; ++i) {
       auto w = std::make_unique<WorkerState>();
       w->hint = static_cast<unsigned>(i);
+      w->id = static_cast<unsigned>(i);
       w->ctx.strategy = match::MemoryStrategy::Hash;
       w->ctx.left_table = left_table_.get();
       w->ctx.right_table = right_table_.get();

@@ -68,6 +68,15 @@ class SimEngine : public EngineBase {
     SimLock lock;
     std::deque<match::Task> items;
   };
+  // Work-stealing endpoint (options_.scheduler == Steal): the owner pushes
+  // and pops at the back, thieves take from the front — the virtual-time
+  // image of match::WsDeque, with the same bounded-capacity overflow
+  // discipline behind a simulated lock.
+  struct SimDeque {
+    std::deque<match::Task> items;
+    std::deque<match::Task> overflow;
+    SimLock overflow_lock;
+  };
   struct MrswLine {
     SimLock guard;
     SimLock modification;
@@ -79,6 +88,7 @@ class SimEngine : public EngineBase {
     match::BumpArena arena;
     MatchStats stats;
     unsigned hint = 0;
+    unsigned id = 0;  // scheduler endpoint (steal discipline)
     match::MatchContext ctx;
   };
 
@@ -88,6 +98,21 @@ class SimEngine : public EngineBase {
                           MatchStats& stats, bool is_requeue);
   SubTask<bool> pop_task(SimCpu& cpu, match::Task* out, unsigned hint,
                          MatchStats& stats);
+  // Steal discipline (virtual-time analogue of WorkStealingScheduler).
+  // `who` is the endpoint: worker i -> i, control -> match_processes.
+  bool steal_mode() const {
+    return options_.scheduler == match::SchedulerKind::Steal;
+  }
+  SubTask<bool> steal_push(SimCpu& cpu, match::Task task, unsigned who,
+                           MatchStats& stats, bool is_requeue);
+  SubTask<bool> steal_push_batch(SimCpu& cpu,
+                                 const std::vector<match::Task>& tasks,
+                                 unsigned who, MatchStats& stats);
+  SubTask<bool> steal_pop(SimCpu& cpu, match::Task* out, unsigned who,
+                          MatchStats& stats);
+  // Await-free readiness check closing the missed-wakeup window between a
+  // failed steal sweep and going to sleep.
+  bool any_deque_ready() const;
   // Returns false if the task was requeued (MRSW opposite-side conflict).
   SubTask<bool> join_task(SimCpu& cpu, WorkerState& w, match::Task task,
                           std::vector<match::Task>& emit);
@@ -103,6 +128,7 @@ class SimEngine : public EngineBase {
   // Live only during run():
   std::unique_ptr<Scheduler> sched_;
   std::vector<SimQueue> queues_;
+  std::vector<SimDeque> deques_;  // steal discipline: P workers + control
   std::vector<SimLock> simple_lines_;
   std::vector<MrswLine> mrsw_lines_;
   // Persistent across runs: the hash-table memories hold tokens allocated

@@ -78,6 +78,33 @@ TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
     EXPECT_EQ(got.trace, ref.trace)
         << "simulator diverged, seed " << GetParam() << " procs=" << procs;
   }
+  // Work-stealing discipline, threaded and simulated.
+  for (const int procs : {1, 3}) {
+    for (const auto scheme :
+         {match::LockScheme::Simple, match::LockScheme::Mrsw}) {
+      EngineConfig cfg;
+      cfg.mode = ExecutionMode::ParallelThreads;
+      cfg.options.match_processes = procs;
+      cfg.options.scheduler = match::SchedulerKind::Steal;
+      cfg.options.lock_scheme = scheme;
+      const TraceResult got = run_config(program, w, cfg);
+      EXPECT_EQ(got.trace, ref.trace)
+          << "threads(steal) diverged, seed " << GetParam()
+          << " procs=" << procs << " scheme=" << static_cast<int>(scheme);
+    }
+  }
+  for (const int procs : {1, 5}) {
+    EngineConfig cfg;
+    cfg.mode = ExecutionMode::SimulatedMultimax;
+    cfg.options.match_processes = procs;
+    cfg.options.scheduler = match::SchedulerKind::Steal;
+    cfg.options.lock_scheme =
+        procs == 5 ? match::LockScheme::Mrsw : match::LockScheme::Simple;
+    const TraceResult got = run_config(program, w, cfg);
+    EXPECT_EQ(got.trace, ref.trace)
+        << "simulator(steal) diverged, seed " << GetParam()
+        << " procs=" << procs;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence,
@@ -133,6 +160,21 @@ TEST_P(WorkloadEquivalence, EnginesAgree) {
   simc.options.match_processes = 7;
   simc.options.task_queues = 4;
   EXPECT_EQ(run_mode(simc), ref);
+
+  // The same workloads under the work-stealing scheduler: the acceptance
+  // property is an identical firing trace across every discipline.
+  EngineConfig par_steal;
+  par_steal.mode = ExecutionMode::ParallelThreads;
+  par_steal.options.match_processes = 3;
+  par_steal.options.scheduler = match::SchedulerKind::Steal;
+  par_steal.options.lock_scheme = match::LockScheme::Mrsw;
+  EXPECT_EQ(run_mode(par_steal), ref);
+
+  EngineConfig sim_steal;
+  sim_steal.mode = ExecutionMode::SimulatedMultimax;
+  sim_steal.options.match_processes = 7;
+  sim_steal.options.scheduler = match::SchedulerKind::Steal;
+  EXPECT_EQ(run_mode(sim_steal), ref);
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadEquivalence,

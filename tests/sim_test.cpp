@@ -20,11 +20,13 @@ struct SimOut {
 SimOut run_sim(const workloads::Workload& w, const ops5::Program& program,
                int procs, int queues,
                match::LockScheme scheme = match::LockScheme::Simple,
-               bool pipeline = true) {
+               bool pipeline = true,
+               match::SchedulerKind sched = match::SchedulerKind::Central) {
   EngineOptions opt;
   opt.match_processes = procs;
   opt.task_queues = queues;
   opt.lock_scheme = scheme;
+  opt.scheduler = sched;
   opt.max_cycles = 1'000'000;
   SimConfig cfg;
   cfg.pipeline = pipeline;
@@ -115,6 +117,39 @@ TEST_F(SimTest, TaskCountReturnsToZeroEveryPhase) {
   const SimOut s = run_sim(w_, program_, 7, 4);
   EXPECT_FALSE(s.trace.empty());
   EXPECT_GT(s.stats.tasks_executed, 0u);
+}
+
+TEST_F(SimTest, StealDisciplineIsDeterministicAndCorrect) {
+  const SimOut a = run_sim(w_, program_, 5, 1, match::LockScheme::Simple,
+                           true, match::SchedulerKind::Steal);
+  const SimOut b = run_sim(w_, program_, 5, 1, match::LockScheme::Simple,
+                           true, match::SchedulerKind::Steal);
+  EXPECT_EQ(a.match_s, b.match_s);
+  EXPECT_EQ(a.stats.steal_attempts, b.stats.steal_attempts);
+  EXPECT_EQ(a.trace, b.trace);
+  SequentialEngine seq(program_, {});
+  workloads::load(seq, w_);
+  seq.run();
+  EXPECT_EQ(a.trace, seq.trace());
+  // Roots are injected at the control endpoint, so they are only reachable
+  // by stealing.
+  EXPECT_GT(a.stats.steal_successes, 0u);
+  EXPECT_GE(a.stats.steal_attempts, a.stats.steal_successes);
+}
+
+TEST_F(SimTest, StealHasFewerContendedProbesThanCentralOneAtEightProcs) {
+  // The acceptance criterion from the scheduler work: at P >= 8 the steal
+  // discipline's contended probes (probes beyond the one each acquisition
+  // pays, plus failed steal CASes) undercut central-1's spin probes.
+  const SimOut central1 = run_sim(w_, program_, 8, 1);
+  const SimOut steal = run_sim(w_, program_, 8, 1, match::LockScheme::Simple,
+                               true, match::SchedulerKind::Steal);
+  const auto contended = [](const MatchStats& m) {
+    const std::uint64_t failed_cas = m.steal_attempts - m.steal_successes;
+    return (m.queue_probes - m.queue_acquisitions) + failed_cas;
+  };
+  EXPECT_LT(contended(steal.stats), contended(central1.stats));
+  EXPECT_EQ(steal.trace, central1.trace);
 }
 
 TEST(SimCost, VirtualSecondsFollowCostModel) {

@@ -8,6 +8,9 @@
 //   --mode {seq|vs1|lisp|threads|sim|treat}  execution engine (default seq/vs2)
 //   --procs N        match processes for threads/sim modes (default 4)
 //   --queues N       task queues (default 1)
+//   --sched {central|steal}   task scheduler for threads/sim modes:
+//                    the paper's central spin-locked queues, or per-worker
+//                    lock-free deques with work stealing (default central)
 //   --locks {simple|mrsw}
 //   --strategy {lex|mea}
 //   --wm "(class ^attr value ...)"      add an initial wme (repeatable)
@@ -93,7 +96,14 @@ int main(int argc, char** argv) {
     else if (arg == "--mode") mode = next();
     else if (arg == "--procs") procs = std::stoi(next());
     else if (arg == "--queues") config.options.task_queues = std::stoi(next());
-    else if (arg == "--locks") {
+    else if (arg == "--sched") {
+      const std::string v = next();
+      if (v == "central") config.options.scheduler =
+          psme::match::SchedulerKind::Central;
+      else if (v == "steal") config.options.scheduler =
+          psme::match::SchedulerKind::Steal;
+      else usage("unknown scheduler");
+    } else if (arg == "--locks") {
       const std::string v = next();
       if (v == "simple") config.options.lock_scheme =
           psme::match::LockScheme::Simple;
@@ -212,6 +222,7 @@ int main(int argc, char** argv) {
     psme::obs::Observability::export_config(
         config.options.match_processes, config.options.task_queues,
         config.options.lock_scheme == psme::match::LockScheme::Mrsw,
+        config.options.scheduler == psme::match::SchedulerKind::Steal,
         obs.registry);
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
