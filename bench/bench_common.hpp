@@ -120,7 +120,12 @@ inline SimOutcome run_sim_baseline(const ProgramSpec& spec) {
 // when the bench was invoked with `--json FILE`:
 //
 //   { "schema": "psme.bench.v1", "bench": "<name>", "fast": <bool>,
-//     "results": [ {"label": ..., ...}, ... ] }
+//     "build_type": "Release", "scale": "fast"|"full",
+//     ..., "results": [ {"label": ..., ...}, ... ] }
+//
+// build_type (the CMAKE_BUILD_TYPE the binary was compiled under) and the
+// workload scale are stamped automatically; benches add run-wide context
+// (scheduler discipline, thread counts, ...) with stamp().
 //
 // Rows are recorded unconditionally (cheap) so callers don't need to
 // branch on enabled(); without --json the destructor writes nothing.
@@ -146,16 +151,35 @@ class BenchJson {
     doc.emplace_back("schema", obs::Json("psme.bench.v1"));
     doc.emplace_back("bench", obs::Json(bench_));
     doc.emplace_back("fast", obs::Json(fast_mode()));
+#ifdef PSME_BUILD_TYPE
+    doc.emplace_back("build_type", obs::Json(PSME_BUILD_TYPE));
+#else
+    doc.emplace_back("build_type", obs::Json("unknown"));
+#endif
+    doc.emplace_back("scale", obs::Json(fast_mode() ? "fast" : "full"));
+    for (auto& [key, value] : stamps_)
+      doc.emplace_back(std::move(key), std::move(value));
     doc.emplace_back("results", obs::Json(std::move(results_)));
     out << obs::Json(std::move(doc)).dump(2) << "\n";
   }
 
   bool enabled() const { return !path_.empty(); }
   void add(obs::Json row) { results_.push_back(std::move(row)); }
+  // Adds a run-wide header field (e.g. the scheduler discipline under
+  // test); last write per key wins at output time, first-stamp order.
+  void stamp(std::string key, obs::Json value) {
+    for (auto& [k, v] : stamps_)
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    stamps_.emplace_back(std::move(key), std::move(value));
+  }
 
  private:
   std::string bench_;
   std::string path_;
+  obs::JsonObject stamps_;
   obs::JsonArray results_;
 };
 

@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--fast") == 0) setenv("PSME_BENCH_FAST", "1", 1);
   }
   BenchJson json("scheduler_compare", argc, argv);
+  json.stamp("schedulers", obs::Json("central,steal"));
   const bool fast = fast_mode();
 
   print_header("Scheduler comparison: central queues vs work stealing",

@@ -4,6 +4,9 @@
 #include <ostream>
 
 #include "common/symbol_table.hpp"
+#include "rr/fault.hpp"
+#include "rr/recorder.hpp"
+#include "rr/replay.hpp"
 
 namespace psme {
 
@@ -86,6 +89,12 @@ void EngineBase::restore_state(const EngineSnapshot& snap) {
   halted_ = snap.halted;
 }
 
+void EngineBase::rr_quiescent_hook() {
+  if (options_.rr_faults) options_.rr_faults->set_cycle(stats_.cycles);
+  if (options_.rr_record) options_.rr_record->on_quiescent(wm_, cs_);
+  if (options_.rr_replay) options_.rr_replay->on_quiescent(wm_, cs_);
+}
+
 void EngineBase::apply_restored_refraction() {
   for (const FiringRecord& rec : restored_fired_)
     cs_.mark_fired(rec.prod_index, rec.timetags);
@@ -104,6 +113,7 @@ RunResult EngineBase::run() {
   wait_quiescent();
   wm_.collect();
   apply_restored_refraction();
+  rr_quiescent_hook();
 
   RunResult result;
   while (true) {
@@ -137,6 +147,7 @@ RunResult EngineBase::run() {
     run_rhs(rhs_[inst->prod_index], program_, inst->wmes, wm_, *this);
     wait_quiescent();
     wm_.collect();
+    rr_quiescent_hook();
   }
 
   running_ = false;

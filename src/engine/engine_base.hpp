@@ -103,6 +103,12 @@ class EngineBase : public RhsEffects {
   // quiescence; a no-op unless restore_state() queued refraction records.
   void apply_restored_refraction();
 
+  // Record/replay tap, called at every quiescent point (cycle boundary;
+  // cycle 0 = initial wme load): advances the fault injector's cycle clock
+  // and feeds WM/conflict-set digests to the recorder and/or replayer.
+  // No-op unless EngineOptions carries rr hooks.
+  void rr_quiescent_hook();
+
   const ops5::Program& program_;
   EngineOptions options_;
   std::unique_ptr<rete::Network> network_;

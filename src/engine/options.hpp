@@ -15,6 +15,12 @@ namespace psme::obs {
 struct Observability;  // obs/observability.hpp
 }  // namespace psme::obs
 
+namespace psme::rr {
+class Recorder;           // rr/recorder.hpp
+class ReplayCoordinator;  // rr/replay.hpp
+class FaultInjector;      // rr/fault.hpp
+}  // namespace psme::rr
+
 namespace psme {
 
 struct EngineOptions {
@@ -54,6 +60,20 @@ struct EngineOptions {
   // it; every engine's end-of-run statistics can be exported into its
   // registry with obs::Observability::export_run. See docs/observability.md.
   obs::Observability* obs = nullptr;
+
+  // Workload seed, stamped into replay logs so recorded runs are
+  // reproducible from the command line (tools/psme_cli --seed).
+  std::uint64_t seed = 0;
+
+  // Record/replay + fault injection (src/rr/, docs/replay.md). All
+  // optional, not owned, must outlive the engine. rr_record captures
+  // schedule decisions and cycle digests; rr_replay constrains the
+  // scheduler to a recorded decision sequence and checks digests at each
+  // quiescent point; rr_faults perturbs workers (stalls, drops, deaths)
+  // according to a seeded plan.
+  rr::Recorder* rr_record = nullptr;
+  rr::ReplayCoordinator* rr_replay = nullptr;
+  rr::FaultInjector* rr_faults = nullptr;
 };
 
 struct FiringRecord {

@@ -5,6 +5,9 @@
 
 #include "obs/observability.hpp"
 #include "obs/task_events.hpp"
+#include "rr/fault.hpp"
+#include "rr/recorder.hpp"
+#include "rr/replay.hpp"
 
 namespace psme {
 
@@ -23,6 +26,11 @@ ParallelEngine::ParallelEngine(const ops5::Program& program,
   if (options_.memory != match::MemoryStrategy::Hash)
     throw std::invalid_argument(
         "the parallel matcher uses the global hash-table memories (vs2)");
+  // Replay: swap the configured discipline for the scheduler that releases
+  // tasks in recorded order (rr/replay.hpp).
+  if (options_.rr_replay)
+    sched_ = rr::make_replay_scheduler(options_.rr_replay,
+                                       options_.match_processes + 1);
 }
 
 ParallelEngine::~ParallelEngine() {
@@ -93,6 +101,9 @@ void ParallelEngine::submit_change(const Wme* wme, std::int8_t sign) {
 }
 
 void ParallelEngine::wait_quiescent() {
+  // All of the phase's root pushes are in: arm the replayer's
+  // stuck-schedule detection.
+  if (options_.rr_replay) options_.rr_replay->phase_pushed();
   std::uint32_t spins = 0;
   while (!sched_->phase_complete()) {
     SpinLock::cpu_relax();
@@ -138,6 +149,18 @@ void ParallelEngine::worker_main(int index) {
     std::uint32_t idle = 0;
     while (active_.load(std::memory_order_acquire) &&
            !shutdown_.load(std::memory_order_acquire)) {
+      if (rr::FaultInjector* faults = options_.rr_faults) {
+        if (faults->worker_dead(ep)) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (const std::uint32_t us = faults->stall(ep))
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+        if (faults->fail_pop(ep)) {
+          SpinLock::cpu_relax();
+          continue;
+        }
+      }
       match::Task task;
       if (!sched_->try_pop(&task, ep, w.stats)) {
         // Idle: between phases, or starved. Back off politely so the
@@ -151,6 +174,16 @@ void ParallelEngine::worker_main(int index) {
         continue;
       }
       idle = 0;
+      if (rr::FaultInjector* faults = options_.rr_faults) {
+        if (faults->drop_requeue(ep)) {
+          sched_->requeue(task, ep, w.stats);
+          continue;
+        }
+        if (faults->lose_task(ep)) {
+          sched_->task_done();  // the bug: discarded but counted done
+          continue;
+        }
+      }
       execute_task(ctx, task, emit_buf, ep, w.stats, index + 1);
     }
   }
@@ -189,6 +222,23 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
   auto record_requeue = [&] {
     if (tracer) record(obs::trace_requeue_kind_of(task));
   };
+  // DelayLockRelease fault: dawdle while still holding a just-acquired
+  // hash-line lock.
+  auto lock_delay = [&] {
+    if (!options_.rr_faults) return;
+    if (const std::uint32_t us = options_.rr_faults->lock_delay(ep))
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+  };
+
+  // Record/replay: join tasks are logged at their commit point — while the
+  // line lock that orders them against conflicting activations is still
+  // held — so the log order is a valid serialization. (Completion order is
+  // not: a worker descheduled between releasing its line and logging lets
+  // a later lock epoch log first, and a replay serialized in that inverted
+  // order probes an opposite memory the original update hadn't reached.)
+  auto rr_commit = [&] {
+    if (options_.rr_record) options_.rr_record->on_commit(ep, task);
+  };
 
   emit_buf.clear();
   switch (task.kind) {
@@ -205,6 +255,8 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       if (line_locks_.scheme() == match::LockScheme::Simple) {
         line_locks_.lock_exclusive(line, side, stats);
         match::process_join(ctx, task, emit_buf);
+        rr_commit();
+        lock_delay();
         line_locks_.unlock_exclusive(line);
         break;
       }
@@ -216,6 +268,8 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
           return;  // task still counted in TaskCount
         }
         match::process_join(ctx, task, emit_buf);
+        rr_commit();
+        lock_delay();
         line_locks_.leave_exclusive(line);
         break;
       }
@@ -226,12 +280,23 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       }
       line_locks_.lock_modification(line, side, stats);
       const match::MemUpdate update = match::process_join_update(ctx, task);
+      // The memory update is what conflicting opposite-side tasks observe;
+      // the probe after unlock only reads the already-frozen opposite side.
+      rr_commit();
+      lock_delay();
       line_locks_.unlock_modification(line);
       match::process_join_probe(ctx, task, update, emit_buf);
       line_locks_.leave(line);
       break;
     }
   }
+  // Root and Terminal tasks commute (roots only read shared state,
+  // terminals serialize on the conflict set's own lock), so logging them
+  // here — before their emissions are published, keeping the log causal —
+  // is still a valid serialization.
+  if (task.kind == match::TaskKind::Root ||
+      task.kind == match::TaskKind::Terminal)
+    rr_commit();
   // Batched handoff: all emissions of this task are published in one
   // scheduler operation (a single release store in the steal discipline).
   sched_->push_batch(emit_buf.data(), emit_buf.size(), ep, stats);

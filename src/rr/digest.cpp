@@ -1,0 +1,176 @@
+#include "rr/digest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+
+namespace psme::rr {
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t token_tags_hash(const Token* token) {
+  // Front-to-back (CE order), via wme_at: independent of how the chain was
+  // allocated (delete paths rebuild their own chain objects).
+  std::uint64_t h = 0x746f6b656eull;  // "token"
+  if (!token) return h;
+  for (std::uint32_t i = 0; i < token->len; ++i)
+    h = mix64(h, token->wme_at(i)->timetag);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t task_fingerprint(const match::Task& task) {
+  std::uint64_t h = 0x7461736bull;  // "task"
+  h = mix64(h, static_cast<std::uint64_t>(task.kind));
+  h = mix64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(task.sign)));
+  switch (task.kind) {
+    case match::TaskKind::Root:
+      h = mix64(h, task.wme->timetag);
+      break;
+    case match::TaskKind::JoinLeft:
+      h = mix64(h, task.join->id);
+      h = mix64(h, token_tags_hash(task.token));
+      break;
+    case match::TaskKind::JoinRight:
+      h = mix64(h, task.join->id);
+      h = mix64(h, task.wme->timetag);
+      break;
+    case match::TaskKind::Terminal:
+      h = mix64(h, task.terminal->id);
+      h = mix64(h, token_tags_hash(task.token));
+      break;
+  }
+  return h;
+}
+
+std::uint64_t wm_digest(const WorkingMemory& wm) {
+  std::uint64_t h = 0x776dull;  // "wm"
+  for (const Wme* w : wm.snapshot()) {  // sorted by timetag
+    h = mix64(h, w->timetag);
+    h = mix64(h, w->cls);
+    for (const Value& v : w->fields)
+      h = mix64(h, static_cast<std::uint64_t>(v.hash()));
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t entry_hash(const Instantiation& inst) {
+  std::uint64_t h = 0x6373ull;  // "cs"
+  h = mix64(h, inst.prod_index);
+  for (const TimeTag t : inst.tags_in_order()) h = mix64(h, t);
+  h = mix64(h, inst.fired ? 1 : 0);
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> cs_entry_hashes(const ConflictSet& cs) {
+  std::vector<std::uint64_t> hashes;
+  const auto snap = cs.snapshot();
+  hashes.reserve(snap.size());
+  for (const Instantiation& inst : snap) hashes.push_back(entry_hash(inst));
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+std::uint64_t combine_hashes(const std::vector<std::uint64_t>& sorted) {
+  std::uint64_t h = 0x636f6d62ull;  // "comb"
+  for (const std::uint64_t e : sorted) h = mix64(h, e);
+  return h;
+}
+
+std::uint64_t cs_digest(const ConflictSet& cs) {
+  return combine_hashes(cs_entry_hashes(cs));
+}
+
+std::string instantiation_to_string(const Instantiation& inst,
+                                    const ops5::Program& program) {
+  std::ostringstream out;
+  out << "("
+      << symbol_name(program.productions()[inst.prod_index].name);
+  for (const TimeTag t : inst.tags_in_order()) out << " " << t;
+  out << (inst.fired ? ")*" : ")");
+  return out.str();
+}
+
+std::string firing_to_string(const FiringRecord& rec,
+                             const ops5::Program& program) {
+  std::ostringstream out;
+  out << "(" << symbol_name(program.productions()[rec.prod_index].name);
+  for (const TimeTag t : rec.timetags) out << " " << t;
+  out << ")";
+  return out.str();
+}
+
+std::string trace_divergence(const std::vector<FiringRecord>& expected,
+                             const std::vector<FiringRecord>& got,
+                             const ops5::Program& program) {
+  const std::size_t n = std::min(expected.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (expected[i] == got[i]) continue;
+    std::ostringstream out;
+    out << "first divergence at cycle " << i + 1 << ": expected "
+        << firing_to_string(expected[i], program) << ", got "
+        << firing_to_string(got[i], program);
+    return out.str();
+  }
+  if (expected.size() != got.size()) {
+    std::ostringstream out;
+    out << "traces agree for " << n << " cycles, then lengths differ: expected "
+        << expected.size() << " firings, got " << got.size();
+    if (expected.size() > n)
+      out << "; first missing firing "
+          << firing_to_string(expected[n], program);
+    else
+      out << "; first extra firing " << firing_to_string(got[n], program);
+    return out.str();
+  }
+  return "";
+}
+
+std::string cs_divergence(const ConflictSet& cs,
+                          const std::vector<std::uint64_t>& recorded_sorted,
+                          const ops5::Program& program) {
+  const auto snap = cs.snapshot();
+  std::vector<std::uint64_t> live_sorted;
+  live_sorted.reserve(snap.size());
+  for (const Instantiation& inst : snap)
+    live_sorted.push_back(entry_hash(inst));
+  std::sort(live_sorted.begin(), live_sorted.end());
+  if (live_sorted == recorded_sorted) return "";
+
+  std::ostringstream out;
+  out << "conflict set differs (" << live_sorted.size() << " live vs "
+      << recorded_sorted.size() << " recorded)";
+  std::size_t extra = 0;
+  for (const Instantiation& inst : snap) {
+    if (std::binary_search(recorded_sorted.begin(), recorded_sorted.end(),
+                           entry_hash(inst)))
+      continue;
+    if (extra == 0) out << "; only live:";
+    if (++extra > 8) {
+      out << " ...";
+      break;
+    }
+    out << " " << instantiation_to_string(inst, program);
+  }
+  std::size_t missing = 0;
+  for (const std::uint64_t h : recorded_sorted)
+    if (!std::binary_search(live_sorted.begin(), live_sorted.end(), h))
+      ++missing;
+  if (missing) out << "; " << missing << " recorded entries have no live match";
+  return out.str();
+}
+
+}  // namespace psme::rr

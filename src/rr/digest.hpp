@@ -1,0 +1,72 @@
+// Stable identities for schedule events and quiescent-point state.
+//
+// Record/replay needs three things to survive across independent runs of
+// the same program:
+//
+//  - a *task fingerprint*: a 64-bit identity for one match task that does
+//    not depend on pointer values or allocation order. Tasks are identified
+//    by what they do (node id, sign, kind) and what they carry (the
+//    timetags of the token chain / wme payload); timetag assignment is
+//    deterministic given the firing trace, so fingerprints align between a
+//    recording run and its replay.
+//
+//  - *digests* of working memory and the conflict set at quiescent points
+//    (cycle boundaries). Parallel match is confluent: whatever the task
+//    interleaving, a correct engine reaches the same WM and conflict set at
+//    every quiescence, so equal per-cycle digests are the bit-identity
+//    criterion for a replayed run.
+//
+//  - human-readable rendering + first-difference helpers, shared with
+//    tests/equivalence_test.cpp so divergence failures print the first
+//    differing instantiation instead of container dumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "match/task.hpp"
+#include "ops5/program.hpp"
+#include "runtime/conflict_set.hpp"
+#include "runtime/working_memory.hpp"
+
+namespace psme::rr {
+
+// Order-sensitive 64-bit mix (splitmix64 finalizer over a running state).
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v);
+
+// Schedule-stable identity of one task (see file comment).
+std::uint64_t task_fingerprint(const match::Task& task);
+
+// Digest of live working memory (timetag, class, field values; wmes in
+// timetag order).
+std::uint64_t wm_digest(const WorkingMemory& wm);
+
+// Per-instantiation hashes of the live conflict set (prod index, timetags
+// in CE order, fired flag), sorted — the conflict set's snapshot order is
+// arbitrary, so the digest must be order-independent.
+std::vector<std::uint64_t> cs_entry_hashes(const ConflictSet& cs);
+// Folds a sorted hash list into one digest.
+std::uint64_t combine_hashes(const std::vector<std::uint64_t>& sorted);
+std::uint64_t cs_digest(const ConflictSet& cs);
+
+// "(prod-name tag tag ...)" with a trailing "*" when already fired.
+std::string instantiation_to_string(const Instantiation& inst,
+                                    const ops5::Program& program);
+std::string firing_to_string(const FiringRecord& rec,
+                             const ops5::Program& program);
+
+// First difference between two firing traces, rendered; "" when equal.
+std::string trace_divergence(const std::vector<FiringRecord>& expected,
+                             const std::vector<FiringRecord>& got,
+                             const ops5::Program& program);
+
+// Entry-level conflict-set diff against a recorded (sorted) hash list:
+// renders live instantiations missing from the recording and counts
+// recorded hashes with no live counterpart. "" when the sets agree.
+std::string cs_divergence(const ConflictSet& cs,
+                          const std::vector<std::uint64_t>& recorded_sorted,
+                          const ops5::Program& program);
+
+}  // namespace psme::rr

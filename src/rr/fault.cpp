@@ -1,0 +1,199 @@
+#include "rr/fault.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "obs/observability.hpp"
+#include "rr/log.hpp"
+
+namespace psme::rr {
+
+namespace {
+constexpr std::string_view kKindNames[] = {
+    "worker_stall", "delay_lock_release", "drop_requeue",
+    "steal_fail",   "worker_death",       "lose_task",
+};
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+bool fault_kind_from_name(std::string_view name, FaultKind* out) {
+  for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (kKindNames[i] == name) {
+      *out = static_cast<FaultKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::has_kind(FaultKind kind) const {
+  for (const FaultOp& op : ops)
+    if (op.kind == kind) return true;
+  return false;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int workers) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (workers <= 0) return plan;
+  Rng rng(seed ^ 0xfa17ab1e0ddball);
+  const int n = static_cast<int>(rng.range(1, 4));
+  int deaths = 0;
+  for (int i = 0; i < n; ++i) {
+    FaultOp op;
+    // WorkerDeath is rarer (and capped) so most plans keep every worker.
+    const bool may_kill = workers >= 2 && deaths < workers - 1 &&
+                          rng.chance(1, 5);
+    if (may_kill) {
+      op.kind = FaultKind::WorkerDeath;
+      ++deaths;
+    } else {
+      constexpr FaultKind kBenign[] = {
+          FaultKind::WorkerStall, FaultKind::DelayLockRelease,
+          FaultKind::DropRequeue, FaultKind::StealFail};
+      op.kind = kBenign[rng.below(std::size(kBenign))];
+    }
+    op.endpoint = static_cast<unsigned>(rng.below(
+        static_cast<std::uint64_t>(workers)));
+    op.at_cycle = rng.below(12);
+    op.count = static_cast<std::uint32_t>(rng.range(1, 6));
+    op.magnitude = static_cast<std::uint32_t>(rng.range(20, 400));
+    plan.ops.push_back(op);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "plan[seed=" << seed << "]";
+  for (const FaultOp& op : ops)
+    out << " {" << fault_kind_name(op.kind) << " ep=" << op.endpoint
+        << " at=" << op.at_cycle << " x" << op.count << " mag=" << op.magnitude
+        << "}";
+  return out.str();
+}
+
+obs::Json FaultPlan::to_json() const {
+  obs::JsonObject doc;
+  doc.emplace_back("schema", obs::Json("psme.faultplan.v1"));
+  doc.emplace_back("seed", obs::Json(u64_to_string(seed)));
+  obs::JsonArray arr;
+  for (const FaultOp& op : ops) {
+    obs::JsonObject o;
+    o.emplace_back("kind", obs::Json(std::string(fault_kind_name(op.kind))));
+    o.emplace_back("endpoint", obs::Json(static_cast<std::int64_t>(op.endpoint)));
+    o.emplace_back("at_cycle", obs::Json(u64_to_string(op.at_cycle)));
+    o.emplace_back("count", obs::Json(static_cast<std::int64_t>(op.count)));
+    o.emplace_back("magnitude",
+                   obs::Json(static_cast<std::int64_t>(op.magnitude)));
+    arr.emplace_back(std::move(o));
+  }
+  doc.emplace_back("ops", obs::Json(std::move(arr)));
+  return obs::Json(std::move(doc));
+}
+
+bool FaultPlan::from_json(const obs::Json& doc, FaultPlan* out,
+                          std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error) *error = what;
+    return false;
+  };
+  if (!doc.is_object()) return fail("fault plan: not an object");
+  const obs::Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "psme.faultplan.v1")
+    return fail("fault plan: missing or unknown schema");
+  FaultPlan plan;
+  const obs::Json* j = doc.find("seed");
+  if (!j || !u64_from_json(*j, &plan.seed)) return fail("fault plan: bad seed");
+  const obs::Json* ops = doc.find("ops");
+  if (!ops || !ops->is_array()) return fail("fault plan: bad ops");
+  for (const obs::Json& o : ops->as_array()) {
+    if (!o.is_object()) return fail("fault plan: bad op");
+    FaultOp op;
+    const obs::Json* kind = o.find("kind");
+    if (!kind || !kind->is_string() ||
+        !fault_kind_from_name(kind->as_string(), &op.kind))
+      return fail("fault plan: bad op kind");
+    op.endpoint = static_cast<unsigned>(o.number_or("endpoint", 0));
+    const obs::Json* at = o.find("at_cycle");
+    if (!at || !u64_from_json(*at, &op.at_cycle))
+      return fail("fault plan: bad op at_cycle");
+    op.count = static_cast<std::uint32_t>(o.number_or("count", 1));
+    op.magnitude = static_cast<std::uint32_t>(o.number_or("magnitude", 0));
+    plan.ops.push_back(op);
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  for (const FaultOp& op : plan.ops)
+    ops_.push_back(std::make_unique<OpState>(op));
+}
+
+void FaultInjector::attach(obs::Observability* obs) { obs_ = obs; }
+
+void FaultInjector::set_cycle(std::uint64_t cycle) {
+  cycle_.store(cycle, std::memory_order_release);
+}
+
+bool FaultInjector::worker_dead(unsigned ep) const {
+  const std::uint64_t now = cycle_.load(std::memory_order_acquire);
+  for (const auto& s : ops_)
+    if (s->op.kind == FaultKind::WorkerDeath && s->op.endpoint == ep &&
+        now >= s->op.at_cycle)
+      return true;
+  return false;
+}
+
+bool FaultInjector::consume(FaultKind kind, unsigned ep) {
+  const std::uint64_t now = cycle_.load(std::memory_order_acquire);
+  for (auto& s : ops_) {
+    if (s->op.kind != kind || s->op.endpoint != ep || now < s->op.at_cycle)
+      continue;
+    std::uint32_t rem = s->remaining.load(std::memory_order_relaxed);
+    while (rem > 0) {
+      if (s->remaining.compare_exchange_weak(rem, rem - 1,
+                                             std::memory_order_acq_rel)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_)
+          obs_->registry
+              .counter({"psme.rr.fault.injected", "events",
+                        "fault-plan operations fired into the engine", "",
+                        obs::MetricKind::Counter})
+              .add(static_cast<int>(ep), 1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint32_t FaultInjector::consume_magnitude(FaultKind kind, unsigned ep) {
+  const std::uint64_t now = cycle_.load(std::memory_order_acquire);
+  for (auto& s : ops_) {
+    if (s->op.kind != kind || s->op.endpoint != ep || now < s->op.at_cycle)
+      continue;
+    std::uint32_t rem = s->remaining.load(std::memory_order_relaxed);
+    while (rem > 0) {
+      if (s->remaining.compare_exchange_weak(rem, rem - 1,
+                                             std::memory_order_acq_rel)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_)
+          obs_->registry
+              .counter({"psme.rr.fault.injected", "events",
+                        "fault-plan operations fired into the engine", "",
+                        obs::MetricKind::Counter})
+              .add(static_cast<int>(ep), 1);
+        return s->op.magnitude;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace psme::rr

@@ -1,0 +1,206 @@
+#include "rr/log.hpp"
+
+#include <charconv>
+
+namespace psme::rr {
+
+std::string u64_to_string(std::uint64_t v) { return std::to_string(v); }
+
+bool u64_from_json(const obs::Json& j, std::uint64_t* out) {
+  if (j.is_number()) {  // tolerate small numbers written natively
+    const double d = j.as_double();
+    if (d < 0) return false;
+    *out = static_cast<std::uint64_t>(d);
+    return true;
+  }
+  if (!j.is_string()) return false;
+  const std::string& s = j.as_string();
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return res.ec == std::errc() && res.ptr == s.data() + s.size();
+}
+
+std::size_t ReplayLog::pop_count() const {
+  std::size_t n = 0;
+  for (const CycleRecord& c : cycles) n += c.pops.size();
+  return n;
+}
+
+obs::Json ReplayLog::to_json() const {
+  obs::JsonObject hdr;
+  hdr.emplace_back("workload", obs::Json(header.workload));
+  hdr.emplace_back("mode", obs::Json(header.mode));
+  hdr.emplace_back("scheduler", obs::Json(header.scheduler));
+  hdr.emplace_back("lock_scheme", obs::Json(header.lock_scheme));
+  hdr.emplace_back("strategy", obs::Json(header.strategy));
+  hdr.emplace_back("match_processes", obs::Json(header.match_processes));
+  hdr.emplace_back("task_queues", obs::Json(header.task_queues));
+  hdr.emplace_back("seed", obs::Json(u64_to_string(header.seed)));
+  hdr.emplace_back("max_cycles", obs::Json(u64_to_string(header.max_cycles)));
+  hdr.emplace_back("program_fingerprint",
+                   obs::Json(u64_to_string(header.program_fingerprint)));
+  hdr.emplace_back("source", obs::Json(header.source));
+  obs::JsonArray wmes;
+  for (const std::string& w : header.initial_wmes) wmes.emplace_back(w);
+  hdr.emplace_back("initial_wmes", obs::Json(std::move(wmes)));
+
+  obs::JsonArray cyc;
+  for (const CycleRecord& c : cycles) {
+    obs::JsonObject o;
+    o.emplace_back("wm", obs::Json(u64_to_string(c.wm_digest)));
+    o.emplace_back("cs", obs::Json(u64_to_string(c.cs_digest)));
+    obs::JsonArray pops;
+    for (const PopRecord& p : c.pops) {
+      obs::JsonArray pair;
+      pair.emplace_back(static_cast<std::int64_t>(p.ep));
+      pair.emplace_back(u64_to_string(p.fp));
+      pops.emplace_back(std::move(pair));
+    }
+    o.emplace_back("pops", obs::Json(std::move(pops)));
+    if (!c.cs_entries.empty()) {
+      obs::JsonArray entries;
+      for (const std::uint64_t e : c.cs_entries)
+        entries.emplace_back(u64_to_string(e));
+      o.emplace_back("cs_entries", obs::Json(std::move(entries)));
+    }
+    cyc.emplace_back(obs::Json(std::move(o)));
+  }
+
+  obs::JsonArray tr;
+  for (const FiringRecord& f : trace) {
+    obs::JsonArray row;
+    row.emplace_back(static_cast<std::int64_t>(f.prod_index));
+    for (const TimeTag t : f.timetags)
+      row.emplace_back(static_cast<std::int64_t>(t));
+    tr.emplace_back(std::move(row));
+  }
+
+  obs::JsonObject doc;
+  doc.emplace_back("schema", obs::Json(std::string(kSchema)));
+  doc.emplace_back("header", obs::Json(std::move(hdr)));
+  doc.emplace_back("cycles", obs::Json(std::move(cyc)));
+  doc.emplace_back("trace", obs::Json(std::move(tr)));
+  return obs::Json(std::move(doc));
+}
+
+std::string ReplayLog::serialize(int indent) const {
+  return to_json().dump(indent) + "\n";
+}
+
+namespace {
+
+bool fail(std::string* error, const char* what) {
+  if (error) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool ReplayLog::from_json(const obs::Json& doc, ReplayLog* out,
+                          std::string* error) {
+  if (!doc.is_object()) return fail(error, "replay log: not an object");
+  const obs::Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != kSchema)
+    return fail(error, "replay log: missing or unknown schema");
+  const obs::Json* hdr = doc.find("header");
+  if (!hdr || !hdr->is_object()) return fail(error, "replay log: no header");
+
+  ReplayLog log;
+  auto str = [&](const char* key, std::string* dst) {
+    const obs::Json* j = hdr->find(key);
+    if (!j || !j->is_string()) return false;
+    *dst = j->as_string();
+    return true;
+  };
+  if (!str("workload", &log.header.workload) ||
+      !str("mode", &log.header.mode) ||
+      !str("scheduler", &log.header.scheduler) ||
+      !str("lock_scheme", &log.header.lock_scheme) ||
+      !str("strategy", &log.header.strategy) ||
+      !str("source", &log.header.source))
+    return fail(error, "replay log: bad header strings");
+  log.header.match_processes =
+      static_cast<int>(hdr->number_or("match_processes", 0));
+  log.header.task_queues = static_cast<int>(hdr->number_or("task_queues", 1));
+  const obs::Json* j;
+  if (!(j = hdr->find("seed")) || !u64_from_json(*j, &log.header.seed))
+    return fail(error, "replay log: bad seed");
+  if (!(j = hdr->find("max_cycles")) ||
+      !u64_from_json(*j, &log.header.max_cycles))
+    return fail(error, "replay log: bad max_cycles");
+  if (!(j = hdr->find("program_fingerprint")) ||
+      !u64_from_json(*j, &log.header.program_fingerprint))
+    return fail(error, "replay log: bad program_fingerprint");
+  if (!(j = hdr->find("initial_wmes")) || !j->is_array())
+    return fail(error, "replay log: bad initial_wmes");
+  for (const obs::Json& w : j->as_array()) {
+    if (!w.is_string()) return fail(error, "replay log: bad initial_wmes");
+    log.header.initial_wmes.push_back(w.as_string());
+  }
+
+  const obs::Json* cyc = doc.find("cycles");
+  if (!cyc || !cyc->is_array()) return fail(error, "replay log: no cycles");
+  for (const obs::Json& c : cyc->as_array()) {
+    if (!c.is_object()) return fail(error, "replay log: bad cycle");
+    CycleRecord rec;
+    const obs::Json* f;
+    if (!(f = c.find("wm")) || !u64_from_json(*f, &rec.wm_digest))
+      return fail(error, "replay log: bad cycle wm digest");
+    if (!(f = c.find("cs")) || !u64_from_json(*f, &rec.cs_digest))
+      return fail(error, "replay log: bad cycle cs digest");
+    if (!(f = c.find("pops")) || !f->is_array())
+      return fail(error, "replay log: bad cycle pops");
+    for (const obs::Json& p : f->as_array()) {
+      if (!p.is_array() || p.as_array().size() != 2)
+        return fail(error, "replay log: bad pop record");
+      PopRecord pr;
+      if (!p.as_array()[0].is_number())
+        return fail(error, "replay log: bad pop endpoint");
+      pr.ep = static_cast<unsigned>(p.as_array()[0].as_int());
+      if (!u64_from_json(p.as_array()[1], &pr.fp))
+        return fail(error, "replay log: bad pop fingerprint");
+      rec.pops.push_back(pr);
+    }
+    if ((f = c.find("cs_entries"))) {
+      if (!f->is_array()) return fail(error, "replay log: bad cs_entries");
+      for (const obs::Json& e : f->as_array()) {
+        std::uint64_t h;
+        if (!u64_from_json(e, &h))
+          return fail(error, "replay log: bad cs_entries");
+        rec.cs_entries.push_back(h);
+      }
+    }
+    log.cycles.push_back(std::move(rec));
+  }
+
+  const obs::Json* tr = doc.find("trace");
+  if (!tr || !tr->is_array()) return fail(error, "replay log: no trace");
+  for (const obs::Json& row : tr->as_array()) {
+    if (!row.is_array() || row.as_array().empty())
+      return fail(error, "replay log: bad trace row");
+    FiringRecord rec;
+    const obs::JsonArray& a = row.as_array();
+    if (!a[0].is_number()) return fail(error, "replay log: bad trace row");
+    rec.prod_index = static_cast<std::uint32_t>(a[0].as_int());
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      if (!a[i].is_number()) return fail(error, "replay log: bad trace row");
+      rec.timetags.push_back(static_cast<TimeTag>(a[i].as_int()));
+    }
+    log.trace.push_back(std::move(rec));
+  }
+
+  *out = std::move(log);
+  return true;
+}
+
+bool ReplayLog::deserialize(std::string_view text, ReplayLog* out,
+                            std::string* error) {
+  obs::Json doc;
+  std::string perr;
+  if (!obs::json_parse(text, &doc, &perr)) {
+    if (error) *error = "replay log: " + perr;
+    return false;
+  }
+  return from_json(doc, out, error);
+}
+
+}  // namespace psme::rr

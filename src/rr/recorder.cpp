@@ -1,0 +1,54 @@
+#include "rr/recorder.hpp"
+
+#include "obs/observability.hpp"
+#include "rr/digest.hpp"
+
+namespace psme::rr {
+
+void Recorder::attach(obs::Observability* obs) { obs_ = obs; }
+
+void Recorder::on_commit(unsigned ep, const match::Task& task) {
+  const std::uint64_t fp = task_fingerprint(task);
+  SpinGuard g(mu_);
+  pending_.push_back({ep, fp});
+}
+
+void Recorder::on_quiescent(const WorkingMemory& wm, const ConflictSet& cs) {
+  CycleRecord rec;
+  rec.wm_digest = wm_digest(wm);
+  if (store_cs_entries_) {
+    rec.cs_entries = cs_entry_hashes(cs);
+    rec.cs_digest = combine_hashes(rec.cs_entries);
+  } else {
+    rec.cs_digest = cs_digest(cs);
+  }
+  {
+    SpinGuard g(mu_);
+    rec.pops.swap(pending_);
+  }
+  cycles_.push_back(std::move(rec));
+}
+
+ReplayLog Recorder::finish(LogHeader header, std::vector<FiringRecord> trace) {
+  ReplayLog log;
+  log.header = std::move(header);
+  log.cycles = std::move(cycles_);
+  log.trace = std::move(trace);
+  if (obs_) {
+    obs_->registry
+        .counter({"psme.rr.record.pops", "tasks",
+                  "task commits captured by the rr recorder", "",
+                  obs::MetricKind::Counter})
+        .add(0, log.pop_count());
+    obs_->registry
+        .counter({"psme.rr.record.cycles", "cycles",
+                  "quiescent points captured by the rr recorder", "",
+                  obs::MetricKind::Counter})
+        .add(0, log.cycles.size());
+  }
+  cycles_.clear();
+  pending_.clear();
+  return log;
+}
+
+}  // namespace psme::rr

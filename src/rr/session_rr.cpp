@@ -1,0 +1,144 @@
+#include "rr/session_rr.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace psme::rr {
+
+namespace {
+
+bool parse_u64_at(std::string_view text, std::string_view key,
+                  std::uint64_t* out) {
+  const std::size_t pos = text.find(key);
+  if (pos == std::string_view::npos) return false;
+  const std::size_t start = pos + key.size();
+  std::size_t end = start;
+  while (end < text.size() && text[end] >= '0' && text[end] <= '9') ++end;
+  const auto res =
+      std::from_chars(text.data() + start, text.data() + end, *out);
+  return res.ec == std::errc() && res.ptr == text.data() + end;
+}
+
+std::string render(const TranscriptEntry& e) {
+  return (e.ok ? "ok " : "err ") + e.text;
+}
+
+}  // namespace
+
+obs::Json SessionTranscript::to_json() const {
+  obs::JsonArray items;
+  items.reserve(entries.size());
+  for (const TranscriptEntry& e : entries)
+    items.push_back(obs::Json(
+        obs::JsonArray{obs::Json(e.command), obs::Json(e.ok),
+                       obs::Json(e.text)}));
+  obs::JsonObject o;
+  o.emplace_back("schema", std::string(kSchema));
+  o.emplace_back("entries", std::move(items));
+  return obs::Json(std::move(o));
+}
+
+std::string SessionTranscript::serialize(int indent) const {
+  return to_json().dump(indent);
+}
+
+bool SessionTranscript::from_json(const obs::Json& doc,
+                                  SessionTranscript* out,
+                                  std::string* error) {
+  if (!doc.is_object()) {
+    if (error) *error = "transcript: not a JSON object";
+    return false;
+  }
+  const obs::Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != kSchema) {
+    if (error) *error = "transcript: missing or unknown schema";
+    return false;
+  }
+  const obs::Json* entries = doc.find("entries");
+  if (!entries || !entries->is_array()) {
+    if (error) *error = "transcript: missing entries array";
+    return false;
+  }
+  SessionTranscript t;
+  for (const obs::Json& item : entries->as_array()) {
+    if (!item.is_array() || item.as_array().size() != 3 ||
+        !item.as_array()[0].is_string() || !item.as_array()[1].is_bool() ||
+        !item.as_array()[2].is_string()) {
+      if (error) *error = "transcript: entry is not [command, ok, text]";
+      return false;
+    }
+    TranscriptEntry e;
+    e.command = item.as_array()[0].as_string();
+    e.ok = item.as_array()[1].as_bool();
+    e.text = item.as_array()[2].as_string();
+    t.entries.push_back(std::move(e));
+  }
+  *out = std::move(t);
+  return true;
+}
+
+bool SessionTranscript::deserialize(std::string_view text,
+                                    SessionTranscript* out,
+                                    std::string* error) {
+  obs::Json doc;
+  if (!obs::json_parse(text, &doc, error)) return false;
+  return from_json(doc, out, error);
+}
+
+TranscriptReplayReport replay_transcript(const ops5::Program& program,
+                                         const EngineConfig& config,
+                                         const SessionTranscript& t) {
+  serve::Session session(program, config);
+  TranscriptReplayReport report;
+  auto diverge = [&](std::size_t i, const std::string& detail) {
+    if (report.diverged) return;
+    report.diverged = true;
+    report.first_divergent_entry = i;
+    report.detail = detail;
+  };
+  for (std::size_t i = 0; i < t.entries.size(); ++i) {
+    const TranscriptEntry& e = t.entries[i];
+    if (!e.ok && e.text == "deadline before execution") {
+      // The original request was rejected before touching the engine.
+      ++report.entries_skipped;
+      continue;
+    }
+    if (!e.ok && e.text.starts_with("deadline ")) {
+      // A `run` cut short by its deadline: the engine ran exactly
+      // `cycles=N` cycles. Re-run that bounded slice and compare counts.
+      std::uint64_t cycles = 0, total = 0;
+      if (!parse_u64_at(e.text, "cycles=", &cycles) ||
+          !parse_u64_at(e.text, "total=", &total)) {
+        diverge(i, "unparseable deadline response: " + render(e));
+        break;
+      }
+      const serve::Response r =
+          session.execute("run " + std::to_string(cycles));
+      std::uint64_t got_cycles = 0, got_total = 0;
+      if (!r.ok || !parse_u64_at(r.text, "cycles=", &got_cycles) ||
+          !parse_u64_at(r.text, "total=", &got_total) ||
+          got_cycles != cycles || got_total != total) {
+        std::ostringstream os;
+        os << "entry " << i << " (" << e.command << "): recorded "
+           << render(e) << ", replayed run " << cycles << " -> "
+           << r.render();
+        diverge(i, os.str());
+        break;
+      }
+      ++report.entries_checked;
+      continue;
+    }
+    const serve::Response r = session.execute(e.command);
+    if (r.ok != e.ok || r.text != e.text) {
+      std::ostringstream os;
+      os << "entry " << i << " (" << e.command << "): recorded "
+         << render(e) << ", replay answered " << r.render();
+      diverge(i, os.str());
+      break;
+    }
+    ++report.entries_checked;
+  }
+  return report;
+}
+
+}  // namespace psme::rr

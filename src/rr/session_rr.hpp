@@ -1,0 +1,65 @@
+// Session-level record/replay: a served session's command transcript
+// (`psme.session.v1`) re-runs bit-identically offline.
+//
+// serve::Session appends every (command, response) pair to an attached
+// SessionTranscript. replay_transcript() then feeds the same commands to a
+// fresh Session of the same engine shape and compares each response
+// byte-for-byte — the protocol's responses (timetags, firing traces,
+// checkpoint JSON) are pure functions of the deterministic engine state,
+// so any difference is a real divergence.
+//
+// The one non-deterministic ingredient is the wall clock: a `run` that hit
+// its deadline answered `err deadline cycles=N total=T` after N cycles.
+// Replay re-runs it as the bounded `run N` (which is what the deadline
+// turned it into) and compares the cycle counts; entries rejected with
+// "deadline before execution" never touched the engine and are skipped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/session.hpp"
+
+namespace psme::rr {
+
+struct TranscriptEntry {
+  std::string command;
+  bool ok = false;
+  std::string text;
+  bool operator==(const TranscriptEntry&) const = default;
+};
+
+struct SessionTranscript {
+  static constexpr std::string_view kSchema = "psme.session.v1";
+
+  std::vector<TranscriptEntry> entries;
+
+  obs::Json to_json() const;
+  std::string serialize(int indent = 0) const;
+  static bool from_json(const obs::Json& doc, SessionTranscript* out,
+                        std::string* error);
+  static bool deserialize(std::string_view text, SessionTranscript* out,
+                          std::string* error);
+
+  bool operator==(const SessionTranscript&) const = default;
+};
+
+struct TranscriptReplayReport {
+  std::size_t entries_checked = 0;
+  std::size_t entries_skipped = 0;  // "deadline before execution" entries
+  bool diverged = false;
+  std::size_t first_divergent_entry = 0;
+  std::string detail;
+
+  bool ok() const { return !diverged; }
+};
+
+// Re-runs `t` against a fresh Session(program, config) and compares every
+// response (see file comment for deadline handling).
+TranscriptReplayReport replay_transcript(const ops5::Program& program,
+                                         const EngineConfig& config,
+                                         const SessionTranscript& t);
+
+}  // namespace psme::rr

@@ -6,6 +6,7 @@
 
 #include "common/symbol_table.hpp"
 #include "ops5/parser.hpp"
+#include "rr/session_rr.hpp"
 #include "serve/checkpoint.hpp"
 
 namespace psme::serve {
@@ -54,11 +55,14 @@ Session::Session(const ops5::Program& program, EngineConfig config)
 
 Response Session::execute(const std::string& line, Deadline deadline) {
   ++requests_;
+  Response r;
   try {
-    return dispatch(trim(line), deadline);
+    r = dispatch(trim(line), deadline);
   } catch (const std::exception& e) {
-    return err(std::string("exception: ") + e.what());
+    r = err(std::string("exception: ") + e.what());
   }
+  if (transcript_) transcript_->entries.push_back({line, r.ok, r.text});
+  return r;
 }
 
 Response Session::dispatch(const std::string& line, Deadline deadline) {

@@ -32,6 +32,10 @@
 
 #include "engine/engine.hpp"
 
+namespace psme::rr {
+struct SessionTranscript;  // rr/session_rr.hpp
+}
+
 namespace psme::serve {
 
 using Deadline = std::chrono::steady_clock::time_point;
@@ -63,6 +67,11 @@ class Session {
   const std::vector<FiringRecord>& trace() const { return engine_->trace(); }
   std::uint64_t requests() const { return requests_; }
 
+  // Record every (command, response) pair into `t` (not owned; must
+  // outlive the session; nullptr disables). rr::replay_transcript re-runs
+  // the transcript bit-identically offline.
+  void set_transcript(rr::SessionTranscript* t) { transcript_ = t; }
+
   // Recognize-act cycles per deadline-check slice of `run`.
   static constexpr std::uint64_t kRunSlice = 32;
 
@@ -82,6 +91,7 @@ class Session {
   EngineConfig config_;
   std::unique_ptr<psme::Engine> engine_;
   std::uint64_t requests_ = 0;
+  rr::SessionTranscript* transcript_ = nullptr;
 };
 
 }  // namespace psme::serve

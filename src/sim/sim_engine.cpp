@@ -7,6 +7,10 @@
 #include "match/kernel.hpp"
 #include "obs/observability.hpp"
 #include "obs/task_events.hpp"
+#include "rr/digest.hpp"
+#include "rr/fault.hpp"
+#include "rr/recorder.hpp"
+#include "rr/replay.hpp"
 
 namespace psme::sim {
 
@@ -62,7 +66,7 @@ SubTask<bool> SimEngine::push_task(SimCpu& cpu, match::Task task,
     if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
     if (stats.queue_depth_hist)
       stats.queue_depth_hist->record(q.items.size());
-    sched_->wake_one(idle_workers_, cpu.now);
+    wake_for_push(cpu);
     co_return true;
   }
   const std::size_t n = queues_.size();
@@ -86,7 +90,7 @@ SubTask<bool> SimEngine::push_task(SimCpu& cpu, match::Task task,
   if (stats.queue_depth_hist)
     stats.queue_depth_hist->record(q->items.size());
   sched_->release(q->lock, cpu.now);
-  sched_->wake_one(idle_workers_, cpu.now);
+  wake_for_push(cpu);
   co_return true;
 }
 
@@ -152,7 +156,7 @@ SubTask<bool> SimEngine::steal_push(SimCpu& cpu, match::Task task,
     if (stats.queue_depth_hist)
       stats.queue_depth_hist->record(d.items.size());
   }
-  sched_->wake_one(idle_workers_, cpu.now);
+  wake_for_push(cpu);
   co_return true;
 }
 
@@ -189,8 +193,12 @@ SubTask<bool> SimEngine::steal_push_batch(SimCpu& cpu,
     sched_->release(d.overflow_lock, cpu.now);
     stats.steal_overflow += tasks.size() - fit;
   }
-  for (std::size_t i = 0; i < tasks.size(); ++i)
-    sched_->wake_one(idle_workers_, cpu.now);
+  if (replay_mode()) {
+    sched_->wake_all(idle_workers_, cpu.now);
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      sched_->wake_one(idle_workers_, cpu.now);
+  }
   co_return true;
 }
 
@@ -263,6 +271,109 @@ bool SimEngine::any_deque_ready() const {
   return false;
 }
 
+void SimEngine::wake_for_push(SimCpu& cpu) {
+  if (replay_mode())
+    sched_->wake_all(idle_workers_, cpu.now);
+  else
+    sched_->wake_one(idle_workers_, cpu.now);
+}
+
+std::size_t SimEngine::queued_total() const {
+  std::size_t n = 0;
+  for (const SimQueue& q : queues_) n += q.items.size();
+  for (const SimDeque& d : deques_) n += d.items.size() + d.overflow.size();
+  return n;
+}
+
+bool SimEngine::have_fp(std::uint64_t fp) const {
+  for (const SimQueue& q : queues_)
+    for (const match::Task& t : q.items)
+      if (rr::task_fingerprint(t) == fp) return true;
+  for (const SimDeque& d : deques_) {
+    for (const match::Task& t : d.items)
+      if (rr::task_fingerprint(t) == fp) return true;
+    for (const match::Task& t : d.overflow)
+      if (rr::task_fingerprint(t) == fp) return true;
+  }
+  return false;
+}
+
+bool SimEngine::take_by_fp(std::uint64_t fp, match::Task* out) {
+  for (SimQueue& q : queues_) {
+    for (auto it = q.items.begin(); it != q.items.end(); ++it) {
+      if (rr::task_fingerprint(*it) != fp) continue;
+      *out = *it;
+      q.items.erase(it);
+      return true;
+    }
+  }
+  for (SimDeque& d : deques_) {
+    for (auto it = d.items.begin(); it != d.items.end(); ++it) {
+      if (rr::task_fingerprint(*it) != fp) continue;
+      *out = *it;
+      d.items.erase(it);
+      return true;
+    }
+    for (auto it = d.overflow.begin(); it != d.overflow.end(); ++it) {
+      if (rr::task_fingerprint(*it) != fp) continue;
+      *out = *it;
+      d.overflow.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimEngine::take_any(match::Task* out) {
+  for (SimQueue& q : queues_) {
+    if (q.items.empty()) continue;
+    *out = q.items.front();
+    q.items.pop_front();
+    return true;
+  }
+  for (SimDeque& d : deques_) {
+    if (!d.items.empty()) {
+      *out = d.items.front();
+      d.items.pop_front();
+      return true;
+    }
+    if (!d.overflow.empty()) {
+      *out = d.overflow.front();
+      d.overflow.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+SubTask<bool> SimEngine::replay_pop(SimCpu& cpu, match::Task* out,
+                                    unsigned who, MatchStats& stats) {
+  rr::ReplayCoordinator* coord = options_.rr_replay;
+  const auto have = [this](std::uint64_t fp) { return have_fp(fp); };
+  std::uint64_t fp = 0;
+  switch (coord->poll(who, queued_total(), have, &fp)) {
+    case rr::ReplayCoordinator::Verdict::Wait:
+      co_return false;
+    case rr::ReplayCoordinator::Verdict::Take: {
+      co_await sched_->spend(cpu, config_.cost.queue_pop);
+      // Nothing can have taken it during the spend: pops are funnelled
+      // through the coordinator and the expected task is ours (in flight).
+      const bool ok = take_by_fp(fp, out);
+      assert(ok);
+      stats.queue_probes += 1;
+      stats.queue_acquisitions += 1;
+      if (stats.queue_probe_hist) stats.queue_probe_hist->record(1);
+      co_return ok;
+    }
+    case rr::ReplayCoordinator::Verdict::Free: {
+      if (queued_total() == 0) co_return false;
+      co_await sched_->spend(cpu, config_.cost.queue_pop);
+      co_return take_any(out);
+    }
+  }
+  co_return false;
+}
+
 SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                                    match::Task task,
                                    std::vector<match::Task>& emit) {
@@ -271,6 +382,14 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
   const int si = side_index(side);
   MatchStats& st = w.stats;
   const CostModel& cm = config_.cost;
+
+  // Record/replay: join tasks commit while the serializing line lock is
+  // still held, so the log order is a valid serialization (see the
+  // threaded engine's execute_task for the full argument — coroutine
+  // interleaving at co_await points creates the same epoch inversion).
+  auto rr_commit = [&] {
+    if (options_.rr_record) options_.rr_record->on_commit(w.id, task);
+  };
 
   if (options_.lock_scheme == match::LockScheme::Simple) {
     co_await sched_->acquire(cpu, simple_lines_[line], &st.line_probes[si],
@@ -282,6 +401,10 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
     match::ActivationCost ap;
     match::process_join_probe(w.ctx, task, up, emit, &ap);
     co_await sched_->spend(cpu, probe_cost(ap));
+    rr_commit();
+    if (options_.rr_faults)
+      if (const std::uint32_t mag = options_.rr_faults->lock_delay(w.id))
+        co_await sched_->spend(cpu, static_cast<VTime>(mag));
     sched_->release(simple_lines_[line], cpu.now);
     co_return true;
   }
@@ -319,6 +442,10 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
     match::ActivationCost ap;
     match::process_join_probe(w.ctx, task, up, emit, &ap);
     co_await sched_->spend(cpu, probe_cost(ap));
+    rr_commit();
+    if (options_.rr_faults)
+      if (const std::uint32_t mag = options_.rr_faults->lock_delay(w.id))
+        co_await sched_->spend(cpu, static_cast<VTime>(mag));
   } else {
     co_await sched_->acquire(cpu, L.modification, &st.line_probes[si],
                              &st.line_acquisitions[si],
@@ -327,6 +454,12 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
     const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
     co_await sched_->spend(cpu,
                            cm.mrsw_modification + update_cost(up, ac, task.sign));
+    // The update is what conflicting opposite-side tasks observe; the
+    // probe after release only reads the already-frozen opposite side.
+    rr_commit();
+    if (options_.rr_faults)
+      if (const std::uint32_t mag = options_.rr_faults->lock_delay(w.id))
+        co_await sched_->spend(cpu, static_cast<VTime>(mag));
     sched_->release(L.modification, cpu.now);
     match::ActivationCost ap;
     match::process_join_probe(w.ctx, task, up, emit, &ap);
@@ -363,9 +496,25 @@ Proc SimEngine::worker_main(WorkerState& w) {
   };
   for (;;) {
     if (shutdown_) co_return;
+    if (rr::FaultInjector* faults = options_.rr_faults) {
+      if (faults->worker_dead(w.id)) {
+        // Don't swallow a wake_one that targeted this worker: hand it on
+        // so a survivor drains whatever the wakeup announced.
+        sched_->wake_all(idle_workers_, cpu.now);
+        co_return;
+      }
+      if (const std::uint32_t mag = faults->stall(w.id))
+        co_await sched_->spend(cpu, static_cast<VTime>(mag));
+      if (faults->fail_pop(w.id)) {
+        co_await sched_->spend(cpu, cm.steal_probe);
+        continue;
+      }
+    }
     match::Task task;
     bool got;
-    if (steal_mode()) {
+    if (replay_mode()) {
+      got = co_await replay_pop(cpu, &task, w.id, w.stats);
+    } else if (steal_mode()) {
       got = co_await steal_pop(cpu, &task, w.id, w.stats);
     } else {
       got = co_await pop_task(cpu, &task, w.hint, w.stats);
@@ -376,11 +525,28 @@ Proc SimEngine::worker_main(WorkerState& w) {
       // be missed by every worker at once. This await-free re-check runs
       // atomically within the coroutine resume, closing the window before
       // we commit to sleeping.
-      if (steal_mode() && any_deque_ready()) continue;
+      if (steal_mode() && !replay_mode() && any_deque_ready()) continue;
       co_await sched_->sleep(cpu, idle_workers_);
       continue;
     }
     w.hint += 1;
+    if (rr::FaultInjector* faults = options_.rr_faults) {
+      if (faults->drop_requeue(w.id)) {
+        w.stats.requeues += 1;
+        if (steal_mode()) {
+          co_await steal_push(cpu, task, w.id, w.stats, /*is_requeue=*/true);
+        } else {
+          co_await push_task(cpu, task, w.hint++, w.stats, /*is_requeue=*/true);
+        }
+        continue;
+      }
+      if (faults->lose_task(w.id)) {
+        // The bug under test: the task is discarded but still counted done.
+        --task_count_;
+        if (task_count_ == 0) sched_->wake_all(control_wait_, cpu.now);
+        continue;
+      }
+    }
     const bool tracing = options_.obs && options_.obs->trace.enabled();
     const VTime t0 = cpu.now;
     const std::uint64_t line0 =
@@ -409,8 +575,18 @@ Proc SimEngine::worker_main(WorkerState& w) {
     if (!done) {  // requeued; still counted in TaskCount
       if (tracing)
         record(task, obs::trace_requeue_kind_of(task), t0, line0, queue0);
+      if (replay_mode()) {
+        options_.rr_replay->requeued();
+        sched_->wake_all(idle_workers_, cpu.now);
+      }
       continue;
     }
+    // Join tasks committed inside their lock region (join_task above);
+    // Root/Terminal tasks commute and commit here, before their emissions
+    // are published, keeping the log causal.
+    if (options_.rr_record && task.kind != match::TaskKind::JoinLeft &&
+        task.kind != match::TaskKind::JoinRight)
+      options_.rr_record->on_commit(w.id, task);
     if (steal_mode()) {
       // Batched handoff: the whole emission set becomes visible in one
       // owner-end publication, as in WorkStealingScheduler::push_batch.
@@ -422,6 +598,10 @@ Proc SimEngine::worker_main(WorkerState& w) {
     w.stats.tasks_executed += 1;
     if (tracing)
       record(task, obs::trace_kind_of(task.kind), t0, line0, queue0);
+    if (replay_mode()) {
+      options_.rr_replay->completed();
+      sched_->wake_all(idle_workers_, cpu.now);
+    }
     --task_count_;
     if (task_count_ == 0) sched_->wake_all(control_wait_, cpu.now);
   }
@@ -440,6 +620,9 @@ Proc SimEngine::control_main() {
       [&](std::vector<std::pair<const Wme*, std::int8_t>> changes)
       -> SubTask<bool> {
     if (changes.empty()) co_return true;
+    // New phase: roots are about to go in (clears the replayer's
+    // stuck-schedule arming until all pushes land).
+    if (options_.rr_replay) options_.rr_replay->phase_opened();
     VTime phase_start = 0;
     if (config_.pipeline) {
       bool first = true;
@@ -477,6 +660,12 @@ Proc SimEngine::control_main() {
       }
     }
     const VTime pushes_done = cpu.now;
+    if (options_.rr_replay) {
+      // All of the phase's root pushes are in: arm stuck-schedule detection
+      // and give sleeping workers a chance to re-evaluate their verdicts.
+      options_.rr_replay->phase_pushed();
+      sched_->wake_all(idle_workers_, cpu.now);
+    }
     while (task_count_ != 0) co_await sched_->sleep(cpu, control_wait_);
     last_idle = cpu.now - pushes_done;
     sim_match_time_ += cpu.now - phase_start;
@@ -488,6 +677,7 @@ Proc SimEngine::control_main() {
   pending_.clear();
   wm_.collect();
   apply_restored_refraction();
+  rr_quiescent_hook();
 
   for (;;) {
     if (halted_) {
@@ -531,6 +721,7 @@ Proc SimEngine::control_main() {
     co_await push_changes(std::move(rhs_buffer_));
     rhs_buffer_.clear();
     wm_.collect();
+    rr_quiescent_hook();
   }
 
   shutdown_ = true;

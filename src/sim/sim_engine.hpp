@@ -113,6 +113,21 @@ class SimEngine : public EngineBase {
   // Await-free readiness check closing the missed-wakeup window between a
   // failed steal sweep and going to sleep.
   bool any_deque_ready() const;
+
+  // --- record/replay (src/rr/) -----------------------------------------
+  bool replay_mode() const { return options_.rr_replay != nullptr; }
+  // Replay serializes execution, so the one endpoint whose turn it is must
+  // wake: broadcast instead of wake_one.
+  void wake_for_push(SimCpu& cpu);
+  // Runnable tasks across whichever structure the discipline uses.
+  std::size_t queued_total() const;
+  bool have_fp(std::uint64_t fp) const;
+  bool take_by_fp(std::uint64_t fp, match::Task* out);
+  bool take_any(match::Task* out);
+  // Pop constrained to the recorded schedule (replaces pop_task/steal_pop
+  // when replaying).
+  SubTask<bool> replay_pop(SimCpu& cpu, match::Task* out, unsigned who,
+                           MatchStats& stats);
   // Returns false if the task was requeued (MRSW opposite-side conflict).
   SubTask<bool> join_task(SimCpu& cpu, WorkerState& w, match::Task task,
                           std::vector<match::Task>& emit);

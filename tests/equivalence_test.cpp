@@ -8,6 +8,7 @@
 
 #include "common/symbol_table.hpp"
 #include "engine/engine.hpp"
+#include "rr/digest.hpp"
 #include "workloads/workloads.hpp"
 
 namespace psme {
@@ -42,14 +43,18 @@ TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
     cfg.mode = ExecutionMode::Sequential;
     cfg.options.memory = match::MemoryStrategy::List;  // vs1
     const TraceResult got = run_config(program, w, cfg);
-    EXPECT_EQ(got.trace, ref.trace) << "vs1 diverged, seed " << GetParam();
+    EXPECT_EQ(got.trace, ref.trace)
+        << "vs1 diverged, seed " << GetParam() << "\n"
+        << rr::trace_divergence(ref.trace, got.trace, program);
     EXPECT_EQ(got.reason, ref.reason);
   }
   {
     EngineConfig cfg;
     cfg.mode = ExecutionMode::LispStyle;
     const TraceResult got = run_config(program, w, cfg);
-    EXPECT_EQ(got.trace, ref.trace) << "lisp diverged, seed " << GetParam();
+    EXPECT_EQ(got.trace, ref.trace)
+        << "lisp diverged, seed " << GetParam() << "\n"
+        << rr::trace_divergence(ref.trace, got.trace, program);
   }
   for (const int procs : {1, 3}) {
     for (const int queues : {1, 4}) {
@@ -63,7 +68,8 @@ TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
         const TraceResult got = run_config(program, w, cfg);
         EXPECT_EQ(got.trace, ref.trace)
             << "threads diverged, seed " << GetParam() << " procs=" << procs
-            << " queues=" << queues << " scheme=" << static_cast<int>(scheme);
+            << " queues=" << queues << " scheme=" << static_cast<int>(scheme)
+            << "\n" << rr::trace_divergence(ref.trace, got.trace, program);
       }
     }
   }
@@ -76,7 +82,8 @@ TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
         procs == 5 ? match::LockScheme::Mrsw : match::LockScheme::Simple;
     const TraceResult got = run_config(program, w, cfg);
     EXPECT_EQ(got.trace, ref.trace)
-        << "simulator diverged, seed " << GetParam() << " procs=" << procs;
+        << "simulator diverged, seed " << GetParam() << " procs=" << procs
+        << "\n" << rr::trace_divergence(ref.trace, got.trace, program);
   }
   // Work-stealing discipline, threaded and simulated.
   for (const int procs : {1, 3}) {
@@ -90,7 +97,8 @@ TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
       const TraceResult got = run_config(program, w, cfg);
       EXPECT_EQ(got.trace, ref.trace)
           << "threads(steal) diverged, seed " << GetParam()
-          << " procs=" << procs << " scheme=" << static_cast<int>(scheme);
+          << " procs=" << procs << " scheme=" << static_cast<int>(scheme)
+          << "\n" << rr::trace_divergence(ref.trace, got.trace, program);
     }
   }
   for (const int procs : {1, 5}) {
@@ -103,7 +111,8 @@ TEST_P(RandomEquivalence, AllEnginesProduceIdenticalTraces) {
     const TraceResult got = run_config(program, w, cfg);
     EXPECT_EQ(got.trace, ref.trace)
         << "simulator(steal) diverged, seed " << GetParam()
-        << " procs=" << procs;
+        << " procs=" << procs << "\n"
+        << rr::trace_divergence(ref.trace, got.trace, program);
   }
 }
 
@@ -139,27 +148,35 @@ TEST_P(WorkloadEquivalence, EnginesAgree) {
   const auto ref = run_mode(seq);
   ASSERT_FALSE(ref.empty());
 
+  // On divergence, print the first differing firing (production + timetags)
+  // instead of gtest's raw container dump.
+  auto expect_same = [&](const std::vector<FiringRecord>& got,
+                         const char* label) {
+    EXPECT_EQ(got, ref) << label << " diverged\n"
+                        << rr::trace_divergence(ref, got, program);
+  };
+
   EngineConfig vs1;
   vs1.mode = ExecutionMode::Sequential;
   vs1.options.memory = match::MemoryStrategy::List;
-  EXPECT_EQ(run_mode(vs1), ref);
+  expect_same(run_mode(vs1), "vs1");
 
   EngineConfig lisp;
   lisp.mode = ExecutionMode::LispStyle;
-  EXPECT_EQ(run_mode(lisp), ref);
+  expect_same(run_mode(lisp), "lisp");
 
   EngineConfig par;
   par.mode = ExecutionMode::ParallelThreads;
   par.options.match_processes = 3;
   par.options.task_queues = 4;
   par.options.lock_scheme = match::LockScheme::Mrsw;
-  EXPECT_EQ(run_mode(par), ref);
+  expect_same(run_mode(par), "threads");
 
   EngineConfig simc;
   simc.mode = ExecutionMode::SimulatedMultimax;
   simc.options.match_processes = 7;
   simc.options.task_queues = 4;
-  EXPECT_EQ(run_mode(simc), ref);
+  expect_same(run_mode(simc), "simulator");
 
   // The same workloads under the work-stealing scheduler: the acceptance
   // property is an identical firing trace across every discipline.
@@ -168,13 +185,13 @@ TEST_P(WorkloadEquivalence, EnginesAgree) {
   par_steal.options.match_processes = 3;
   par_steal.options.scheduler = match::SchedulerKind::Steal;
   par_steal.options.lock_scheme = match::LockScheme::Mrsw;
-  EXPECT_EQ(run_mode(par_steal), ref);
+  expect_same(run_mode(par_steal), "threads(steal)");
 
   EngineConfig sim_steal;
   sim_steal.mode = ExecutionMode::SimulatedMultimax;
   sim_steal.options.match_processes = 7;
   sim_steal.options.scheduler = match::SchedulerKind::Steal;
-  EXPECT_EQ(run_mode(sim_steal), ref);
+  expect_same(run_mode(sim_steal), "simulator(steal)");
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadEquivalence,

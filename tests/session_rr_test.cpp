@@ -1,0 +1,171 @@
+// Session-level record/replay (src/rr/session_rr.hpp): a served
+// transcript re-runs bit-identically offline against a fresh Session of
+// the same engine shape, deadline-truncated `run`s are re-run as their
+// bounded equivalent, and tampered transcripts are pinned to the first
+// divergent entry.
+#include <gtest/gtest.h>
+
+#include "rr/session_rr.hpp"
+#include "serve/session.hpp"
+#include "workloads/workloads.hpp"
+
+namespace psme::rr {
+namespace {
+
+EngineConfig sim_config() {
+  EngineConfig config;
+  config.mode = ExecutionMode::SimulatedMultimax;
+  config.options.match_processes = 3;
+  config.options.task_queues = 2;
+  return config;
+}
+
+// Drives a recorded session through the whole protocol surface and
+// returns the transcript.
+SessionTranscript record_session(const ops5::Program& program,
+                                 const EngineConfig& config) {
+  SessionTranscript t;
+  serve::Session session(program, config);
+  session.set_transcript(&t);
+  const workloads::Workload w = workloads::tourney(6, false);
+  for (const std::string& wme : w.initial_wmes)
+    session.execute("make " + wme);
+  session.execute("stats");
+  session.execute("run 5");
+  session.execute("trace");
+  session.execute("dump");
+  session.execute("checkpoint");
+  session.execute("run");
+  session.execute("stats");
+  session.execute("bogus command");  // err responses replay too
+  return t;
+}
+
+TEST(SessionTranscript, RecordsEveryCommandAndResponse) {
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const SessionTranscript t = record_session(program, sim_config());
+  ASSERT_EQ(t.entries.size(), w.initial_wmes.size() + 8);
+  EXPECT_TRUE(t.entries.front().ok);
+  EXPECT_EQ(t.entries.front().command, "make " + w.initial_wmes.front());
+  EXPECT_FALSE(t.entries.back().ok);  // the bogus command
+}
+
+TEST(SessionTranscript, ReplaysBitIdentically) {
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const EngineConfig config = sim_config();
+  const SessionTranscript t = record_session(program, config);
+
+  const TranscriptReplayReport report =
+      replay_transcript(program, config, t);
+  EXPECT_TRUE(report.ok()) << report.detail;
+  EXPECT_EQ(report.entries_checked, t.entries.size());
+  EXPECT_EQ(report.entries_skipped, 0u);
+}
+
+TEST(SessionTranscript, JsonRoundTripThenReplay) {
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const EngineConfig config = sim_config();
+  const SessionTranscript t = record_session(program, config);
+
+  SessionTranscript back;
+  std::string error;
+  ASSERT_TRUE(SessionTranscript::deserialize(t.serialize(2), &back, &error))
+      << error;
+  EXPECT_EQ(back, t);
+  EXPECT_TRUE(replay_transcript(program, config, back).ok());
+}
+
+TEST(SessionTranscript, DeserializeRejectsWrongSchema) {
+  SessionTranscript out;
+  std::string error;
+  EXPECT_FALSE(SessionTranscript::deserialize("{\"schema\":\"psme.nope\"}",
+                                              &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(SessionTranscript::deserialize("][", &out, &error));
+}
+
+TEST(SessionTranscript, DeadlineMissReplaysAsBoundedRun) {
+  // A deadline-truncated `run` answered `err deadline cycles=N total=T`.
+  // Synthesize that entry from a real bounded run: `run 3` yields the same
+  // engine state the truncated run left behind, so replay (which re-runs
+  // the entry as `run 3` and compares the counts) must accept it.
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const EngineConfig config = sim_config();
+
+  SessionTranscript t;
+  serve::Session session(program, config);
+  session.set_transcript(&t);
+  for (const std::string& wme : w.initial_wmes) session.execute("make " + wme);
+  const serve::Response r = session.execute("run 3");
+  ASSERT_TRUE(r.ok);
+  session.execute("stats");  // post-run state is compared too
+
+  // Rewrite the bounded run as the deadline miss it is equivalent to:
+  // "cycles=3 total=3 reason=max-cycles" -> "deadline cycles=3 total=3".
+  TranscriptEntry& run_entry = t.entries[w.initial_wmes.size()];
+  ASSERT_EQ(run_entry.command, "run 3");
+  const std::size_t reason = run_entry.text.find(" reason=");
+  ASSERT_NE(reason, std::string::npos) << run_entry.text;
+  run_entry.ok = false;
+  run_entry.text = "deadline " + run_entry.text.substr(0, reason);
+
+  const TranscriptReplayReport report =
+      replay_transcript(program, config, t);
+  EXPECT_TRUE(report.ok()) << report.detail;
+  EXPECT_EQ(report.entries_checked, t.entries.size());
+}
+
+TEST(SessionTranscript, RejectedBeforeExecutionEntriesAreSkipped) {
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const EngineConfig config = sim_config();
+  SessionTranscript t = record_session(program, config);
+  t.entries.push_back({"stats", false, "deadline before execution"});
+
+  const TranscriptReplayReport report =
+      replay_transcript(program, config, t);
+  EXPECT_TRUE(report.ok()) << report.detail;
+  EXPECT_EQ(report.entries_skipped, 1u);
+  EXPECT_EQ(report.entries_checked, t.entries.size() - 1);
+}
+
+TEST(SessionTranscript, TamperedResponseIsPinnedToItsEntry) {
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const EngineConfig config = sim_config();
+  SessionTranscript t = record_session(program, config);
+
+  const std::size_t bad = t.entries.size() - 3;
+  t.entries[bad].text += " tampered";
+
+  const TranscriptReplayReport report =
+      replay_transcript(program, config, t);
+  ASSERT_TRUE(report.diverged);
+  EXPECT_EQ(report.first_divergent_entry, bad);
+  EXPECT_NE(report.detail.find("tampered"), std::string::npos)
+      << report.detail;
+}
+
+TEST(SessionTranscript, ReplayOnDifferentEngineShapeStillMatches) {
+  // Confluence across modes: a transcript recorded on the simulator
+  // replays on the threaded engine — the protocol responses only expose
+  // schedule-independent state.
+  const workloads::Workload w = workloads::tourney(6, false);
+  const auto program = ops5::Program::from_source(w.source);
+  const SessionTranscript t = record_session(program, sim_config());
+
+  EngineConfig threads;
+  threads.mode = ExecutionMode::ParallelThreads;
+  threads.options.match_processes = 3;
+  threads.options.task_queues = 2;
+  const TranscriptReplayReport report =
+      replay_transcript(program, threads, t);
+  EXPECT_TRUE(report.ok()) << report.detail;
+}
+
+}  // namespace
+}  // namespace psme::rr

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   psme_cli PROGRAM.ops [options]
-//   psme_cli --workload {weaver|rubik|tourney|tourney-fixed} [options]
+//   psme_cli --workload {weaver|rubik|tourney|tourney-fixed|random} [options]
 //
 // Options:
 //   --mode {seq|vs1|lisp|threads|sim|treat}  execution engine (default seq/vs2)
@@ -13,6 +13,8 @@
 //                    lock-free deques with work stealing (default central)
 //   --locks {simple|mrsw}
 //   --strategy {lex|mea}
+//   --seed S         workload seed: selects --workload random's program and
+//                    is stamped into EngineOptions for record/replay
 //   --wm "(class ^attr value ...)"      add an initial wme (repeatable)
 //   --wmfile FILE    file of wme literals, one per line ('#'/';' comments)
 //   --cycles N       recognize-act cycle cap (default 100000)
@@ -115,7 +117,9 @@ int main(int argc, char** argv) {
       if (v == "lex") config.options.strategy = psme::CrStrategy::Lex;
       else if (v == "mea") config.options.strategy = psme::CrStrategy::Mea;
       else usage("unknown strategy");
-    } else if (arg == "--wm") wmes.push_back(next());
+    } else if (arg == "--seed") config.options.seed =
+        static_cast<std::uint64_t>(std::stoull(next()));
+    else if (arg == "--wm") wmes.push_back(next());
     else if (arg == "--wmfile") wmfile = next();
     else if (arg == "--cycles") config.options.max_cycles =
         static_cast<std::uint64_t>(std::stoll(next()));
@@ -159,6 +163,8 @@ int main(int argc, char** argv) {
     else if (workload_name == "tourney") w = psme::workloads::tourney();
     else if (workload_name == "tourney-fixed")
       w = psme::workloads::tourney(14, true);
+    else if (workload_name == "random")
+      w = psme::workloads::random_program(config.options.seed);
     else usage("unknown workload");
     source = w.source;
     workload_wmes = w.initial_wmes;
