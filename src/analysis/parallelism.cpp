@@ -74,8 +74,10 @@ class ProfilingEngine : public EngineBase {
           const match::MemUpdate up =
               match::process_join_update(ctx_, cur.task, &ac);
           match::process_join_probe(ctx_, cur.task, up, emit, &ac);
-          cost += cost_.join_update_cost(ac.same_examined, cur.task.sign) +
-                  cost_.join_probe_cost(ac.opp_examined, ac.emissions);
+          cost += cost_.join_update_cost(ac.same_examined, cur.task.sign,
+                                         ac.key_slots) +
+                  cost_.join_probe_cost(ac.opp_examined, ac.emissions,
+                                        ac.emitted_wmes);
           break;
         }
       }

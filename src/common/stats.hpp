@@ -40,6 +40,10 @@ struct MatchStats {
   std::uint64_t emissions = 0;         // tokens scheduled by join nodes
   std::uint64_t conjugate_hits = 0;    // +/- pairs annihilated early
   std::uint64_t requeues = 0;          // MRSW opposite-side put-backs
+  // Hash-line collisions: entries examined during bucket scans whose
+  // (node id, key hash) prefilter did not match — unrelated residents of
+  // the same line (hash backend only).
+  std::uint64_t line_collisions = 0;
 
   // Tokens examined in the opposite memory, counted only for activations
   // where the opposite memory was non-empty (paper, Table 4-2).
@@ -71,6 +75,9 @@ struct MatchStats {
   obs::HistogramShard* queue_probe_hist = nullptr;   // probes_per_acquisition
   obs::HistogramShard* line_probe_hist[2] = {nullptr, nullptr};
   obs::HistogramShard* opp_chain_hist[2] = {nullptr, nullptr};
+  // Physical bucket walk lengths (fast slot + overflow chain, prefilter
+  // misses included): psme.match.bucket_chain_len.
+  obs::HistogramShard* bucket_chain_hist = nullptr;
 
   void merge(const MatchStats& o) {
     wme_changes += o.wme_changes;
@@ -79,6 +86,7 @@ struct MatchStats {
     emissions += o.emissions;
     conjugate_hits += o.conjugate_hits;
     requeues += o.requeues;
+    line_collisions += o.line_collisions;
     for (int s = 0; s < 2; ++s) {
       opp_examined[s] += o.opp_examined[s];
       opp_activations[s] += o.opp_activations[s];

@@ -250,11 +250,14 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       break;
     case match::TaskKind::JoinLeft:
     case match::TaskKind::JoinRight: {
-      const std::uint32_t line = match::line_of(task, left_table_);
+      // One task_hash per task: the hash that picked the line is handed to
+      // the update phase instead of being re-derived there.
+      const std::uint64_t hash = match::task_hash(task);
+      const std::uint32_t line = left_table_.line_of(hash);
       const Side side = task.side();
       if (line_locks_.scheme() == match::LockScheme::Simple) {
         line_locks_.lock_exclusive(line, side, stats);
-        match::process_join(ctx, task, emit_buf);
+        match::process_join(ctx, task, emit_buf, nullptr, &hash);
         rr_commit();
         lock_delay();
         line_locks_.unlock_exclusive(line);
@@ -267,7 +270,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
           record_requeue();
           return;  // task still counted in TaskCount
         }
-        match::process_join(ctx, task, emit_buf);
+        match::process_join(ctx, task, emit_buf, nullptr, &hash);
         rr_commit();
         lock_delay();
         line_locks_.leave_exclusive(line);
@@ -279,7 +282,8 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
         return;
       }
       line_locks_.lock_modification(line, side, stats);
-      const match::MemUpdate update = match::process_join_update(ctx, task);
+      const match::MemUpdate update =
+          match::process_join_update(ctx, task, nullptr, &hash);
       // The memory update is what conflicting opposite-side tasks observe;
       // the probe after unlock only reads the already-frozen opposite side.
       rr_commit();

@@ -18,10 +18,21 @@ inline void count_opp_examined(MatchStats& stats, int si,
   if (stats.opp_chain_hist[si]) stats.opp_chain_hist[si]->record(examined);
 }
 
-std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 32;
+// Physical bucket walk length (fast slot + chain, prefilter misses
+// included) — the cache-line traffic of one bucket scan.
+inline void count_bucket_chain(MatchStats& stats, std::uint32_t examined) {
+  if (examined == 0) return;
+  if (stats.bucket_chain_hist) stats.bucket_chain_hist->record(examined);
+}
+
+// splitmix64-style finalizer per mixed value: two multiply/xor-shift
+// rounds, so single-slot keys still spread over the whole line space.
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 31;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 29;
   return h;
 }
 
@@ -57,11 +68,14 @@ BucketPair resolve_buckets(MatchContext& ctx, const Task& task,
 }
 
 // Is `e` an entry of this node with this key? (Hash mode prefilter; list
-// buckets contain only the node's own entries.)
-inline bool entry_of_node(const MatchContext& ctx, const Entry* e,
+// buckets contain only the node's own entries.) A miss is a hash-line
+// collision: an unrelated (node, key) resident on the same line.
+inline bool entry_of_node(MatchContext& ctx, const Entry* e,
                           const rete::JoinNode* j, std::uint64_t hash) {
   if (ctx.strategy != MemoryStrategy::Hash) return true;
-  return e->node_id == j->id && e->hash == hash;
+  if (e->node_id == j->id && e->hash == hash) return true;
+  ctx.stats->line_collisions += 1;
+  return false;
 }
 
 inline bool same_payload(const Task& task, const Entry* e) {
@@ -92,14 +106,15 @@ void emit_to_successors(MatchContext&, const rete::JoinNode* j,
 
 std::uint64_t task_hash(const Task& task) {
   const rete::JoinNode* j = task.join;
-  std::uint64_t h = hash_combine(0x517cc1b727220a95ull, j->id);
+  std::uint64_t h = j->hash_seed;  // node id pre-mixed by the Builder
   if (task.side() == Side::Left) {
-    for (const rete::EqTest& eq : j->eq_tests)
-      h = hash_combine(
-          h, task.token->wme_at(eq.tok_pos)->field(eq.tok_slot).hash());
+    const Token* t = task.token;
+    for (const rete::KeySlot& s : j->left_key)
+      h = mix64(h, t->wme_at(s.tok_pos)->field(s.slot).hash());
   } else {
-    for (const rete::EqTest& eq : j->eq_tests)
-      h = hash_combine(h, task.wme->field(eq.wme_slot).hash());
+    const Wme* w = task.wme;
+    for (const std::uint16_t slot : j->right_key)
+      h = mix64(h, w->field(slot).hash());
   }
   return h;
 }
@@ -150,13 +165,17 @@ void process_root(MatchContext& ctx, const rete::Network& net,
 }
 
 MemUpdate process_join_update(MatchContext& ctx, const Task& task,
-                              ActivationCost* cost) {
+                              ActivationCost* cost,
+                              const std::uint64_t* hash_hint) {
   ctx.stats->node_activations += 1;
   const rete::JoinNode* j = task.join;
   MemUpdate up;
   if (ctx.strategy == MemoryStrategy::Hash) {
-    up.hash = task_hash(task);
-    if (cost) cost->hash_computed = true;
+    up.hash = hash_hint ? *hash_hint : task_hash(task);
+    if (cost) {
+      cost->hash_computed = true;
+      cost->key_slots = static_cast<std::uint32_t>(j->eq_tests.size());
+    }
   }
   BucketPair b = resolve_buckets(ctx, task, up.hash);
   const int si = side_index(task.side());
@@ -177,43 +196,69 @@ MemUpdate process_join_update(MatchContext& ctx, const Task& task,
       }
       prev = e;
     }
-    Entry* e = ctx.arena->make_entry();
+    // Insert: claim the bucket's inline fast slot when free (no heap
+    // Entry, no extra cache line), else push onto the overflow chain.
+    Entry* e;
+    if (!b.own->fast.live) {
+      e = &b.own->fast;
+      e->next = nullptr;
+      e->neg_count.store(0, std::memory_order_relaxed);
+      e->live = 1;
+    } else {
+      e = ctx.arena->make_entry();
+      e->next = b.own->head;
+      b.own->head = e;
+    }
     e->token = task.token;
     e->wme = task.wme;
     e->hash = up.hash;
     e->node_id = j->id;
-    e->next = b.own->head;
-    b.own->head = e;
     up.outcome = MemUpdate::Outcome::Inserted;
     up.entry = e;
     return up;
   }
 
-  // Delete: locate the stored entry with the same payload.
+  // Delete: locate the stored entry with the same payload — fast slot
+  // first, then the overflow chain. The fast slot is freed by clearing
+  // `live` only; its payload stays readable for the caller's probe phase
+  // (see Entry::live).
   std::uint32_t examined = 0;
-  Entry* prev = nullptr;
-  for (Entry* e = b.own->head; e; e = e->next) {
+  Entry* found = nullptr;
+  if (b.own->fast.live) {
     ++examined;
-    if (entry_of_node(ctx, e, j, up.hash) && same_payload(task, e)) {
-      if (prev) {
-        prev->next = e->next;
-      } else {
-        b.own->head = e->next;
-      }
-      // Count the delete search (the chain was non-empty: we found e).
-      ctx.stats->same_del_examined[si] += examined;
-      ctx.stats->same_del_activations[si] += 1;
-      if (cost) cost->same_examined += examined;
-      up.outcome = MemUpdate::Outcome::Removed;
-      up.entry = e;
-      return up;
+    if (entry_of_node(ctx, &b.own->fast, j, up.hash) &&
+        same_payload(task, &b.own->fast)) {
+      b.own->fast.live = 0;
+      found = &b.own->fast;
     }
-    prev = e;
+  }
+  if (!found) {
+    Entry* prev = nullptr;
+    for (Entry* e = b.own->head; e; e = e->next) {
+      ++examined;
+      if (entry_of_node(ctx, e, j, up.hash) && same_payload(task, e)) {
+        if (prev) {
+          prev->next = e->next;
+        } else {
+          b.own->head = e->next;
+        }
+        found = e;
+        break;
+      }
+      prev = e;
+    }
   }
   if (examined > 0) {
+    // Count the delete search (the own chain was non-empty).
     ctx.stats->same_del_examined[si] += examined;
     ctx.stats->same_del_activations[si] += 1;
+    count_bucket_chain(*ctx.stats, examined);
     if (cost) cost->same_examined += examined;
+  }
+  if (found) {
+    up.outcome = MemUpdate::Outcome::Removed;
+    up.entry = found;
+    return up;
   }
   // Not found: the `+` has not arrived yet; park on the extra-deletes list.
   Entry* e = ctx.arena->make_entry();
@@ -242,7 +287,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
   if (j->kind == rete::JoinKind::Positive) {
     std::uint32_t examined = 0;
     std::uint32_t pairs = 0;
-    for (Entry* e = b.opp->head; e; e = e->next) {
+    for (Entry* e = bucket_first(*b.opp); e; e = bucket_next(*b.opp, e)) {
       ++examined;
       if (!entry_of_node(ctx, e, j, update.hash)) continue;
       const Token* left = side == Side::Left ? task.token : e->token;
@@ -251,8 +296,10 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       const Token* extended = ctx.arena->make_token(left, right);
       emit_to_successors(ctx, j, extended, task.sign, out);
       ++pairs;
+      if (cost) cost->emitted_wmes += extended->len;
     }
     count_opp_examined(*ctx.stats, si, examined);
+    count_bucket_chain(*ctx.stats, examined);
     ctx.stats->emissions += pairs;
     if (cost) {
       cost->opp_examined += examined;
@@ -267,12 +314,13 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       // Count matching right wmes; pass the token through iff none.
       std::uint32_t examined = 0;
       std::int32_t count = 0;
-      for (Entry* e = b.opp->head; e; e = e->next) {
+      for (Entry* e = bucket_first(*b.opp); e; e = bucket_next(*b.opp, e)) {
         ++examined;
         if (!entry_of_node(ctx, e, j, update.hash)) continue;
         if (beta_match(j, task.token, e->wme)) ++count;
       }
       count_opp_examined(*ctx.stats, si, examined);
+      count_bucket_chain(*ctx.stats, examined);
       if (cost) cost->opp_examined += examined;
       update.entry->neg_count.store(count, std::memory_order_relaxed);
       if (count == 0) {
@@ -294,11 +342,9 @@ void process_join_probe(MatchContext& ctx, const Task& task,
   // Right activation of a negative node: adjust counts of matching left
   // tokens; emissions happen on 0<->1 transitions.
   std::uint32_t examined = 0;
-  for (Entry* e = b.opp->head; e; e = e->next) {
+  for (Entry* e = bucket_first(*b.opp); e; e = bucket_next(*b.opp, e)) {
     ++examined;
-    if (ctx.strategy == MemoryStrategy::Hash &&
-        (e->node_id != j->id || e->hash != update.hash))
-      continue;
+    if (!entry_of_node(ctx, e, j, update.hash)) continue;
     if (!beta_match(j, e->token, task.wme)) continue;
     if (task.sign > 0) {
       const std::int32_t prev =
@@ -319,12 +365,13 @@ void process_join_probe(MatchContext& ctx, const Task& task,
     }
   }
   count_opp_examined(*ctx.stats, si, examined);
+  count_bucket_chain(*ctx.stats, examined);
   if (cost) cost->opp_examined += examined;
 }
 
 void process_join(MatchContext& ctx, const Task& task, std::vector<Task>& out,
-                  ActivationCost* cost) {
-  const MemUpdate up = process_join_update(ctx, task, cost);
+                  ActivationCost* cost, const std::uint64_t* hash_hint) {
+  const MemUpdate up = process_join_update(ctx, task, cost, hash_hint);
   process_join_probe(ctx, task, up, out, cost);
 }
 

@@ -52,10 +52,13 @@ struct ActivationCost {
   std::uint32_t same_examined = 0;
   std::uint32_t opp_examined = 0;
   std::uint32_t emissions = 0;
+  std::uint32_t key_slots = 0;     // compiled key slots read by the hash
+  std::uint32_t emitted_wmes = 0;  // total flat-token wmes copied on emits
   bool hash_computed = false;
 };
 
-// (node, equality-key) hash for a Join task; defines its hash-table line.
+// (node, equality-key) hash for a Join task, read through the join's
+// compiled key layout; defines its hash-table line.
 std::uint64_t task_hash(const Task& task);
 inline std::uint32_t line_of(const Task& task, const HashTokenTable& table) {
   return table.line_of(task_hash(task));
@@ -71,7 +74,8 @@ void process_root(MatchContext& ctx, const rete::Network& net,
 
 // Join (positive or negative) activation, both phases under one lock.
 void process_join(MatchContext& ctx, const Task& task, std::vector<Task>& out,
-                  ActivationCost* cost = nullptr);
+                  ActivationCost* cost = nullptr,
+                  const std::uint64_t* hash_hint = nullptr);
 
 // Terminal activation (conflict set has its own internal lock).
 void process_terminal(MatchContext& ctx, const Task& task,
@@ -92,8 +96,12 @@ struct MemUpdate {
   Entry* entry = nullptr;  // inserted or removed entry
   std::uint64_t hash = 0;
 };
+// `hash_hint`, when non-null, is the task's task_hash() value the driver
+// already computed to find the line — passed through so the update phase
+// does not hash the key a second time.
 MemUpdate process_join_update(MatchContext& ctx, const Task& task,
-                              ActivationCost* cost = nullptr);
+                              ActivationCost* cost = nullptr,
+                              const std::uint64_t* hash_hint = nullptr);
 
 // Phase 2 — probe the opposite memory and emit; caller holds the line in
 // side mode (modification lock NOT required: the opposite chain cannot

@@ -10,42 +10,78 @@
 //    the same line by construction, so per-line locks serialize exactly the
 //    work that conflicts.
 //
+// Cache-line layout: an Entry fills exactly one 64-byte line, and every
+// Bucket carries a one-entry inline *fast slot* — the common case of one
+// resident token per (node, key) probes a single line and allocates no heap
+// Entry. Buckets are 64-byte aligned so adjacent lines never false-share.
+//
 // Every bucket carries an extra-deletes chain holding `-` tokens that
 // arrived before their `+` partner (conjugate pairs, Section 3.2).
 #pragma once
 
 #include <atomic>
+#include <bit>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "runtime/token.hpp"
 
 namespace psme::match {
 
-// A memory entry; lives in either a main chain or an extra-deletes chain.
-// Left entries reference a Token, right entries a Wme. `neg_count` is the
-// number of matching right wmes for a negative node's left entry.
-struct Entry {
+// A memory entry; lives in a bucket's inline fast slot, a main chain, or an
+// extra-deletes chain. Left entries reference a Token, right entries a Wme.
+// `neg_count` is the number of matching right wmes for a negative node's
+// left entry.
+struct alignas(64) Entry {
   Entry* next = nullptr;
   const Token* token = nullptr;
   const Wme* wme = nullptr;
   std::uint64_t hash = 0;     // full (node, key-values) hash; 0 in list mode
   std::uint32_t node_id = 0;  // owning join node (hash backend)
   std::atomic<std::int32_t> neg_count{0};
+  // Occupancy of a Bucket's inline fast slot; chain entries are always
+  // live. Fast-slot removal clears this flag but NOT the payload:
+  // MemUpdate::entry is dereferenced by the caller after a Removed outcome
+  // (the negative-node delete path reads token/neg_count under its
+  // exclusive line lock), so the fields must stay readable until the next
+  // same-line insert overwrites them.
+  std::uint8_t live = 0;
 };
+static_assert(sizeof(Entry) == 64, "Entry must fill exactly one cache line");
 
-struct Bucket {
-  Entry* head = nullptr;
-  Entry* extra_deletes = nullptr;
+struct alignas(64) Bucket {
+  Entry fast;                      // inline fast slot (line 1)
+  Entry* head = nullptr;           // overflow chain (line 2)
+  Entry* extra_deletes = nullptr;  // parked `-` tokens awaiting their `+`
 };
+static_assert(sizeof(Bucket) == 128,
+              "fast slot on its own line, chains on the next");
+static_assert(alignof(Bucket) == 64, "buckets must not share cache lines");
 
-// One side's global hash table (vs2 / parallel backend).
+// Read-only traversal over a bucket's resident entries: the fast slot
+// first (when live), then the overflow chain. Mutating paths (insert,
+// delete-unlink) handle the fast slot explicitly instead.
+inline Entry* bucket_first(Bucket& b) {
+  return b.fast.live ? &b.fast : b.head;
+}
+inline Entry* bucket_next(Bucket& b, Entry* e) {
+  return e == &b.fast ? b.head : e->next;
+}
+
+// One side's global hash table (vs2 / parallel backend). A non-power-of-two
+// bucket count would silently map hashes onto a subset of buckets through
+// `mask_`, so the count is rounded up to the next power of two.
 class HashTokenTable {
  public:
-  explicit HashTokenTable(std::uint32_t bucket_count_pow2)
-      : buckets_(bucket_count_pow2), mask_(bucket_count_pow2 - 1) {}
+  explicit HashTokenTable(std::uint32_t bucket_count)
+      : buckets_(round_up_pow2(bucket_count)), mask_(buckets_.size() - 1) {
+    assert(std::has_single_bit(buckets_.size()));
+  }
 
   Bucket& bucket(std::uint64_t hash) { return buckets_[hash & mask_]; }
   Bucket& bucket_at(std::uint32_t idx) { return buckets_[idx]; }
@@ -54,6 +90,10 @@ class HashTokenTable {
   }
   std::uint32_t size() const {
     return static_cast<std::uint32_t>(buckets_.size());
+  }
+
+  static std::uint32_t round_up_pow2(std::uint32_t n) {
+    return std::bit_ceil(n == 0 ? 1u : n);
   }
 
  private:
@@ -77,35 +117,72 @@ class ListMemories {
 // synchronizes between match processes.
 class BumpArena {
  public:
+  // Flat-token allocation: header plus the inline `const Wme*[len]` array
+  // in one variable-length block. The parent's prefix is copied by memcpy;
+  // the parent pointer is kept for the rr digest path.
   Token* make_token(const Token* parent, const Wme* wme) {
-    Token* t = alloc<Token>();
+    const std::uint32_t len = parent ? parent->len + 1 : 1;
+    const std::size_t bytes = Token::flat_bytes(len);
+    if (bytes > kMaxAlloc)
+      throw std::length_error("flat token exceeds BumpArena block size");
+    Token* t = new (alloc_raw(bytes, alignof(Token))) Token();
     t->parent = parent;
     t->wme = wme;
-    t->len = parent ? parent->len + 1 : 1;
+    t->len = len;
+    const Wme** dst = t->wmes_mut();
+    if (parent)
+      std::memcpy(dst, parent->wmes(),
+                  std::size_t{parent->len} * sizeof(const Wme*));
+    dst[len - 1] = wme;
     return t;
   }
-  Entry* make_entry() { return alloc<Entry>(); }
+  Entry* make_entry() {
+    Entry* e = alloc<Entry>();
+    e->live = 1;
+    return e;
+  }
 
   std::size_t bytes_allocated() const { return bytes_; }
+
+  static constexpr std::size_t kBlockSize = 1u << 16;
+  // Worst case a fresh block starts `align - 1` bytes past alignment.
+  static constexpr std::size_t kMaxAlign = 64;
+  static constexpr std::size_t kMaxAlloc = kBlockSize - kMaxAlign;
 
  private:
   template <typename T>
   T* alloc() {
     static_assert(std::is_trivially_destructible_v<T>);
-    constexpr std::size_t size = (sizeof(T) + 15u) & ~std::size_t{15};
-    if (used_ + size > kBlockSize || blocks_.empty()) {
+    static_assert(sizeof(T) <= kMaxAlloc, "type larger than an arena block");
+    static_assert(alignof(T) <= kMaxAlign);
+    return new (alloc_raw(sizeof(T), alignof(T))) T();
+  }
+
+  void* alloc_raw(std::size_t size, std::size_t align) {
+    assert(size <= kMaxAlloc && align <= kMaxAlign);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (!blocks_.empty()) {
+        std::byte* base = blocks_.back().get();
+        const std::uintptr_t raw =
+            reinterpret_cast<std::uintptr_t>(base) + used_;
+        const std::uintptr_t aligned =
+            (raw + (align - 1)) & ~std::uintptr_t{align - 1};
+        const std::size_t offset =
+            aligned - reinterpret_cast<std::uintptr_t>(base);
+        if (offset + size <= kBlockSize) {
+          used_ = offset + size;
+          bytes_ += size;
+          return base + offset;
+        }
+      }
       blocks_.emplace_back(new std::byte[kBlockSize]);
       used_ = 0;
     }
-    std::byte* p = blocks_.back().get() + used_;
-    used_ += size;
-    bytes_ += size;
-    return new (p) T();
+    return nullptr;  // unreachable: size + padding fits a fresh block
   }
 
-  static constexpr std::size_t kBlockSize = 1u << 16;
   std::deque<std::unique_ptr<std::byte[]>> blocks_;
-  std::size_t used_ = kBlockSize + 1;  // force first block
+  std::size_t used_ = 0;
   std::size_t bytes_ = 0;
 };
 

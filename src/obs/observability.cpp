@@ -55,6 +55,12 @@ void Observability::attach_worker(MatchStats& stats, int worker) {
                           "4-2"))
              .shard(worker);
   }
+  stats.bucket_chain_hist =
+      &registry
+           .histogram(h("psme.match.bucket_chain_len", "entries",
+                        "bucket entries walked per scan (inline fast slot "
+                        "+ overflow chain, hash-prefilter misses included)"))
+           .shard(worker);
 }
 
 void Observability::export_run_stats(const RunStats& stats,
@@ -86,6 +92,11 @@ void Observability::export_run_stats(const RunStats& stats,
                  "MRSW opposite-side conflicts put back on the queue",
                  "4-8"))
       .add(0, m.requeues);
+  registry
+      .counter(c("psme.match.line_collisions", "entries",
+                 "bucket entries skipped because their (node, key) hash "
+                 "prefilter missed — unrelated residents of the line"))
+      .add(0, m.line_collisions);
 
   for (int s = 0; s < 2; ++s) {
     const Side side = s == 0 ? Side::Left : Side::Right;

@@ -72,6 +72,20 @@ class Builder {
       j->right_mem = next_mem++;
     }
     net_->num_list_memories_ = next_mem;
+    // Compile the join-key extractors: flatten the equality tests into
+    // per-side slot layouts and pre-mix the node id into a per-node seed
+    // (splitmix64), so task_hash starts from a well-spread state and only
+    // mixes the key values.
+    for (auto& j : net_->joins_) {
+      std::uint64_t z = (j->id + 1) * 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      j->hash_seed = z ^ (z >> 31);
+      for (const EqTest& eq : j->eq_tests) {
+        j->left_key.push_back(KeySlot{eq.tok_pos, eq.tok_slot});
+        j->right_key.push_back(eq.wme_slot);
+      }
+    }
     return std::move(net_);
   }
 

@@ -101,6 +101,13 @@ struct Successor {
   TerminalNode* terminal = nullptr;
 };
 
+// One slot of a compiled left-side join key: read
+// token[tok_pos].field[slot]. The right-side layout is just the wme slot.
+struct KeySlot {
+  std::uint8_t tok_pos = 0;
+  std::uint16_t slot = 0;
+};
+
 struct JoinNode {
   std::uint32_t id = 0;
   JoinKind kind = JoinKind::Positive;
@@ -111,6 +118,13 @@ struct JoinNode {
   // Per-node memory indices for the list (vs1) backend.
   std::uint32_t left_mem = 0;
   std::uint32_t right_mem = 0;
+  // Compiled join-key layout (Builder::build post-pass): the equality
+  // tests flattened per side so task_hash reads slots directly, plus a
+  // per-node seed already mixed — hashing an activation never re-derives
+  // EqTest indirections or re-mixes the node id.
+  std::vector<KeySlot> left_key;          // one per eq test, in test order
+  std::vector<std::uint16_t> right_key;   // wme field slots, same order
+  std::uint64_t hash_seed = 0;
 };
 
 struct TerminalNode {

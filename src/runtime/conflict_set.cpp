@@ -11,12 +11,7 @@ ConflictSet::Key ConflictSet::key_of(std::uint32_t prod_index,
                                      const Token* token) {
   Key k;
   k.prod_index = prod_index;
-  k.wmes.resize(token->len);
-  const Token* t = token;
-  for (std::uint32_t i = token->len; i-- > 0;) {
-    k.wmes[i] = t->wme;
-    t = t->parent;
-  }
+  k.wmes.assign(token->wmes(), token->wmes() + token->len);
   return k;
 }
 

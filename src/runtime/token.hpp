@@ -1,13 +1,21 @@
 // Beta tokens: the ordered lists of wmes flowing through the Rete network.
 //
-// Tokens are immutable parent-chained records (the classic Rete
-// representation): extending a match by one wme allocates a single node.
+// Tokens are immutable *flat* records: a fixed header followed inline by
+// the full `const Wme*[len]` array in CE order, so `wme_at` is one indexed
+// load and `token_content_equal` is a memcmp — no parent-chain walk on the
+// hash/probe/delete hot paths. Extending a match by one wme still allocates
+// a single (variable-length) node; see BumpArena::make_token, the only way
+// a Token is ever built. The `parent` pointer is preserved for the rr
+// digest path and for tests that cross-check the flat array against the
+// classic chained walk.
+//
 // Two tokens are *content-equal* when their wme pointer sequences agree;
 // parallel delete processing uses content equality because the `-` path
-// rebuilds its own chain objects.
+// rebuilds its own token objects.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "runtime/wme.hpp"
 
@@ -15,26 +23,32 @@ namespace psme {
 
 struct Token {
   const Token* parent = nullptr;  // nullptr for length-1 tokens
-  const Wme* wme = nullptr;
+  const Wme* wme = nullptr;       // last wme (== wmes()[len - 1])
   std::uint32_t len = 1;
 
-  // wme at 0-based position `pos` from the front (CE order).
-  const Wme* wme_at(std::uint32_t pos) const {
-    const Token* t = this;
-    for (std::uint32_t hops = len - 1 - pos; hops > 0; --hops) t = t->parent;
-    return t->wme;
+  // The inline wme array lives immediately after the header; sizeof(Token)
+  // is a multiple of alignof(const Wme*), so `this + 1` is correctly
+  // aligned for it.
+  const Wme* const* wmes() const {
+    return reinterpret_cast<const Wme* const*>(this + 1);
+  }
+  const Wme** wmes_mut() { return reinterpret_cast<const Wme**>(this + 1); }
+
+  // wme at 0-based position `pos` from the front (CE order). O(1).
+  const Wme* wme_at(std::uint32_t pos) const { return wmes()[pos]; }
+
+  static constexpr std::size_t flat_bytes(std::uint32_t len) {
+    return sizeof(Token) + std::size_t{len} * sizeof(const Wme*);
   }
 };
+static_assert(sizeof(Token) % alignof(const Wme*) == 0,
+              "inline wme array must start aligned");
 
 inline bool token_content_equal(const Token* a, const Token* b) {
   if (a == b) return true;
   if (!a || !b || a->len != b->len) return false;
-  while (a) {
-    if (a->wme != b->wme) return false;
-    a = a->parent;
-    b = b->parent;
-  }
-  return true;
+  return std::memcmp(a->wmes(), b->wmes(),
+                     std::size_t{a->len} * sizeof(const Wme*)) == 0;
 }
 
 }  // namespace psme

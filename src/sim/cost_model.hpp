@@ -43,15 +43,22 @@ struct CostModel {
   VTime alpha_test = 3;        // the paper's number
   VTime alpha_emit = 18;       // token copy + destination setup per output
 
-  // Coalesced memory/join nodes.
-  VTime hash_compute = 14;
+  // Coalesced memory/join nodes. The hash charge follows the compiled
+  // key layout (per-node seed + one mix per key slot); the old flat
+  // hash_compute=14 corresponds to a typical two-slot key (6 + 2*4).
+  VTime hash_base = 6;                 // seed load + finalize
+  VTime hash_per_slot = 4;             // one slot read + mix round
   VTime mem_insert = 22;
   VTime mem_delete_base = 16;
   VTime mem_delete_per_examined = 3;   // same-memory search for deletes
   VTime join_probe_base = 12;
   VTime join_per_examined = 3;         // opposite-memory token comparison
                                        // (same order as a constant test)
-  VTime join_per_emission = 22;        // pair token build
+  // Pair token build: fixed header setup plus the flat-token wme-array
+  // copy. The old flat join_per_emission=22 corresponds to a 3-wme token
+  // (16 + 3*2).
+  VTime join_per_emission = 16;
+  VTime emit_per_wme = 2;              // one pointer copy per token wme
   VTime mrsw_enter = 18;               // flag+counter manipulation (lock 1)
   VTime mrsw_modification = 8;         // lock 2 handshake
 
@@ -79,8 +86,9 @@ struct CostModel {
     return root_base + alpha_test * alpha_tests +
            alpha_emit * static_cast<VTime>(emitted);
   }
-  VTime join_update_cost(std::uint32_t same_examined, int sign) const {
-    VTime t = hash_compute;
+  VTime join_update_cost(std::uint32_t same_examined, int sign,
+                         std::uint32_t key_slots) const {
+    VTime t = hash_base + hash_per_slot * key_slots;
     if (sign > 0) {
       t += mem_insert;
     } else {
@@ -88,10 +96,10 @@ struct CostModel {
     }
     return t;
   }
-  VTime join_probe_cost(std::uint32_t opp_examined,
-                        std::uint32_t emissions) const {
+  VTime join_probe_cost(std::uint32_t opp_examined, std::uint32_t emissions,
+                        std::uint32_t emitted_wmes) const {
     return join_probe_base + join_per_examined * opp_examined +
-           join_per_emission * emissions;
+           join_per_emission * emissions + emit_per_wme * emitted_wmes;
   }
 };
 

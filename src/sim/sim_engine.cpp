@@ -45,11 +45,12 @@ VTime SimEngine::update_cost(const match::MemUpdate& up,
                              const match::ActivationCost& ac,
                              std::int8_t sign) const {
   (void)up;
-  return config_.cost.join_update_cost(ac.same_examined, sign);
+  return config_.cost.join_update_cost(ac.same_examined, sign, ac.key_slots);
 }
 
 VTime SimEngine::probe_cost(const match::ActivationCost& ac) const {
-  return config_.cost.join_probe_cost(ac.opp_examined, ac.emissions);
+  return config_.cost.join_probe_cost(ac.opp_examined, ac.emissions,
+                                      ac.emitted_wmes);
 }
 
 SubTask<bool> SimEngine::push_task(SimCpu& cpu, match::Task task,
@@ -377,7 +378,9 @@ SubTask<bool> SimEngine::replay_pop(SimCpu& cpu, match::Task* out,
 SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                                    match::Task task,
                                    std::vector<match::Task>& emit) {
-  const std::uint32_t line = match::line_of(task, *left_table_);
+  // One task_hash per task (the update phase reuses it via the hint).
+  const std::uint64_t hash = match::task_hash(task);
+  const std::uint32_t line = left_table_->line_of(hash);
   const Side side = task.side();
   const int si = side_index(side);
   MatchStats& st = w.stats;
@@ -396,7 +399,7 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                              &st.line_acquisitions[si],
                              st.line_probe_hist[si]);
     match::ActivationCost ac;
-    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
+    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac, &hash);
     co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
     match::ActivationCost ap;
     match::process_join_probe(w.ctx, task, up, emit, &ap);
@@ -437,7 +440,7 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
 
   if (exclusive) {
     match::ActivationCost ac;
-    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
+    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac, &hash);
     co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
     match::ActivationCost ap;
     match::process_join_probe(w.ctx, task, up, emit, &ap);
@@ -451,7 +454,7 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                              &st.line_acquisitions[si],
                              st.line_probe_hist[si]);
     match::ActivationCost ac;
-    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac);
+    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac, &hash);
     co_await sched_->spend(cpu,
                            cm.mrsw_modification + update_cost(up, ac, task.sign));
     // The update is what conflicting opposite-side tasks observe; the

@@ -52,6 +52,115 @@ TEST(BumpArena, SurvivesManyAllocations) {
   EXPECT_EQ(e->neg_count.load(), 0);
 }
 
+// Flat-token layout invariants: the inline wme array and the parent-chain
+// walk must agree at every length, and content equality must behave like
+// an element-wise compare of the arrays.
+TEST(Token, FlatArrayMatchesChainedWalkUpToLength32) {
+  BumpArena arena;
+  std::vector<std::unique_ptr<Wme>> wmes;
+  const Token* t = nullptr;
+  for (std::uint32_t len = 1; len <= 32; ++len) {
+    wmes.push_back(std::make_unique<Wme>());
+    t = arena.make_token(t, wmes.back().get());
+    ASSERT_EQ(t->len, len);
+    EXPECT_EQ(t->wme, wmes.back().get());
+    // The flat array holds the full CE-ordered sequence...
+    for (std::uint32_t i = 0; i < len; ++i)
+      EXPECT_EQ(t->wme_at(i), wmes[i].get());
+    // ...and the classic chained walk (back to front via `parent`)
+    // reproduces it exactly.
+    const Token* p = t;
+    for (std::uint32_t i = len; i-- > 0; p = p->parent) {
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(p->wme, t->wme_at(i));
+      EXPECT_EQ(p->len, i + 1);
+    }
+    EXPECT_EQ(p, nullptr);
+  }
+}
+
+TEST(Token, ContentEqualityAcrossLengths) {
+  BumpArena arena;
+  std::vector<std::unique_ptr<Wme>> wmes;
+  Wme other;
+  const Token* a = nullptr;
+  const Token* b = nullptr;
+  for (std::uint32_t len = 1; len <= 32; ++len) {
+    wmes.push_back(std::make_unique<Wme>());
+    a = arena.make_token(a, wmes.back().get());
+    b = arena.make_token(b, wmes.back().get());
+    EXPECT_TRUE(token_content_equal(a, b)) << "len " << len;
+    // A token differing in exactly one (front) position is unequal.
+    const Token* c = len == 1 ? arena.make_token(nullptr, &other)
+                              : arena.make_token(b->parent, &other);
+    EXPECT_FALSE(token_content_equal(a, c)) << "len " << len;
+    // Lengths differ: the shorter prefix is not equal to the longer.
+    if (len > 1) EXPECT_FALSE(token_content_equal(a, b->parent));
+  }
+}
+
+TEST(BumpArena, RejectsTokenLargerThanBlock) {
+  // Hand-build an absurdly long parent (make_token checks the size before
+  // touching the parent's array, so the array contents never get read).
+  const std::uint32_t huge = 9000;
+  static_assert(Token::flat_bytes(9000) > BumpArena::kMaxAlloc);
+  std::vector<std::byte> raw(Token::flat_bytes(huge));
+  Token* fake = new (raw.data()) Token();
+  fake->len = huge;
+  BumpArena arena;
+  Wme w;
+  EXPECT_THROW(arena.make_token(fake, &w), std::length_error);
+}
+
+TEST(EntryLayout, OneCacheLinePerEntryAndAlignedBuckets) {
+  EXPECT_EQ(sizeof(Entry), 64u);
+  EXPECT_EQ(sizeof(Bucket), 128u);
+  EXPECT_EQ(alignof(Bucket), 64u);
+  // Arena-made entries are cache-line aligned and live.
+  BumpArena arena;
+  for (int i = 0; i < 100; ++i) {
+    Entry* e = arena.make_entry();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(e) % 64, 0u);
+    EXPECT_EQ(e->live, 1);
+  }
+  // Table buckets never share a cache line.
+  HashTokenTable table(8);
+  for (std::uint32_t i = 0; i < table.size(); ++i)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&table.bucket_at(i)) % 64, 0u);
+}
+
+TEST(Bucket, FastSlotThenChainIteration) {
+  Bucket b;
+  EXPECT_EQ(bucket_first(b), nullptr);
+  b.fast.live = 1;
+  EXPECT_EQ(bucket_first(b), &b.fast);
+  EXPECT_EQ(bucket_next(b, &b.fast), nullptr);
+  Entry heap;
+  heap.live = 1;
+  b.head = &heap;
+  EXPECT_EQ(bucket_next(b, &b.fast), &heap);
+  EXPECT_EQ(bucket_next(b, &heap), nullptr);
+  // A freed fast slot drops out of iteration; the chain remains.
+  b.fast.live = 0;
+  EXPECT_EQ(bucket_first(b), &heap);
+}
+
+TEST(HashTokenTable, RoundsBucketCountUpToPowerOfTwo) {
+  // Regression: a non-power-of-two count used to silently mask hashes
+  // onto a subset of buckets.
+  EXPECT_EQ(HashTokenTable(100).size(), 128u);
+  EXPECT_EQ(HashTokenTable(0).size(), 1u);
+  EXPECT_EQ(HashTokenTable(1).size(), 1u);
+  EXPECT_EQ(HashTokenTable(512).size(), 512u);
+  EXPECT_EQ(HashTokenTable(513).size(), 1024u);
+  HashTokenTable t(100);
+  for (std::uint64_t h : {0ull, 99ull, 100ull, 127ull, 128ull,
+                          0xfeedfacecafef00dull}) {
+    EXPECT_LT(t.line_of(h), t.size());
+    EXPECT_EQ(&t.bucket(h), &t.bucket_at(t.line_of(h)));
+  }
+}
+
 TEST(HashTokenTable, LineOfIsStableAndBounded) {
   HashTokenTable table(256);
   EXPECT_EQ(table.size(), 256u);
@@ -71,13 +180,16 @@ TEST(MatchStats, MergeSumsEverything) {
   a.opp_activations[0] = 2;
   a.queue_probes = 7;
   a.queue_acquisitions = 3;
+  a.line_collisions = 4;
   b.node_activations = 1;
   b.opp_examined[0] = 1;
   b.opp_activations[0] = 1;
   b.queue_probes = 2;
   b.queue_acquisitions = 2;
+  b.line_collisions = 2;
   a.merge(b);
   EXPECT_EQ(a.node_activations, 11u);
+  EXPECT_EQ(a.line_collisions, 6u);
   EXPECT_DOUBLE_EQ(a.mean_opp_examined(Side::Left), 2.0);
   EXPECT_DOUBLE_EQ(a.queue_contention(), 9.0 / 5.0);
 }

@@ -1,0 +1,60 @@
+// Digest stability across token-layout changes: psme.replay.v1 logs
+// recorded on the *old* parent-chained token layout must replay with zero
+// divergence on the current flat-token layout. The rr digests hash wme
+// timetags front-to-back through Token::wme_at (rr/digest.cpp), so they
+// depend only on the wme sequence a token denotes — never on how the
+// token is represented in memory.
+//
+// The fixtures under tests/data/ were recorded by the pre-flat-token
+// binary (tourney workload; one threads/steal/mrsw run, one sim run) and
+// are deliberately never re-recorded.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rr/harness.hpp"
+#include "rr/log.hpp"
+
+namespace psme::rr {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+ReplayLog load_fixture(const char* name) {
+  const std::string path =
+      std::string(PSME_SOURCE_DIR) + "/tests/data/" + name;
+  ReplayLog log;
+  std::string error;
+  EXPECT_TRUE(ReplayLog::deserialize(read_file(path), &log, &error))
+      << error;
+  return log;
+}
+
+void expect_replays_clean(const ReplayLog& log) {
+  const ReplayOutcome out = replay_run(log);
+  EXPECT_TRUE(out.report.ok()) << out.report.detail;
+  EXPECT_FALSE(out.report.digest_diverged);
+  EXPECT_FALSE(out.report.schedule_diverged);
+  EXPECT_FALSE(out.report.trace_diverged);
+  EXPECT_EQ(out.report.cycles_checked, log.cycles.size());
+  EXPECT_EQ(out.report.pops_matched, log.pop_count());
+}
+
+TEST(RrLayoutStability, OldLayoutThreadsLogReplaysOnFlatTokens) {
+  expect_replays_clean(load_fixture("rr_seed_layout_threads.json"));
+}
+
+TEST(RrLayoutStability, OldLayoutSimLogReplaysOnFlatTokens) {
+  expect_replays_clean(load_fixture("rr_seed_layout_sim.json"));
+}
+
+}  // namespace
+}  // namespace psme::rr

@@ -168,11 +168,14 @@ TEST(Server, PerSessionRequestsExecuteInSubmissionOrder) {
 
 TEST(Server, BackpressureShedsOnQueueOverflow) {
   const auto program = ops5::Program::from_source(kTicker);
-  // One worker and a tiny queue, flooded with slow requests.
+  // One worker and a tiny queue. A slow head request pins the worker so
+  // the following flood must overflow the queue (without it, a fast
+  // worker can race the submitting thread and drain every request).
   Server server({.workers = 1, .queue_capacity = 2});
   const SessionId id = server.open_session(program, {});
   ASSERT_TRUE(server.call(id, "make (c ^n 0)").ok);
 
+  auto slow = server.submit(id, "run 2000");
   std::vector<std::future<Response>> futures;
   for (int i = 0; i < 40; ++i) futures.push_back(server.submit(id, "run 50"));
   std::uint64_t ok_count = 0, shed = 0;
@@ -185,12 +188,12 @@ TEST(Server, BackpressureShedsOnQueueOverflow) {
       ++shed;
     }
   }
+  ASSERT_TRUE(slow.get().ok);
   EXPECT_EQ(ok_count + shed, 40u);
-  EXPECT_GT(shed, 0u);  // 40 deep into a capacity-2 queue must shed
-  EXPECT_GT(ok_count, 0u);
+  EXPECT_GT(shed, 0u);  // 40 deep into a busy capacity-2 queue must shed
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.shed_overload, shed);
-  EXPECT_EQ(stats.completed, ok_count);
+  EXPECT_EQ(stats.completed, ok_count + 1);  // + the slow head request
 }
 
 TEST(Server, ExpiredDeadlinesAreShedInQueue) {

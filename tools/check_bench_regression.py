@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate the micro_match token-depth sweep against a committed baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
+
+Both files are psme.bench.v1 dumps from `micro_match --sweep --json FILE`.
+Rows are matched by `depth`; the check fails if any depth's ns_per_task
+exceeds baseline * (1 + tolerance). Depths present in only one file are
+reported but do not fail the gate (sweep shapes may grow over time).
+
+The default tolerance is 0.10 (the CI gate: >10% regression fails);
+override with --tolerance or the PSME_BENCH_TOLERANCE env var. The
+committed BENCH_kernel_seed.json baseline was recorded on the
+pre-flat-token layout, so staying under it also proves the layout work
+never regresses past the old kernel.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "psme.bench.v1":
+        sys.exit(f"{path}: not a psme.bench.v1 file")
+    rows = {}
+    for row in doc.get("results", []):
+        if "depth" in row and "ns_per_task" in row:
+            rows[int(row["depth"])] = float(row["ns_per_task"])
+    if not rows:
+        sys.exit(f"{path}: no token-depth rows")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PSME_BENCH_TOLERANCE", "0.10")),
+        help="allowed fractional slowdown vs baseline (default 0.10)",
+    )
+    args = ap.parse_args()
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    failed = False
+    print(f"{'depth':>6} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for depth in sorted(set(current) | set(baseline)):
+        if depth not in baseline:
+            print(f"{depth:>6} {'-':>12} {current[depth]:>12.1f}    (new)")
+            continue
+        if depth not in current:
+            print(f"{depth:>6} {baseline[depth]:>12.1f} {'-':>12}    (dropped)")
+            continue
+        ratio = current[depth] / baseline[depth] if baseline[depth] else 0.0
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            flag = "  REGRESSION"
+            failed = True
+        print(
+            f"{depth:>6} {baseline[depth]:>12.1f} {current[depth]:>12.1f} "
+            f"{ratio:>8.3f}{flag}"
+        )
+    if failed:
+        print(
+            f"FAIL: ns/task regressed more than "
+            f"{args.tolerance:.0%} vs {args.baseline}"
+        )
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

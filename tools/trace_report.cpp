@@ -98,13 +98,15 @@ struct Log2Hist {
   }
 };
 
-// Flattens a psme.metrics.v1 dump into name -> scalar (counter/gauge value).
+// Flattens a psme.metrics.v1 dump into name -> scalar: counter/gauge
+// values, and the mean for histograms.
 std::map<std::string, double> metric_values(const Json& dump) {
   std::map<std::string, double> out;
   const Json* metrics = dump.find("metrics");
   if (!metrics || !metrics->is_array()) usage("metrics file: no metrics[]");
   for (const Json& m : metrics->as_array()) {
     const Json* value = m.find("value");
+    if (!value) value = m.find("mean");
     if (value && value->is_number())
       out[m.at("name").as_string()] = value->as_double();
   }
@@ -227,6 +229,25 @@ int main(int argc, char** argv) {
     if (it == mv.end()) usage(("metrics file lacks " + std::string(name)).c_str());
     return it->second;
   };
+
+  // Memory-layout health: how well the compiled join-key hash spreads
+  // (node, key) pairs over the lines, and how many cache lines a bucket
+  // scan touches (1.0 = every scan hit only the inline fast slot).
+  {
+    const auto coll = mv.find("psme.match.line_collisions");
+    const auto tasks = mv.find("psme.match.tasks_executed");
+    const auto chain = mv.find("psme.match.bucket_chain_len");
+    if (coll != mv.end()) {
+      std::printf("\nmemory layout:\n");
+      std::printf("  line collisions  %12.0f", coll->second);
+      if (tasks != mv.end() && tasks->second > 0)
+        std::printf("  (%.3f per task)", coll->second / tasks->second);
+      std::printf("\n");
+      if (chain != mv.end())
+        std::printf("  bucket chain len %12.2f  (mean entries walked per "
+                    "scan)\n", chain->second);
+    }
+  }
 
   std::printf("\ncross-check against %s:\n", metrics_path.c_str());
   bool ok = true;
