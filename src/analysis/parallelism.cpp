@@ -28,6 +28,7 @@ class ProfilingEngine : public EngineBase {
     ctx_.conflict_set = &cs_;
     ctx_.arena = &arena_;
     ctx_.stats = &stats_.match;
+    if (options.match_vm) ctx_.code = &network_->code();
   }
 
   ParallelismProfile take_profile() {
@@ -63,7 +64,9 @@ class ProfilingEngine : public EngineBase {
       switch (cur.task.kind) {
         case match::TaskKind::Root:
           match::process_root(ctx_, *network_, cur.task, emit, &ac);
-          cost += cost_.root_cost(ac.alpha_tests, emit.size());
+          cost += ac.vm_used ? cost_.root_cost_vm(ac.vm_loads, ac.vm_tests,
+                                                  ac.vm_branches, emit.size())
+                             : cost_.root_cost(ac.alpha_tests, emit.size());
           break;
         case match::TaskKind::Terminal:
           match::process_terminal(ctx_, cur.task, &ac);
@@ -75,9 +78,13 @@ class ProfilingEngine : public EngineBase {
               match::process_join_update(ctx_, cur.task, &ac);
           match::process_join_probe(ctx_, cur.task, up, emit, &ac);
           cost += cost_.join_update_cost(ac.same_examined, cur.task.sign,
-                                         ac.key_slots) +
-                  cost_.join_probe_cost(ac.opp_examined, ac.emissions,
-                                        ac.emitted_wmes);
+                                         ac.key_slots);
+          cost += ac.vm_used
+                      ? cost_.join_probe_cost_vm(ac.opp_examined, ac.vm_loads,
+                                                 ac.vm_tests, ac.vm_branches,
+                                                 ac.emissions, ac.emitted_wmes)
+                      : cost_.join_probe_cost(ac.opp_examined, ac.emissions,
+                                              ac.emitted_wmes);
           break;
         }
       }

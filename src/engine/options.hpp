@@ -45,6 +45,12 @@ struct EngineOptions {
   // Token hash tables: number of buckets per side (power of two).
   std::uint32_t hash_buckets = 512;
 
+  // Execute the compiled alpha/beta test programs on the register bytecode
+  // VM (rete/bytecode.hpp, docs/join-bytecode.md). Off falls back to the
+  // interpreted per-test walk; kept for A/B comparison
+  // (bench/micro_match --sweep --no-vm, see EXPERIMENTS.md).
+  bool match_vm = true;
+
   std::uint64_t max_cycles = 1'000'000;
 
   // Sink for the `write` RHS action; nullptr discards output.

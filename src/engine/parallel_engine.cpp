@@ -130,6 +130,7 @@ void ParallelEngine::worker_main(int index) {
   ctx.conflict_set = &cs_;
   ctx.arena = &w.arena;
   ctx.stats = &w.stats;
+  if (options_.match_vm) ctx.code = &network_->code();
 
   std::vector<match::Task> emit_buf;
   const unsigned ep = static_cast<unsigned>(index);

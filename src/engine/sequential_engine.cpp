@@ -22,6 +22,7 @@ SequentialEngine::SequentialEngine(const ops5::Program& program,
   ctx_.conflict_set = &cs_;
   ctx_.arena = &arena_;
   ctx_.stats = &stats_.match;
+  if (options_.match_vm) ctx_.code = &network_->code();
 }
 
 void SequentialEngine::submit_change(const Wme* wme, std::int8_t sign) {

@@ -44,6 +44,9 @@ struct MatchContext {
   // Per-worker.
   BumpArena* arena = nullptr;
   MatchStats* stats = nullptr;
+  // Compiled test programs (Network::code()); null runs the interpreted
+  // test walk instead (EngineOptions::match_vm off, hand-built networks).
+  const rete::CodeStore* code = nullptr;
 };
 
 // Cost facts of one activation, fed to the simulator's cost model.
@@ -55,6 +58,13 @@ struct ActivationCost {
   std::uint32_t key_slots = 0;     // compiled key slots read by the hash
   std::uint32_t emitted_wmes = 0;  // total flat-token wmes copied on emits
   bool hash_computed = false;
+  // Bytecode ops executed when the activation ran compiled programs
+  // (vm_used); the simulator then charges per op instead of per
+  // interpreted test (CostModel::vm_cost).
+  std::uint32_t vm_loads = 0;
+  std::uint32_t vm_tests = 0;
+  std::uint32_t vm_branches = 0;
+  bool vm_used = false;
 };
 
 // (node, equality-key) hash for a Join task, read through the join's

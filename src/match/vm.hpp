@@ -1,0 +1,195 @@
+// Threaded-code interpreter for the compiled test programs
+// (rete/bytecode.hpp, docs/join-bytecode.md).
+//
+// One vm_run executes one program — an alpha program against a candidate
+// wme, or a join program against a (token, wme) candidate pair — and
+// returns pass/fail. Dispatch is threaded code: with GCC/Clang each
+// handler jumps directly to the next instruction's handler through a
+// labels-as-values table (no per-iteration loop/switch re-dispatch); other
+// compilers fall back to a switch loop with identical semantics. Tests
+// fail fast: the first failing test returns without touching the rest of
+// the program.
+//
+// The op counters feed the `psme.vm.*` metrics and the simulator's
+// per-bytecode-op cost charges (sim/cost_model.hpp).
+#pragma once
+
+#include "ops5/ast.hpp"
+#include "rete/bytecode.hpp"
+#include "runtime/token.hpp"
+
+namespace psme::match {
+
+struct VmCounts {
+  std::uint32_t loads = 0;     // lw / lt
+  std::uint32_t tests = 0;     // teq..tsamec, tmem
+  std::uint32_t branches = 0;  // jmp / pass / fail
+};
+
+#if defined(__GNUC__) && !defined(PSME_VM_NO_COMPUTED_GOTO)
+#define PSME_VM_THREADED 1
+#endif
+
+// `wme_fields` is the candidate wme's slot array; `tok` is the left token
+// for join programs (never read by alpha programs, may be null there).
+inline bool vm_run(const rete::CodeStore& cs, std::uint32_t entry,
+                   const Value* wme_fields, const Token* tok, VmCounts& vc) {
+  using rete::Insn;
+  using rete::Op;
+  const Insn* code = cs.insns();
+  const Value* pool = cs.pool();
+  const Insn* pc = code + entry;
+  // Registers hold pointers into the wme field arrays, not Value copies:
+  // a load is one address computation, the array needs no construction,
+  // and single-use operands pay nothing beyond the indexed read the
+  // interpreted walk would do. Fields are immutable for the duration of
+  // a program, so the pointers stay valid.
+  const Value* regs[rete::kNumRegs];
+  Insn in;
+
+// Handler bodies, shared by both dispatch flavors. Reg-reg tests read
+// r[a] OP r[b]; const tests read r[a] OP pool[c] (eval_pred inlines and
+// the constant PredOp folds the switch away).
+#define PSME_VM_LOAD_WME() \
+  { regs[in.a] = &wme_fields[in.b]; ++vc.loads; }
+#define PSME_VM_LOAD_TOK() \
+  { regs[in.a] = &tok->wme_at(in.c)->field(in.b); ++vc.loads; }
+#define PSME_VM_TEST2(PRED)                                              \
+  {                                                                      \
+    ++vc.tests;                                                          \
+    if (!ops5::eval_pred(ops5::PredOp::PRED, *regs[in.a], *regs[in.b]))  \
+      return false;                                                      \
+  }
+#define PSME_VM_TESTC(PRED)                                              \
+  {                                                                      \
+    ++vc.tests;                                                          \
+    if (!ops5::eval_pred(ops5::PredOp::PRED, *regs[in.a], pool[in.c]))   \
+      return false;                                                      \
+  }
+#define PSME_VM_MEMBER()                              \
+  {                                                   \
+    ++vc.tests;                                       \
+    bool hit = false;                                 \
+    for (std::uint16_t i = 0; i < in.b; ++i) {        \
+      if (*regs[in.a] == pool[in.c + i]) {            \
+        hit = true;                                   \
+        break;                                        \
+      }                                               \
+    }                                                 \
+    if (!hit) return false;                           \
+  }
+
+#ifdef PSME_VM_THREADED
+  // Label order must match the Op enum (rete/bytecode.hpp).
+  static const void* kDispatch[rete::kNumOps] = {
+      &&op_lw,   &&op_lt,   &&op_teq,  &&op_tne,    &&op_tlt,
+      &&op_tle,  &&op_tgt,  &&op_tge,  &&op_tsame,  &&op_teqc,
+      &&op_tnec, &&op_tltc, &&op_tlec, &&op_tgtc,   &&op_tgec,
+      &&op_tsamec, &&op_tmem, &&op_jmp, &&op_pass,  &&op_fail,
+  };
+#define PSME_VM_NEXT()                               \
+  do {                                               \
+    in = *pc++;                                      \
+    goto* kDispatch[static_cast<int>(in.op)];        \
+  } while (0)
+  PSME_VM_NEXT();
+op_lw:
+  PSME_VM_LOAD_WME();
+  PSME_VM_NEXT();
+op_lt:
+  PSME_VM_LOAD_TOK();
+  PSME_VM_NEXT();
+op_teq:
+  PSME_VM_TEST2(Eq);
+  PSME_VM_NEXT();
+op_tne:
+  PSME_VM_TEST2(Ne);
+  PSME_VM_NEXT();
+op_tlt:
+  PSME_VM_TEST2(Lt);
+  PSME_VM_NEXT();
+op_tle:
+  PSME_VM_TEST2(Le);
+  PSME_VM_NEXT();
+op_tgt:
+  PSME_VM_TEST2(Gt);
+  PSME_VM_NEXT();
+op_tge:
+  PSME_VM_TEST2(Ge);
+  PSME_VM_NEXT();
+op_tsame:
+  PSME_VM_TEST2(SameType);
+  PSME_VM_NEXT();
+op_teqc:
+  PSME_VM_TESTC(Eq);
+  PSME_VM_NEXT();
+op_tnec:
+  PSME_VM_TESTC(Ne);
+  PSME_VM_NEXT();
+op_tltc:
+  PSME_VM_TESTC(Lt);
+  PSME_VM_NEXT();
+op_tlec:
+  PSME_VM_TESTC(Le);
+  PSME_VM_NEXT();
+op_tgtc:
+  PSME_VM_TESTC(Gt);
+  PSME_VM_NEXT();
+op_tgec:
+  PSME_VM_TESTC(Ge);
+  PSME_VM_NEXT();
+op_tsamec:
+  PSME_VM_TESTC(SameType);
+  PSME_VM_NEXT();
+op_tmem:
+  PSME_VM_MEMBER();
+  PSME_VM_NEXT();
+op_jmp:
+  ++vc.branches;
+  pc = code + in.c;
+  PSME_VM_NEXT();
+op_pass:
+  ++vc.branches;
+  return true;
+op_fail:
+  ++vc.branches;
+  return false;
+#undef PSME_VM_NEXT
+#else   // !PSME_VM_THREADED — switch-loop fallback, identical semantics.
+  for (;;) {
+    in = *pc++;
+    switch (in.op) {
+      case Op::LoadWme: PSME_VM_LOAD_WME(); break;
+      case Op::LoadTok: PSME_VM_LOAD_TOK(); break;
+      case Op::TestEq: PSME_VM_TEST2(Eq); break;
+      case Op::TestNe: PSME_VM_TEST2(Ne); break;
+      case Op::TestLt: PSME_VM_TEST2(Lt); break;
+      case Op::TestLe: PSME_VM_TEST2(Le); break;
+      case Op::TestGt: PSME_VM_TEST2(Gt); break;
+      case Op::TestGe: PSME_VM_TEST2(Ge); break;
+      case Op::TestSame: PSME_VM_TEST2(SameType); break;
+      case Op::TestEqC: PSME_VM_TESTC(Eq); break;
+      case Op::TestNeC: PSME_VM_TESTC(Ne); break;
+      case Op::TestLtC: PSME_VM_TESTC(Lt); break;
+      case Op::TestLeC: PSME_VM_TESTC(Le); break;
+      case Op::TestGtC: PSME_VM_TESTC(Gt); break;
+      case Op::TestGeC: PSME_VM_TESTC(Ge); break;
+      case Op::TestSameC: PSME_VM_TESTC(SameType); break;
+      case Op::TestMember: PSME_VM_MEMBER(); break;
+      case Op::Jump:
+        ++vc.branches;
+        pc = code + in.c;
+        break;
+      case Op::Pass: ++vc.branches; return true;
+      case Op::Fail: ++vc.branches; return false;
+    }
+  }
+#endif  // PSME_VM_THREADED
+#undef PSME_VM_LOAD_WME
+#undef PSME_VM_LOAD_TOK
+#undef PSME_VM_TEST2
+#undef PSME_VM_TESTC
+#undef PSME_VM_MEMBER
+}
+
+}  // namespace psme::match

@@ -1,0 +1,472 @@
+#include "rete/bytecode.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+#include "common/symbol_table.hpp"
+#include "ops5/program.hpp"
+#include "rete/network.hpp"
+
+namespace psme::rete {
+namespace {
+
+using ops5::PredOp;
+
+Op const_test_op(PredOp op) {
+  switch (op) {
+    case PredOp::Eq: return Op::TestEqC;
+    case PredOp::Ne: return Op::TestNeC;
+    case PredOp::Lt: return Op::TestLtC;
+    case PredOp::Le: return Op::TestLeC;
+    case PredOp::Gt: return Op::TestGtC;
+    case PredOp::Ge: return Op::TestGeC;
+    case PredOp::SameType: return Op::TestSameC;
+  }
+  return Op::Fail;
+}
+
+Op reg_test_op(PredOp op) {
+  switch (op) {
+    case PredOp::Eq: return Op::TestEq;
+    case PredOp::Ne: return Op::TestNe;
+    case PredOp::Lt: return Op::TestLt;
+    case PredOp::Le: return Op::TestLe;
+    case PredOp::Gt: return Op::TestGt;
+    case PredOp::Ge: return Op::TestGe;
+    case PredOp::SameType: return Op::TestSame;
+  }
+  return Op::Fail;
+}
+
+// A value source: wme field or token field. The register allocator CSEs
+// identical sources into one register.
+struct Operand {
+  bool from_token = false;
+  std::uint8_t tok_pos = 0;
+  std::uint16_t slot = 0;
+  friend bool operator<(const Operand& x, const Operand& y) {
+    return std::tie(x.from_token, x.tok_pos, x.slot) <
+           std::tie(y.from_token, y.tok_pos, y.slot);
+  }
+};
+
+Insn load_insn(const Operand& o, std::uint8_t reg) {
+  if (o.from_token) return Insn{Op::LoadTok, reg, o.slot, o.tok_pos};
+  return Insn{Op::LoadWme, reg, o.slot, 0};
+}
+
+// Per-program register allocation: the first kPinnedRegs distinct operands
+// get pinned registers, loaded lazily at first use; overflow operands are
+// reloaded into a scratch register before every use (left-hand operands
+// into r6, right-hand into r7), so register pressure degrades to extra
+// loads instead of failing.
+class RegAlloc {
+ public:
+  std::uint8_t get(const Operand& o, std::uint8_t scratch,
+                   std::vector<Insn>* code) {
+    auto it = pinned_.find(o);
+    if (it != pinned_.end()) {
+      if (!it->second.loaded) {
+        code->push_back(load_insn(o, it->second.reg));
+        it->second.loaded = true;
+      }
+      return it->second.reg;
+    }
+    if (pinned_.size() < kPinnedRegs) {
+      const auto reg = static_cast<std::uint8_t>(pinned_.size());
+      pinned_.emplace(o, Pin{reg, true});
+      code->push_back(load_insn(o, reg));
+      return reg;
+    }
+    code->push_back(load_insn(o, scratch));
+    return scratch;
+  }
+
+ private:
+  struct Pin {
+    std::uint8_t reg;
+    bool loaded;
+  };
+  std::map<Operand, Pin> pinned_;
+};
+
+constexpr std::uint8_t kScratchLhs = 6;
+constexpr std::uint8_t kScratchRhs = 7;
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::LoadWme: return "lw";
+    case Op::LoadTok: return "lt";
+    case Op::TestEq: return "teq";
+    case Op::TestNe: return "tne";
+    case Op::TestLt: return "tlt";
+    case Op::TestLe: return "tle";
+    case Op::TestGt: return "tgt";
+    case Op::TestGe: return "tge";
+    case Op::TestSame: return "tsame";
+    case Op::TestEqC: return "teqc";
+    case Op::TestNeC: return "tnec";
+    case Op::TestLtC: return "tltc";
+    case Op::TestLeC: return "tlec";
+    case Op::TestGtC: return "tgtc";
+    case Op::TestGeC: return "tgec";
+    case Op::TestSameC: return "tsamec";
+    case Op::TestMember: return "tmem";
+    case Op::Jump: return "jmp";
+    case Op::Pass: return "pass";
+    case Op::Fail: return "fail";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+
+FoldedAlpha fold_alpha_tests(const std::vector<AlphaTest>& tests) {
+  FoldedAlpha out;
+  for (const AlphaTest& orig : tests) {
+    AlphaTest t = orig;
+    if (t.kind == AlphaTestKind::Disjunction) {
+      // Dedup disjuncts (OPS5 equality), preserving order.
+      std::vector<Value> uniq;
+      for (const Value& v : t.disjuncts) {
+        bool seen = false;
+        for (const Value& u : uniq)
+          if (u == v) {
+            seen = true;
+            break;
+          }
+        if (!seen) uniq.push_back(v);
+      }
+      if (uniq.empty()) {  // `<< >>` matches nothing
+        out.always_false = true;
+        break;
+      }
+      if (uniq.size() == 1) {  // single-arm disjunction is a constant test
+        AlphaTest c;
+        c.kind = AlphaTestKind::ConstPred;
+        c.slot = t.slot;
+        c.op = ops5::PredOp::Eq;
+        c.constant = uniq[0];
+        t = std::move(c);
+        out.folded += 1;
+      } else {
+        t.disjuncts = std::move(uniq);
+      }
+    }
+    if (t.kind == AlphaTestKind::SlotPred && t.slot == t.other_slot) {
+      // A field compared against itself. Eq / SameType always hold; Ne,
+      // Lt, Gt never hold. Le / Ge reduce to "is a number" (the ordering
+      // predicates are only satisfiable between numbers) and are kept.
+      if (t.op == ops5::PredOp::Eq || t.op == ops5::PredOp::SameType) {
+        out.folded += 1;
+        continue;
+      }
+      if (t.op == ops5::PredOp::Ne || t.op == ops5::PredOp::Lt ||
+          t.op == ops5::PredOp::Gt) {
+        out.always_false = true;
+        break;
+      }
+    }
+    // Drop exact duplicates.
+    bool dup = false;
+    for (const AlphaTest& prev : out.tests)
+      if (prev == t) {
+        dup = true;
+        break;
+      }
+    if (dup) {
+      out.folded += 1;
+      continue;
+    }
+    // Two equality constant tests on one slot demanding different values
+    // can never both hold (OPS5 `==` is transitive across value kinds).
+    if (t.kind == AlphaTestKind::ConstPred && t.op == ops5::PredOp::Eq) {
+      for (const AlphaTest& prev : out.tests) {
+        if (prev.kind == AlphaTestKind::ConstPred &&
+            prev.op == ops5::PredOp::Eq && prev.slot == t.slot &&
+            !(prev.constant == t.constant)) {
+          out.always_false = true;
+          break;
+        }
+      }
+      if (out.always_false) break;
+    }
+    out.tests.push_back(std::move(t));
+  }
+  if (out.always_false) out.tests.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+std::uint32_t Encoder::intern(const Value& v) {
+  auto it = const_ix_.find(v);
+  if (it != const_ix_.end()) return it->second;
+  const auto ix = static_cast<std::uint32_t>(out_->pool_.size());
+  out_->pool_.push_back(v);
+  const_ix_.emplace(v, ix);
+  return ix;
+}
+
+std::uint32_t Encoder::intern_span(const std::vector<Value>& vs) {
+  auto it = span_ix_.find(vs);
+  if (it != span_ix_.end()) return it->second;
+  const auto ix = static_cast<std::uint32_t>(out_->pool_.size());
+  out_->pool_.insert(out_->pool_.end(), vs.begin(), vs.end());
+  span_ix_.emplace(vs, ix);
+  return ix;
+}
+
+std::uint32_t Encoder::emit(std::vector<Insn> prog) {
+  assert(!prog.empty());
+  out_->stats_.programs += 1;
+  out_->stats_.insns_encoded += static_cast<std::uint32_t>(prog.size());
+  const std::size_t n = prog.size();
+
+  // Longest already-emitted suffix. A 1-instruction suffix is never shared
+  // (the jmp would cost as much as the instruction it replaces).
+  std::size_t share_len = 0;
+  std::uint32_t share_pc = 0;
+  for (std::size_t len = n; len >= 2; --len) {
+    const std::vector<Insn> suffix(prog.end() - static_cast<long>(len),
+                                   prog.end());
+    auto it = suffix_pcs_.find(suffix);
+    if (it != suffix_pcs_.end()) {
+      share_len = len;
+      share_pc = it->second;
+      break;
+    }
+  }
+  if (share_len == n) {  // whole program already emitted
+    out_->stats_.insns_shared += static_cast<std::uint32_t>(n);
+    return share_pc;
+  }
+
+  const auto entry = static_cast<std::uint32_t>(out_->code_.size());
+  const std::size_t prefix = n - share_len;
+  for (std::size_t i = 0; i < prefix; ++i) out_->code_.push_back(prog[i]);
+  if (share_len > 0) {
+    out_->code_.push_back(Insn{Op::Jump, 0, 0, share_pc});
+    out_->stats_.insns_shared += static_cast<std::uint32_t>(share_len - 1);
+  }
+  // Register every logical suffix beginning in the emitted prefix: running
+  // from entry+j (possibly through the trailing jmp) is equivalent to the
+  // logical program suffix starting at j.
+  for (std::size_t j = 0; j < prefix; ++j) {
+    suffix_pcs_.emplace(
+        std::vector<Insn>(prog.begin() + static_cast<long>(j), prog.end()),
+        entry + static_cast<std::uint32_t>(j));
+  }
+  return entry;
+}
+
+std::uint32_t Encoder::encode_alpha(const std::vector<AlphaTest>& tests) {
+  FoldedAlpha f = fold_alpha_tests(tests);
+  out_->stats_.tests_folded += f.folded;
+  std::vector<Insn> prog;
+  if (f.always_false) {
+    prog.push_back(Insn{Op::Fail, 0, 0, 0});
+    return emit(std::move(prog));
+  }
+  RegAlloc regs;
+  for (const AlphaTest& t : f.tests) {
+    switch (t.kind) {
+      case AlphaTestKind::ConstPred: {
+        const std::uint8_t r =
+            regs.get(Operand{false, 0, t.slot}, kScratchLhs, &prog);
+        prog.push_back(Insn{const_test_op(t.op), r, 0, intern(t.constant)});
+        break;
+      }
+      case AlphaTestKind::SlotPred: {
+        const std::uint8_t ra =
+            regs.get(Operand{false, 0, t.slot}, kScratchLhs, &prog);
+        const std::uint8_t rb =
+            regs.get(Operand{false, 0, t.other_slot}, kScratchRhs, &prog);
+        prog.push_back(Insn{reg_test_op(t.op), ra, rb, 0});
+        break;
+      }
+      case AlphaTestKind::Disjunction: {
+        const std::uint8_t r =
+            regs.get(Operand{false, 0, t.slot}, kScratchLhs, &prog);
+        prog.push_back(Insn{Op::TestMember, r,
+                            static_cast<std::uint16_t>(t.disjuncts.size()),
+                            intern_span(t.disjuncts)});
+        break;
+      }
+    }
+  }
+  prog.push_back(Insn{Op::Pass, 0, 0, 0});
+  return emit(std::move(prog));
+}
+
+std::uint32_t Encoder::encode_join(const std::vector<EqTest>& eq_tests,
+                                   const std::vector<BetaPred>& preds) {
+  // Fold: drop exact duplicates, and equality predicates that repeat an
+  // EqTest (already enforced by the hashed probe's key).
+  std::vector<EqTest> eqs;
+  for (const EqTest& e : eq_tests) {
+    bool dup = false;
+    for (const EqTest& prev : eqs)
+      if (prev == e) {
+        dup = true;
+        break;
+      }
+    if (dup) {
+      out_->stats_.tests_folded += 1;
+      continue;
+    }
+    eqs.push_back(e);
+  }
+  std::vector<BetaPred> ps;
+  for (const BetaPred& p : preds) {
+    bool dup = false;
+    for (const BetaPred& prev : ps)
+      if (prev == p) {
+        dup = true;
+        break;
+      }
+    if (!dup && p.op == ops5::PredOp::Eq) {
+      for (const EqTest& e : eqs)
+        if (e.tok_pos == p.tok_pos && e.tok_slot == p.tok_slot &&
+            e.wme_slot == p.wme_slot) {
+          dup = true;
+          break;
+        }
+    }
+    if (dup) {
+      out_->stats_.tests_folded += 1;
+      continue;
+    }
+    ps.push_back(p);
+  }
+
+  std::vector<Insn> prog;
+  RegAlloc regs;
+  for (const EqTest& e : eqs) {
+    const std::uint8_t ra =
+        regs.get(Operand{true, e.tok_pos, e.tok_slot}, kScratchLhs, &prog);
+    const std::uint8_t rb =
+        regs.get(Operand{false, 0, e.wme_slot}, kScratchRhs, &prog);
+    prog.push_back(Insn{Op::TestEq, ra, rb, 0});
+  }
+  for (const BetaPred& p : ps) {
+    // Kernel semantics: wme.field[wme_slot] OP token[pos].field[tok_slot].
+    const std::uint8_t ra =
+        regs.get(Operand{false, 0, p.wme_slot}, kScratchLhs, &prog);
+    const std::uint8_t rb =
+        regs.get(Operand{true, p.tok_pos, p.tok_slot}, kScratchRhs, &prog);
+    prog.push_back(Insn{reg_test_op(p.op), ra, rb, 0});
+  }
+  prog.push_back(Insn{Op::Pass, 0, 0, 0});
+  return emit(std::move(prog));
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+
+namespace {
+
+const ops5::ClassInfo* class_info(const ops5::Program& program, SymbolId cls) {
+  for (const ops5::ClassInfo& ci : program.classes())
+    if (ci.cls == cls) return &ci;
+  return nullptr;
+}
+
+std::string pool_value(const CodeStore& cs, std::uint32_t ix) {
+  return to_string(cs.pool()[ix]);
+}
+
+// Renders the wme-slot operand of a load: `^attr` when a class layout is
+// in scope (alpha programs), `wme[slot]` otherwise (join programs).
+std::string wme_slot_name(std::uint16_t slot, const ops5::ClassInfo* info) {
+  if (info && slot < info->slot_attrs.size())
+    return "^" + symbol_name(info->slot_attrs[slot]);
+  return "wme[" + std::to_string(slot) + "]";
+}
+
+// One listing: from `entry` to the first pass/fail/jmp (every program and
+// every shared suffix ends in one).
+void print_listing(std::ostringstream& os, const CodeStore& cs,
+                   std::uint32_t entry, const ops5::ClassInfo* info) {
+  for (std::uint32_t pc = entry;; ++pc) {
+    const Insn in = cs.insns()[pc];
+    os << "  " << std::setw(4) << pc << ": " << std::left << std::setw(7)
+       << op_name(in.op) << std::right;
+    switch (in.op) {
+      case Op::LoadWme:
+        os << "r" << int(in.a) << ", " << wme_slot_name(in.b, info);
+        break;
+      case Op::LoadTok:
+        os << "r" << int(in.a) << ", tok[" << in.c << "][" << in.b << "]";
+        break;
+      case Op::TestEq:
+      case Op::TestNe:
+      case Op::TestLt:
+      case Op::TestLe:
+      case Op::TestGt:
+      case Op::TestGe:
+      case Op::TestSame:
+        os << "r" << int(in.a) << ", r" << in.b;
+        break;
+      case Op::TestEqC:
+      case Op::TestNeC:
+      case Op::TestLtC:
+      case Op::TestLeC:
+      case Op::TestGtC:
+      case Op::TestGeC:
+      case Op::TestSameC:
+        os << "r" << int(in.a) << ", " << pool_value(cs, in.c);
+        break;
+      case Op::TestMember: {
+        os << "r" << int(in.a) << ", << ";
+        for (std::uint16_t i = 0; i < in.b; ++i)
+          os << pool_value(cs, in.c + i) << " ";
+        os << ">>";
+        break;
+      }
+      case Op::Jump:
+        os << "@" << in.c;
+        break;
+      case Op::Pass:
+      case Op::Fail:
+        break;
+    }
+    os << "\n";
+    if (in.op == Op::Jump || in.op == Op::Pass || in.op == Op::Fail) return;
+  }
+}
+
+}  // namespace
+
+std::string disassemble_network(const Network& net,
+                                const ops5::Program& program) {
+  const CodeStore& cs = net.code();
+  const CodeStats& st = cs.stats();
+  std::ostringstream os;
+  os << "=== join bytecode ===\n"
+     << "programs: " << st.programs << "  insns: " << st.insns_encoded
+     << " encoded, " << cs.size() << " emitted (" << st.insns_shared
+     << " shared)  pool: " << cs.pool_size() << " values  folded tests: "
+     << st.tests_folded << "\n";
+  for (const auto& a : net.alphas()) {
+    os << "alpha#" << a->id << " (" << symbol_name(a->cls) << ") @"
+       << a->vm_entry << "\n";
+    if (a->vm_entry != kNoProgram)
+      print_listing(os, cs, a->vm_entry, class_info(program, a->cls));
+  }
+  for (const auto& j : net.joins()) {
+    os << "join#" << j->id
+       << (j->kind == JoinKind::Negative ? " (negative)" : "") << " @"
+       << j->vm_entry << "\n";
+    if (j->vm_entry != kNoProgram)
+      print_listing(os, cs, j->vm_entry, nullptr);
+  }
+  return os.str();
+}
+
+}  // namespace psme::rete

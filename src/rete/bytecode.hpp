@@ -1,0 +1,199 @@
+// Register bytecode for compiled alpha/beta test programs.
+//
+// The paper compiled its Rete network to NS32032 machine code so that a
+// node activation runs a straight-line test sequence instead of walking
+// interpreter data structures (Section 2.2). PSM-E's analogue is a compact
+// register bytecode: at Builder time every alpha program's test list and
+// every join node's variable-test list is encoded into one program over a
+// small register file, with constant tests folded at build and shared test
+// suffixes deduplicated across rules. The match kernel executes programs
+// with a threaded-code dispatch loop (match/vm.hpp) — no per-test virtual
+// calls or vector walks on the hot path.
+//
+// The instruction set, encoding, encoder folding rules, and the sim cost
+// calibration are documented in docs/join-bytecode.md; that document's
+// opcode table is diff-tested against `op_name` below (tests/bytecode_test).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace psme::ops5 {
+class Program;
+}  // namespace psme::ops5
+
+namespace psme::rete {
+
+struct AlphaTest;
+struct EqTest;
+struct BetaPred;
+class Network;
+
+// ---------------------------------------------------------------------------
+// Instruction format
+
+// One instruction is 8 bytes: op:8 a:8 b:16 c:32. Operand meaning by op:
+//   a — destination or left-hand register
+//   b — wme field slot (loads), right-hand register (reg-reg tests), or
+//       disjunct count (tmem)
+//   c — token position (lt), constant-pool index (t??c / tmem), or jump
+//       target pc (jmp)
+enum class Op : std::uint8_t {
+  LoadWme = 0,  // lw    r[a] = wme.field[b]
+  LoadTok,      // lt    r[a] = token[c].field[b]
+  TestEq,       // teq   fail unless r[a] ==  r[b]
+  TestNe,       // tne   fail unless r[a] <>  r[b]
+  TestLt,       // tlt   fail unless r[a] <   r[b]
+  TestLe,       // tle   fail unless r[a] <=  r[b]
+  TestGt,       // tgt   fail unless r[a] >   r[b]
+  TestGe,       // tge   fail unless r[a] >=  r[b]
+  TestSame,     // tsame fail unless r[a] <=> r[b]
+  TestEqC,      // teqc  fail unless r[a] ==  pool[c]
+  TestNeC,      // tnec  fail unless r[a] <>  pool[c]
+  TestLtC,      // tltc  fail unless r[a] <   pool[c]
+  TestLeC,      // tlec  fail unless r[a] <=  pool[c]
+  TestGtC,      // tgtc  fail unless r[a] >   pool[c]
+  TestGeC,      // tgec  fail unless r[a] >=  pool[c]
+  TestSameC,    // tsamec fail unless r[a] <=> pool[c]
+  TestMember,   // tmem  fail unless r[a] ∈ pool[c .. c+b)
+  Jump,         // jmp   pc = c (shared-suffix link)
+  Pass,         // pass  accept
+  Fail,         // fail  reject
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::Fail) + 1;
+
+// Stable mnemonic for disassembly and the docs/join-bytecode.md opcode
+// table (doc-diff-tested).
+const char* op_name(Op op);
+
+struct Insn {
+  Op op = Op::Fail;
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+
+  friend bool operator==(const Insn&, const Insn&) = default;
+  friend bool operator<(const Insn& x, const Insn& y) {
+    return std::tie(x.op, x.a, x.b, x.c) < std::tie(y.op, y.a, y.b, y.c);
+  }
+};
+static_assert(sizeof(Insn) == 8, "one instruction is one 8-byte word");
+
+// Register file: operands are common-subexpression-eliminated into pinned
+// registers r0..r5 (loaded once per program, at first use); programs with
+// more than six distinct operands reload the overflow operands into the
+// scratch registers r6 (left-hand) / r7 (right-hand) before every use.
+inline constexpr int kNumRegs = 8;
+inline constexpr int kPinnedRegs = 6;
+
+// Sentinel entry for nodes that have no compiled program (hand-built test
+// networks); the kernel falls back to the interpreted test walk.
+inline constexpr std::uint32_t kNoProgram = 0xffffffffu;
+
+// ---------------------------------------------------------------------------
+// Code store
+
+struct CodeStats {
+  std::uint32_t programs = 0;       // programs encoded
+  std::uint32_t insns_encoded = 0;  // instructions before suffix sharing
+  std::uint32_t insns_shared = 0;   // instructions saved by suffix sharing
+  std::uint32_t tests_folded = 0;   // tests removed by constant folding
+};
+
+// One contiguous instruction arena plus the constant pool, shared by every
+// program of a network. Programs are identified by their entry pc.
+class CodeStore {
+ public:
+  const Insn* insns() const { return code_.data(); }
+  std::size_t size() const { return code_.size(); }
+  const Value* pool() const { return pool_.data(); }
+  std::size_t pool_size() const { return pool_.size(); }
+  const CodeStats& stats() const { return stats_; }
+  bool empty() const { return code_.empty(); }
+
+ private:
+  friend class Encoder;
+  std::vector<Insn> code_;
+  std::vector<Value> pool_;
+  CodeStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+// Constant-folding result for an alpha test list, exposed for tests.
+// `always_false` means the whole program was folded to `fail`; an empty
+// `tests` list with !always_false encodes to a bare `pass`.
+struct FoldedAlpha {
+  bool always_false = false;
+  std::vector<AlphaTest> tests;
+  std::uint32_t folded = 0;  // tests dropped or rewritten
+};
+FoldedAlpha fold_alpha_tests(const std::vector<AlphaTest>& tests);
+
+// Encodes test programs into a CodeStore. Constants are interned into the
+// pool by OPS5 value equality; emitted programs are suffix-deduplicated:
+// when a program's tail (>= 2 instructions) was already emitted by any
+// earlier program, only the unique prefix is emitted, ending in a `jmp`
+// to the shared tail.
+class Encoder {
+ public:
+  explicit Encoder(CodeStore* out) : out_(out) {}
+
+  // Both return the entry pc of the encoded program.
+  std::uint32_t encode_alpha(const std::vector<AlphaTest>& tests);
+  std::uint32_t encode_join(const std::vector<EqTest>& eq_tests,
+                            const std::vector<BetaPred>& preds);
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return Value::total_order(a, b) < 0;
+    }
+  };
+  struct SpanLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      if (a.size() != b.size()) return a.size() < b.size();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const int c = Value::total_order(a[i], b[i]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    }
+  };
+
+  std::uint32_t intern(const Value& v);
+  std::uint32_t intern_span(const std::vector<Value>& vs);
+  std::uint32_t emit(std::vector<Insn> prog);
+
+  CodeStore* out_;
+  std::map<Value, std::uint32_t, ValueLess> const_ix_;
+  std::map<std::vector<Value>, std::uint32_t, SpanLess> span_ix_;
+  // Logical program suffix -> pc where an execution-equivalent suffix
+  // starts (prefix positions of emitted programs included: running from
+  // entry+j is equivalent to the logical suffix starting at j, through
+  // the trailing jmp if one was emitted).
+  std::map<std::vector<Insn>, std::uint32_t> suffix_pcs_;
+};
+
+// ---------------------------------------------------------------------------
+// Disassembler
+
+// Renders every compiled program of the network — alpha programs first
+// (slots shown as ^attr names via the program's class layout), then join
+// programs (numeric slots) — plus the shared-code statistics header. Each
+// listing follows the code from the node's entry pc up to its terminator
+// (`pass`, `fail`, or a `jmp` into an earlier listing), so suffix sharing
+// is visible as text. Used by `psme_cli --dump-bytecode` and the golden
+// disassembly tests.
+std::string disassemble_network(const Network& net,
+                                const ops5::Program& program);
+
+}  // namespace psme::rete

@@ -19,6 +19,7 @@
 #include "common/stats.hpp"
 #include "common/value.hpp"
 #include "ops5/ast.hpp"
+#include "rete/bytecode.hpp"
 
 namespace psme::rete {
 
@@ -60,6 +61,9 @@ struct AlphaProgram {
   std::vector<AlphaTest> tests;
   std::vector<AlphaDest> dests;
   std::vector<TerminalNode*> terminal_dests;  // single-CE productions
+  // Entry pc of the compiled test program in Network::code() (Builder
+  // post-pass); kNoProgram for hand-built networks.
+  std::uint32_t vm_entry = kNoProgram;
 };
 
 // Conceptual constant-test node tree, used for sharing statistics and the
@@ -125,6 +129,9 @@ struct JoinNode {
   std::vector<KeySlot> left_key;          // one per eq test, in test order
   std::vector<std::uint16_t> right_key;   // wme field slots, same order
   std::uint64_t hash_seed = 0;
+  // Entry pc of the compiled variable-test program (eq_tests + preds) in
+  // Network::code(); kNoProgram for hand-built networks.
+  std::uint32_t vm_entry = kNoProgram;
 };
 
 struct TerminalNode {
@@ -162,6 +169,9 @@ class Network {
   }
   const ConstantTestNode* class_root(SymbolId cls) const;
   std::uint32_t num_list_memories() const { return num_list_memories_; }
+  // Compiled alpha/beta test programs (docs/join-bytecode.md), addressed
+  // by the nodes' vm_entry fields.
+  const CodeStore& code() const { return code_; }
   NetworkCounts counts() const;
 
  private:
@@ -173,6 +183,7 @@ class Network {
   std::vector<std::unique_ptr<ConstantTestNode>> ct_nodes_;
   std::unordered_map<SymbolId, ConstantTestNode*> ct_roots_;
   std::uint32_t num_list_memories_ = 0;
+  CodeStore code_;
 };
 
 // Runs one alpha test against a wme's fields (fields indexed by slot).

@@ -62,6 +62,20 @@ struct CostModel {
   VTime mrsw_enter = 18;               // flag+counter manipulation (lock 1)
   VTime mrsw_modification = 8;         // lock 2 handshake
 
+  // Register-bytecode VM (rete/bytecode.hpp, docs/join-bytecode.md):
+  // per-op charges used when an activation ran compiled test programs.
+  // Defaults are calibrated to reproduce the old per-test charges: a
+  // constant alpha test compiles to lw + teqc = vm_load + vm_test = 3,
+  // the paper's alpha_test; a disjunction to lw + tmem = 3.
+  VTime vm_load = 1;    // lw / lt: one indexed field read into a register
+  VTime vm_test = 2;    // any test op: compare + conditional exit
+  VTime vm_branch = 1;  // jmp / pass / fail: dispatch + pc update
+  // Opposite-memory walk per examined candidate when the VM prices the
+  // comparisons itself: pointer chase + (node,key) prefilter only. The
+  // old flat join_per_examined=3 bundled this walk with a typical
+  // one-test interpreted compare, which the VM ops now charge exactly.
+  VTime join_per_examined_vm = 1;
+
   // Terminal nodes / conflict set.
   VTime terminal_update = 90;
 
@@ -100,6 +114,25 @@ struct CostModel {
                         std::uint32_t emitted_wmes) const {
     return join_probe_base + join_per_examined * opp_examined +
            join_per_emission * emissions + emit_per_wme * emitted_wmes;
+  }
+
+  // --- bytecode-VM variants, used when ActivationCost::vm_used is set ----
+  VTime vm_cost(std::uint32_t loads, std::uint32_t tests,
+                std::uint32_t branches) const {
+    return vm_load * loads + vm_test * tests + vm_branch * branches;
+  }
+  VTime root_cost_vm(std::uint32_t loads, std::uint32_t tests,
+                     std::uint32_t branches, std::size_t emitted) const {
+    return root_base + vm_cost(loads, tests, branches) +
+           alpha_emit * static_cast<VTime>(emitted);
+  }
+  VTime join_probe_cost_vm(std::uint32_t opp_examined, std::uint32_t loads,
+                           std::uint32_t tests, std::uint32_t branches,
+                           std::uint32_t emissions,
+                           std::uint32_t emitted_wmes) const {
+    return join_probe_base + join_per_examined_vm * opp_examined +
+           vm_cost(loads, tests, branches) + join_per_emission * emissions +
+           emit_per_wme * emitted_wmes;
   }
 };
 

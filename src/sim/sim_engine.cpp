@@ -49,6 +49,10 @@ VTime SimEngine::update_cost(const match::MemUpdate& up,
 }
 
 VTime SimEngine::probe_cost(const match::ActivationCost& ac) const {
+  if (ac.vm_used)
+    return config_.cost.join_probe_cost_vm(ac.opp_examined, ac.vm_loads,
+                                           ac.vm_tests, ac.vm_branches,
+                                           ac.emissions, ac.emitted_wmes);
   return config_.cost.join_probe_cost(ac.opp_examined, ac.emissions,
                                       ac.emitted_wmes);
 }
@@ -562,7 +566,10 @@ Proc SimEngine::worker_main(WorkerState& w) {
       case match::TaskKind::Root: {
         match::ActivationCost ac;
         match::process_root(w.ctx, *network_, task, emit, &ac);
-        co_await sched_->spend(cpu, cm.root_cost(ac.alpha_tests, emit.size()));
+        co_await sched_->spend(
+            cpu, ac.vm_used ? cm.root_cost_vm(ac.vm_loads, ac.vm_tests,
+                                              ac.vm_branches, emit.size())
+                            : cm.root_cost(ac.alpha_tests, emit.size()));
         break;
       }
       case match::TaskKind::Terminal: {
@@ -765,6 +772,7 @@ RunResult SimEngine::run() {
       w->ctx.conflict_set = &cs_;
       w->ctx.arena = &w->arena;
       w->ctx.stats = &w->stats;
+      if (options_.match_vm) w->ctx.code = &network_->code();
       workers_.push_back(std::move(w));
     }
   }

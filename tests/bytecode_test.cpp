@@ -1,0 +1,422 @@
+// Register-bytecode encoder, VM, and disassembler (rete/bytecode.hpp,
+// match/vm.hpp, docs/join-bytecode.md):
+//  - constant-folding edge cases (empty disjunctions, same-slot predicates,
+//    contradictory constants, duplicates)
+//  - encoded programs agree with the interpreted eval_alpha_test on
+//    generated field vectors, including past the pinned-register limit
+//  - suffix dedup shares code without changing behavior
+//  - engines produce identical traces with the VM on and off
+//  - golden disassembly for the three workloads
+//  - the docs/join-bytecode.md opcode table pins every op_name mnemonic
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/symbol_table.hpp"
+#include "engine/engine.hpp"
+#include "match/vm.hpp"
+#include "rete/builder.hpp"
+#include "rete/network.hpp"
+#include "rr/digest.hpp"
+#include "workloads/workloads.hpp"
+
+#ifndef PSME_SOURCE_DIR
+#error "PSME_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace psme::rete {
+namespace {
+
+AlphaTest const_test(std::uint16_t slot, ops5::PredOp op, Value v) {
+  AlphaTest t;
+  t.kind = AlphaTestKind::ConstPred;
+  t.slot = slot;
+  t.op = op;
+  t.constant = v;
+  return t;
+}
+
+AlphaTest slot_test(std::uint16_t slot, ops5::PredOp op,
+                    std::uint16_t other) {
+  AlphaTest t;
+  t.kind = AlphaTestKind::SlotPred;
+  t.slot = slot;
+  t.op = op;
+  t.other_slot = other;
+  return t;
+}
+
+AlphaTest disj_test(std::uint16_t slot, std::vector<Value> vs) {
+  AlphaTest t;
+  t.kind = AlphaTestKind::Disjunction;
+  t.slot = slot;
+  t.disjuncts = std::move(vs);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+
+TEST(Folding, EmptyListEncodesToPass) {
+  const FoldedAlpha f = fold_alpha_tests({});
+  EXPECT_FALSE(f.always_false);
+  EXPECT_TRUE(f.tests.empty());
+
+  CodeStore cs;
+  Encoder enc(&cs);
+  const std::uint32_t entry = enc.encode_alpha({});
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs.insns()[entry].op, Op::Pass);
+}
+
+TEST(Folding, EmptyDisjunctionIsAlwaysFalse) {
+  const FoldedAlpha f = fold_alpha_tests({disj_test(0, {})});
+  EXPECT_TRUE(f.always_false);
+  EXPECT_TRUE(f.tests.empty());
+
+  CodeStore cs;
+  Encoder enc(&cs);
+  const std::uint32_t entry = enc.encode_alpha({disj_test(0, {})});
+  EXPECT_EQ(cs.insns()[entry].op, Op::Fail);
+}
+
+TEST(Folding, SingleArmDisjunctionBecomesConstEq) {
+  const FoldedAlpha f =
+      fold_alpha_tests({disj_test(2, {sym("red"), sym("red")})});
+  ASSERT_EQ(f.tests.size(), 1u);
+  EXPECT_EQ(f.tests[0].kind, AlphaTestKind::ConstPred);
+  EXPECT_EQ(f.tests[0].op, ops5::PredOp::Eq);
+  EXPECT_TRUE(f.tests[0].constant == sym("red"));
+  EXPECT_EQ(f.folded, 1u);
+}
+
+TEST(Folding, SameSlotPredicates) {
+  // x = x and x <=> x always hold.
+  EXPECT_TRUE(
+      fold_alpha_tests({slot_test(1, ops5::PredOp::Eq, 1)}).tests.empty());
+  EXPECT_TRUE(fold_alpha_tests({slot_test(1, ops5::PredOp::SameType, 1)})
+                  .tests.empty());
+  // x <> x, x < x, x > x never hold.
+  EXPECT_TRUE(fold_alpha_tests({slot_test(1, ops5::PredOp::Ne, 1)})
+                  .always_false);
+  EXPECT_TRUE(fold_alpha_tests({slot_test(1, ops5::PredOp::Lt, 1)})
+                  .always_false);
+  EXPECT_TRUE(fold_alpha_tests({slot_test(1, ops5::PredOp::Gt, 1)})
+                  .always_false);
+  // x <= x means "x is a number" in OPS5 — must be kept, not folded.
+  const FoldedAlpha le = fold_alpha_tests({slot_test(1, ops5::PredOp::Le, 1)});
+  EXPECT_FALSE(le.always_false);
+  ASSERT_EQ(le.tests.size(), 1u);
+  Value num[2] = {Value::nil(), Value::integer(4)};
+  Value symv[2] = {Value::nil(), sym("a")};
+  EXPECT_TRUE(eval_alpha_test(le.tests[0], num));
+  EXPECT_FALSE(eval_alpha_test(le.tests[0], symv));
+}
+
+TEST(Folding, DuplicateTestsDropped) {
+  const auto t = const_test(0, ops5::PredOp::Eq, sym("on"));
+  const FoldedAlpha f = fold_alpha_tests({t, t, t});
+  EXPECT_EQ(f.tests.size(), 1u);
+  EXPECT_EQ(f.folded, 2u);
+}
+
+TEST(Folding, ContradictoryConstantsAreAlwaysFalse) {
+  const FoldedAlpha f =
+      fold_alpha_tests({const_test(3, ops5::PredOp::Eq, sym("a")),
+                        const_test(3, ops5::PredOp::Eq, sym("b"))});
+  EXPECT_TRUE(f.always_false);
+  // Int 2 and float 2.0 are OPS5-equal: NOT a contradiction.
+  const FoldedAlpha g =
+      fold_alpha_tests({const_test(3, ops5::PredOp::Eq, Value::integer(2)),
+                        const_test(3, ops5::PredOp::Eq, Value::real(2.0))});
+  EXPECT_FALSE(g.always_false);
+}
+
+// ---------------------------------------------------------------------------
+// Encoder vs interpreter on generated programs
+
+// Deterministic little generator (no PRNG needed).
+Value nth_value(int i) {
+  switch (i % 4) {
+    case 0: return sym("v" + std::to_string(i % 3));
+    case 1: return Value::integer(i % 5);
+    case 2: return Value::real(0.5 * (i % 4));
+    default: return Value::nil();
+  }
+}
+
+bool interp_all(const std::vector<AlphaTest>& tests, const Value* fields) {
+  for (const AlphaTest& t : tests)
+    if (!eval_alpha_test(t, fields)) return false;
+  return true;
+}
+
+void expect_vm_matches_interpreter(const std::vector<AlphaTest>& tests,
+                                   int num_slots) {
+  CodeStore cs;
+  Encoder enc(&cs);
+  const std::uint32_t entry = enc.encode_alpha(tests);
+  // Exhaustively-ish vary the field vector.
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<Value> fields(num_slots);
+    for (int s = 0; s < num_slots; ++s) fields[s] = nth_value(trial + 3 * s);
+    match::VmCounts vc;
+    const bool vm = match::vm_run(cs, entry, fields.data(), nullptr, vc);
+    EXPECT_EQ(vm, interp_all(tests, fields.data()))
+        << "trial " << trial << " diverged";
+    // A passing run ends in a counted pass; a failing test fails fast
+    // without a branch charge.
+    if (vm) EXPECT_GT(vc.branches, 0u);
+  }
+}
+
+TEST(Vm, MatchesInterpreterOnMixedTests) {
+  expect_vm_matches_interpreter(
+      {const_test(0, ops5::PredOp::Eq, sym("v0")),
+       const_test(1, ops5::PredOp::Ne, Value::integer(3)),
+       disj_test(2, {sym("v1"), Value::integer(2)}),
+       slot_test(3, ops5::PredOp::Le, 4),
+       const_test(5, ops5::PredOp::SameType, Value::integer(0))},
+      8);
+}
+
+TEST(Vm, MaximumRegisterPressureSpillsToScratch) {
+  // 10 distinct slots: 6 get pinned registers, 4 spill through r6/r7.
+  std::vector<AlphaTest> tests;
+  for (std::uint16_t s = 0; s + 1 < 10; s += 2)
+    tests.push_back(slot_test(s, ops5::PredOp::SameType, s + 1));
+  for (std::uint16_t s = 0; s < 10; ++s)
+    tests.push_back(const_test(s, ops5::PredOp::Ne, sym("never")));
+
+  CodeStore cs;
+  Encoder enc(&cs);
+  const std::uint32_t entry = enc.encode_alpha(tests);
+  int spills = 0;
+  bool bad_reg = false;
+  for (std::uint32_t pc = entry; pc < cs.size(); ++pc) {
+    const Insn in = cs.insns()[pc];
+    if (in.op == Op::LoadWme) {
+      if (in.a >= kPinnedRegs) ++spills;
+      if (in.a >= kNumRegs) bad_reg = true;
+    }
+  }
+  EXPECT_GT(spills, 0) << "expected scratch-register reloads";
+  EXPECT_FALSE(bad_reg);
+  expect_vm_matches_interpreter(tests, 10);
+}
+
+TEST(Vm, RegisterLoadsAreCSEd) {
+  // Three tests on one slot must load it exactly once.
+  CodeStore cs;
+  Encoder enc(&cs);
+  enc.encode_alpha({const_test(2, ops5::PredOp::Ne, sym("a")),
+                    const_test(2, ops5::PredOp::Ne, sym("b")),
+                    const_test(2, ops5::PredOp::Ne, sym("c"))});
+  int loads = 0;
+  for (std::size_t pc = 0; pc < cs.size(); ++pc)
+    if (cs.insns()[pc].op == Op::LoadWme) ++loads;
+  EXPECT_EQ(loads, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Suffix dedup
+
+TEST(Encoder, IdenticalProgramsShareOneBody) {
+  const std::vector<AlphaTest> tests = {
+      const_test(0, ops5::PredOp::Eq, sym("on")),
+      const_test(1, ops5::PredOp::Gt, Value::integer(7))};
+  CodeStore cs;
+  Encoder enc(&cs);
+  const std::uint32_t e1 = enc.encode_alpha(tests);
+  const std::uint32_t e2 = enc.encode_alpha(tests);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(cs.stats().programs, 2u);
+  EXPECT_GT(cs.stats().insns_shared, 0u);
+}
+
+TEST(Encoder, SharedSuffixEmitsJumpAndPreservesBehavior) {
+  // Both programs end with the same two tests on the same registers; the
+  // second program's tail must become a jmp into the first.
+  const std::vector<AlphaTest> tail = {
+      const_test(0, ops5::PredOp::Eq, sym("x")),
+      const_test(1, ops5::PredOp::Eq, sym("y"))};
+  std::vector<AlphaTest> a = {disj_test(2, {sym("p"), sym("q")})};
+  a.insert(a.end(), tail.begin(), tail.end());
+  std::vector<AlphaTest> b = {const_test(2, ops5::PredOp::Ne, sym("r"))};
+  b.insert(b.end(), tail.begin(), tail.end());
+
+  CodeStore shared;
+  {
+    Encoder enc(&shared);
+    enc.encode_alpha(a);
+    enc.encode_alpha(b);
+  }
+  CodeStore separate;
+  {
+    Encoder enc(&separate);
+    enc.encode_alpha(a);
+  }
+  CodeStore separate_b;
+  {
+    Encoder enc(&separate_b);
+    enc.encode_alpha(b);
+  }
+  EXPECT_LT(shared.size(), separate.size() + separate_b.size());
+  EXPECT_GT(shared.stats().insns_shared, 0u);
+  bool has_jmp = false;
+  for (std::size_t pc = 0; pc < shared.size(); ++pc)
+    if (shared.insns()[pc].op == Op::Jump) has_jmp = true;
+  EXPECT_TRUE(has_jmp);
+
+  // Behavior is unchanged by the sharing.
+  CodeStore cs;
+  Encoder enc(&cs);
+  enc.encode_alpha(a);
+  const std::uint32_t eb = enc.encode_alpha(b);
+  for (int trial = 0; trial < 64; ++trial) {
+    Value fields[3] = {nth_value(trial), nth_value(trial + 1),
+                       nth_value(trial + 2)};
+    match::VmCounts vc;
+    EXPECT_EQ(match::vm_run(cs, eb, fields, nullptr, vc),
+              interp_all(b, fields));
+  }
+}
+
+TEST(Encoder, WorkloadNetworksShareCode) {
+  const auto w = workloads::weaver();
+  const auto program = ops5::Program::from_source(w.source);
+  const auto net = build_network(program);
+  const CodeStore& cs = net->code();
+  EXPECT_EQ(cs.stats().programs,
+            net->alphas().size() + net->joins().size());
+  EXPECT_GT(cs.stats().insns_shared, 0u)
+      << "weaver's repetitive rules should share suffixes";
+  EXPECT_EQ(cs.size() + cs.stats().insns_shared, cs.stats().insns_encoded);
+  for (const auto& a : net->alphas()) ASSERT_NE(a->vm_entry, kNoProgram);
+  for (const auto& j : net->joins()) ASSERT_NE(j->vm_entry, kNoProgram);
+}
+
+// ---------------------------------------------------------------------------
+// Engine differential: VM on vs off
+
+std::vector<FiringRecord> run_workload(const workloads::Workload& w,
+                                       ExecutionMode mode, bool vm) {
+  const auto program = ops5::Program::from_source(w.source);
+  EngineConfig cfg;
+  cfg.mode = mode;
+  cfg.options.match_vm = vm;
+  cfg.options.max_cycles = 150;
+  if (mode != ExecutionMode::Sequential) cfg.options.match_processes = 2;
+  Engine eng(program, cfg);
+  workloads::load(eng, w);
+  eng.run();
+  return eng.trace();
+}
+
+TEST(VmDifferential, TracesIdenticalWithVmOnAndOff) {
+  for (const auto& w :
+       {workloads::weaver(20, 2), workloads::rubik(8),
+        workloads::tourney(8)}) {
+    const auto off = run_workload(w, ExecutionMode::Sequential, false);
+    const auto on = run_workload(w, ExecutionMode::Sequential, true);
+    EXPECT_EQ(on, off) << w.name << " diverged under the VM";
+    const auto sim_on =
+        run_workload(w, ExecutionMode::SimulatedMultimax, true);
+    EXPECT_EQ(sim_on, off) << w.name << " diverged under the sim VM";
+  }
+}
+
+TEST(VmDifferential, RandomProgramsAgree) {
+  for (const std::uint64_t seed : {7u, 21u, 33u}) {
+    const auto w = workloads::random_program(seed);
+    const auto off = run_workload(w, ExecutionMode::Sequential, false);
+    const auto on = run_workload(w, ExecutionMode::Sequential, true);
+    EXPECT_EQ(on, off) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden disassembly
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class GoldenDisassembly
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenDisassembly, MatchesCommittedListing) {
+  const std::string name = GetParam();
+  workloads::Workload w;
+  if (name == "weaver") w = workloads::weaver();
+  else if (name == "rubik") w = workloads::rubik();
+  else w = workloads::tourney();
+  const auto program = ops5::Program::from_source(w.source);
+  const auto net = build_network(program);
+  const std::string got = disassemble_network(*net, program);
+
+  const std::string path = std::string(PSME_SOURCE_DIR) +
+                           "/tests/data/golden/" + name + ".dis";
+  const std::string want = read_file_or_empty(path);
+  ASSERT_FALSE(want.empty()) << "missing golden file " << path
+                             << "; regenerate with psme_cli --workload "
+                             << name << " --dump-bytecode";
+  EXPECT_EQ(got, want)
+      << "disassembly drifted; regenerate " << path
+      << " with psme_cli --workload " << name << " --dump-bytecode";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GoldenDisassembly,
+                         ::testing::Values("weaver", "rubik", "tourney"));
+
+// ---------------------------------------------------------------------------
+// docs/join-bytecode.md opcode table
+
+TEST(BytecodeDoc, OpcodeTablePinsEveryMnemonic) {
+  const std::string path =
+      std::string(PSME_SOURCE_DIR) + "/docs/join-bytecode.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+
+  // Parse table rows of the form `| N | `mnemonic` | ... |`.
+  std::set<int> seen;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    std::istringstream row(line);
+    std::string num_cell, mnem_cell, skip;
+    std::getline(row, skip, '|');      // leading empty cell
+    std::getline(row, num_cell, '|');
+    std::getline(row, mnem_cell, '|');
+    int opnum = -1;
+    try {
+      opnum = std::stoi(num_cell);
+    } catch (...) {
+      continue;  // header/separator rows, cost table
+    }
+    const auto tick1 = mnem_cell.find('`');
+    const auto tick2 = mnem_cell.rfind('`');
+    ASSERT_NE(tick1, std::string::npos) << "row without mnemonic: " << line;
+    const std::string mnem =
+        mnem_cell.substr(tick1 + 1, tick2 - tick1 - 1);
+    ASSERT_GE(opnum, 0);
+    ASSERT_LT(opnum, kNumOps) << "doc documents nonexistent op " << opnum;
+    EXPECT_STREQ(mnem.c_str(), op_name(static_cast<Op>(opnum)))
+        << "doc mnemonic for op " << opnum << " drifted";
+    seen.insert(opnum);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumOps))
+      << "docs/join-bytecode.md opcode table must document all " << kNumOps
+      << " opcodes";
+}
+
+}  // namespace
+}  // namespace psme::rete

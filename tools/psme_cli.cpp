@@ -20,6 +20,8 @@
 //   --cycles N       recognize-act cycle cap (default 100000)
 //   --watch N        0 silent, 1 firings, 2 + wm changes
 //   --network        print the compiled Rete network and exit
+//   --dump-bytecode  print the disassembled register-bytecode test
+//                    programs (docs/join-bytecode.md) and exit
 //   --analyze        static culprit analysis + intrinsic-parallelism
 //                    profile (runs the program once), then exit
 //   --dump-source    print the program source and exit (workloads)
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
   std::string wmfile;
   std::string metrics_path, trace_path;
   bool print_net = false, dump_source = false, print_stats = false;
+  bool dump_bytecode = false;
   bool analyze = false;
   std::string mode = "seq";
 
@@ -125,6 +128,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(std::stoll(next()));
     else if (arg == "--watch") config.options.watch = std::stoi(next());
     else if (arg == "--network") print_net = true;
+    else if (arg == "--dump-bytecode") dump_bytecode = true;
     else if (arg == "--analyze") analyze = true;
     else if (arg == "--dump-source") dump_source = true;
     else if (arg == "--stats") print_stats = true;
@@ -187,6 +191,11 @@ int main(int argc, char** argv) {
   if (print_net) {
     const auto net = psme::rete::build_network(program);
     std::cout << psme::rete::print_network(*net, program);
+    return 0;
+  }
+  if (dump_bytecode) {
+    const auto net = psme::rete::build_network(program);
+    std::cout << psme::rete::disassemble_network(*net, program);
     return 0;
   }
   if (analyze) {

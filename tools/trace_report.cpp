@@ -249,6 +249,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Bytecode-VM op mix: how many loads/tests/branches the compiled test
+  // programs executed (absent in dumps recorded with --no-vm or from
+  // builds that predate the VM).
+  {
+    const auto loads = mv.find("psme.vm.ops.load");
+    const auto tests = mv.find("psme.vm.ops.test");
+    const auto branches = mv.find("psme.vm.ops.branch");
+    if (loads != mv.end() && tests != mv.end() && branches != mv.end() &&
+        loads->second + tests->second + branches->second > 0) {
+      std::printf("\nbytecode vm:\n");
+      std::printf("  loads    %12.0f\n", loads->second);
+      std::printf("  tests    %12.0f\n", tests->second);
+      std::printf("  branches %12.0f\n", branches->second);
+    }
+  }
+
   std::printf("\ncross-check against %s:\n", metrics_path.c_str());
   bool ok = true;
   ok &= check(static_cast<double>(completed) ==
