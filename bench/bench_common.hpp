@@ -164,7 +164,18 @@ class BenchJson {
   }
 
   bool enabled() const { return !path_.empty(); }
-  void add(obs::Json row) { results_.push_back(std::move(row)); }
+  // Every row carries a `worlds` field so baselines compare like-with-like
+  // across the multi-world change (tools/check_bench_regression.py): rows
+  // that don't set one are single-world and get the default stamped in.
+  void add(obs::Json row) {
+    if (row.is_object()) {
+      obs::JsonObject& obj = row.as_object();
+      bool has = false;
+      for (const auto& [k, v] : obj) has |= (k == "worlds");
+      if (!has) obj.emplace_back("worlds", obs::Json(std::uint64_t{1}));
+    }
+    results_.push_back(std::move(row));
+  }
   // Adds a run-wide header field (e.g. the scheduler discipline under
   // test); last write per key wins at output time, first-stamp order.
   void stamp(std::string key, obs::Json value) {

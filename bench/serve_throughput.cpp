@@ -6,16 +6,128 @@
 // psme.serve.latency_us histogram (log2 buckets, so they carry < 2x
 // relative error; see docs/serving.md).
 //
-// Usage: serve_throughput [--json FILE]
+// Usage: serve_throughput [--json FILE] [--worlds N[,N...]]
 // PSME_BENCH_FAST=1 shrinks the fleet for CI.
+//
+// --worlds switches to the multi-world comparison: N sessions served by
+// ONE world::BatchEngine (shared Rete network + bytecode, N world slots)
+// versus N engine-per-session SequentialEngines, each timed end to end
+// (construction + load + a short run slice, the serving shape). Reported
+// as sessions/sec; the batch side's win is the amortized compile and the
+// shared read-only program image staying cache-warm across worlds.
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "serve/loadgen.hpp"
+#include "world/batch_engine.hpp"
 
 using namespace psme;
 using namespace psme::bench;
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One serving "session": stand up state for the program, load its initial
+// wmes, run a short cycle slice. Returns total cycles run (sanity check:
+// both sides must do identical rule work).
+constexpr std::uint64_t kSliceCycles = 10;
+
+int run_worlds_mode(BenchJson& json, const std::vector<std::uint32_t>& counts) {
+  // Weaver at small scale: Rete compilation (~1ms) dominates one short
+  // session (~0.3ms), the shape where sharing the compiled image pays.
+  // Workloads whose per-session run dwarfs compilation (rubik) amortize
+  // little — the caveat in EXPERIMENTS.md quantifies both.
+  const auto workload = workloads::weaver(8, 2);
+  const auto program = ops5::Program::from_source(workload.source);
+  EngineOptions opt;
+  opt.match_processes = 0;   // inline match: the serving configuration
+  opt.hash_buckets = 64;     // small per-world tables; 4096 worlds fit
+  opt.max_cycles = kSliceCycles;
+
+  json.stamp("mode", obs::Json("worlds"));
+  std::printf("\n=== Batched worlds vs engine-per-session ===\n\n");
+  std::printf("%-8s %16s %16s %10s\n", "WORLDS", "batched sess/s",
+              "per-eng sess/s", "speedup");
+
+  for (const std::uint32_t w : counts) {
+    // Engine-per-session: each session pays its own Rete compilation.
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t solo_cycles = 0;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      SequentialEngine eng(program, opt);
+      for (const std::string& wme : workload.initial_wmes) eng.make(wme);
+      solo_cycles += eng.run().stats.cycles;
+    }
+    const double solo_s = seconds_since(t0);
+
+    // Batched: one engine, w world slots, one shared compiled image.
+    t0 = std::chrono::steady_clock::now();
+    EngineOptions bopt = opt;
+    bopt.worlds = w;
+    world::BatchEngine batch(program, bopt);
+    for (std::uint32_t i = 0; i < w; ++i) {
+      for (const std::string& wme : workload.initial_wmes)
+        batch.make(i, wme);
+      batch.set_max_cycles(i, kSliceCycles);
+    }
+    batch.run_all();
+    const double batch_s = seconds_since(t0);
+    std::uint64_t batch_cycles = 0;
+    for (std::uint32_t i = 0; i < w; ++i)
+      batch_cycles += batch.world(i).stats.cycles;
+    if (batch_cycles != solo_cycles) {
+      std::fprintf(stderr, "cycle mismatch: batched %llu vs solo %llu\n",
+                   static_cast<unsigned long long>(batch_cycles),
+                   static_cast<unsigned long long>(solo_cycles));
+      return 1;
+    }
+
+    const double batch_sps = w / batch_s;
+    const double solo_sps = w / solo_s;
+    std::printf("%-8u %16.1f %16.1f %9.2fx\n", w, batch_sps, solo_sps,
+                batch_sps / solo_sps);
+    json.add(obs::Json(obs::JsonObject{
+        {"label", obs::Json("worlds=" + std::to_string(w))},
+        {"worlds", obs::Json(std::uint64_t{w})},
+        {"sessions_per_sec", obs::Json(batch_sps)},
+        {"per_engine_sessions_per_sec", obs::Json(solo_sps)},
+        {"speedup", obs::Json(batch_sps / solo_sps)},
+        {"cycles", obs::Json(batch_cycles)},
+    }));
+  }
+  std::printf(
+      "\nShape check: speedup grows with the world count as the one-time\n"
+      "compile amortizes; it saturates once per-session match work\n"
+      "dominates. The batch holds every world's state at once (peak RSS\n"
+      "scales with worlds); engine-per-session peaks at one engine.\n");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   BenchJson json("serve_throughput", argc, argv);
+  std::vector<std::uint32_t> world_counts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--worlds" && i + 1 < argc) {
+      std::string list = argv[i + 1];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        world_counts.push_back(
+            static_cast<std::uint32_t>(std::stoul(tok)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+  }
+  if (!world_counts.empty()) return run_worlds_mode(json, world_counts);
+
   const bool fast = fast_mode();
   const int sessions = fast ? 12 : 64;
   const int worker_counts[] = {1, 2, 4, 8};

@@ -23,9 +23,9 @@ class ProfilingEngine : public EngineBase {
         left_table_(options.hash_buckets),
         right_table_(options.hash_buckets) {
     ctx_.strategy = match::MemoryStrategy::Hash;
-    ctx_.left_table = &left_table_;
-    ctx_.right_table = &right_table_;
-    ctx_.conflict_set = &cs_;
+    world_.left_table = &left_table_;
+    world_.right_table = &right_table_;
+    world_.conflict_set = &cs_;
     ctx_.arena = &arena_;
     ctx_.stats = &stats_.match;
     if (options.match_vm) ctx_.code = &network_->code();
@@ -63,20 +63,20 @@ class ProfilingEngine : public EngineBase {
       VTime cost = cost_.task_dispatch;
       switch (cur.task.kind) {
         case match::TaskKind::Root:
-          match::process_root(ctx_, *network_, cur.task, emit, &ac);
+          match::process_root(ctx_, world_, *network_, cur.task, emit, &ac);
           cost += ac.vm_used ? cost_.root_cost_vm(ac.vm_loads, ac.vm_tests,
                                                   ac.vm_branches, emit.size())
                              : cost_.root_cost(ac.alpha_tests, emit.size());
           break;
         case match::TaskKind::Terminal:
-          match::process_terminal(ctx_, cur.task, &ac);
+          match::process_terminal(ctx_, world_, cur.task, &ac);
           cost += cost_.terminal_update;
           break;
         case match::TaskKind::JoinLeft:
         case match::TaskKind::JoinRight: {
           const match::MemUpdate up =
-              match::process_join_update(ctx_, cur.task, &ac);
-          match::process_join_probe(ctx_, cur.task, up, emit, &ac);
+              match::process_join_update(ctx_, world_, cur.task, &ac);
+          match::process_join_probe(ctx_, world_, cur.task, up, emit, &ac);
           cost += cost_.join_update_cost(ac.same_examined, cur.task.sign,
                                          ac.key_slots);
           cost += ac.vm_used
@@ -110,6 +110,7 @@ class ProfilingEngine : public EngineBase {
   match::HashTokenTable right_table_;
   match::BumpArena arena_;
   match::MatchContext ctx_;
+  match::WorldContext world_;
   std::deque<Timed> queue_;
   PhaseProfile phase_;
   ParallelismProfile profile_;

@@ -36,6 +36,14 @@ struct EngineConfig {
   sim::SimConfig sim;  // used by SimulatedMultimax only
 };
 
+// Rejects nonsensical option combinations with std::invalid_argument
+// instead of silently falling back: worlds > 1 on the single-world facade
+// (use world::BatchEngine), worlds > 0 on engines that do not run the
+// shared match kernel (LispStyle, Treat), vs1 list memories on the
+// parallel engines, and negative process/queue counts. Engine's
+// constructor calls this; world::BatchEngine and tools call it directly.
+void validate_options(const EngineOptions& options, ExecutionMode mode);
+
 class Engine {
  public:
   Engine(const ops5::Program& program, EngineConfig config);

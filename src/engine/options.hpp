@@ -45,6 +45,13 @@ struct EngineOptions {
   // Token hash tables: number of buckets per side (power of two).
   std::uint32_t hash_buckets = 512;
 
+  // Multi-world batching (src/world/): number of independent worlds a
+  // world::BatchEngine hosts. 0 = not batching (the single-world Engine
+  // facade). The facade rejects worlds > 1 — batched execution needs
+  // BatchEngine — and any worlds value on engines that cannot share the
+  // match kernel (LispStyle, Treat). See validate_options (engine.hpp).
+  std::uint32_t worlds = 0;
+
   // Execute the compiled alpha/beta test programs on the register bytecode
   // VM (rete/bytecode.hpp, docs/join-bytecode.md). Off falls back to the
   // interpreted per-test walk; kept for A/B comparison

@@ -16,7 +16,11 @@ ParallelEngine::ParallelEngine(const ops5::Program& program,
     : EngineBase(program, options),
       left_table_(options_.hash_buckets),
       right_table_(options_.hash_buckets),
-      line_locks_(options_.hash_buckets, options_.lock_scheme),
+      // Lock count follows the table's rounded (power-of-two) line count,
+      // not the requested bucket count: line_of() indexes the rounded
+      // space, and a non-power-of-two request would otherwise leave lines
+      // without locks.
+      line_locks_(left_table_.size(), options_.lock_scheme),
       sched_(match::make_scheduler(options_.scheduler, options_.task_queues,
                                    options_.match_processes + 1,
                                    options_.steal_deque_capacity)) {
@@ -31,6 +35,9 @@ ParallelEngine::ParallelEngine(const ops5::Program& program,
   if (options_.rr_replay)
     sched_ = rr::make_replay_scheduler(options_.rr_replay,
                                        options_.match_processes + 1);
+  world_.left_table = &left_table_;
+  world_.right_table = &right_table_;
+  world_.conflict_set = &cs_;
 }
 
 ParallelEngine::~ParallelEngine() {
@@ -125,9 +132,6 @@ void ParallelEngine::worker_main(int index) {
   Worker& w = *workers_[static_cast<std::size_t>(index)];
   match::MatchContext ctx;
   ctx.strategy = match::MemoryStrategy::Hash;
-  ctx.left_table = &left_table_;
-  ctx.right_table = &right_table_;
-  ctx.conflict_set = &cs_;
   ctx.arena = &w.arena;
   ctx.stats = &w.stats;
   if (options_.match_vm) ctx.code = &network_->code();
@@ -185,12 +189,13 @@ void ParallelEngine::worker_main(int index) {
           continue;
         }
       }
-      execute_task(ctx, task, emit_buf, ep, w.stats, index + 1);
+      execute_task(ctx, world_, task, emit_buf, ep, w.stats, index + 1);
     }
   }
 }
 
 void ParallelEngine::execute_task(match::MatchContext& ctx,
+                                  match::WorldContext& world,
                                   const match::Task& task,
                                   std::vector<match::Task>& emit_buf,
                                   unsigned ep, MatchStats& stats,
@@ -244,10 +249,10 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
   emit_buf.clear();
   switch (task.kind) {
     case match::TaskKind::Root:
-      match::process_root(ctx, *network_, task, emit_buf);
+      match::process_root(ctx, world, *network_, task, emit_buf);
       break;
     case match::TaskKind::Terminal:
-      match::process_terminal(ctx, task);
+      match::process_terminal(ctx, world, task);
       break;
     case match::TaskKind::JoinLeft:
     case match::TaskKind::JoinRight: {
@@ -258,7 +263,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       const Side side = task.side();
       if (line_locks_.scheme() == match::LockScheme::Simple) {
         line_locks_.lock_exclusive(line, side, stats);
-        match::process_join(ctx, task, emit_buf, nullptr, &hash);
+        match::process_join(ctx, world, task, emit_buf, nullptr, &hash);
         rr_commit();
         lock_delay();
         line_locks_.unlock_exclusive(line);
@@ -271,7 +276,7 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
           record_requeue();
           return;  // task still counted in TaskCount
         }
-        match::process_join(ctx, task, emit_buf, nullptr, &hash);
+        match::process_join(ctx, world, task, emit_buf, nullptr, &hash);
         rr_commit();
         lock_delay();
         line_locks_.leave_exclusive(line);
@@ -284,13 +289,13 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
       }
       line_locks_.lock_modification(line, side, stats);
       const match::MemUpdate update =
-          match::process_join_update(ctx, task, nullptr, &hash);
+          match::process_join_update(ctx, world, task, nullptr, &hash);
       // The memory update is what conflicting opposite-side tasks observe;
       // the probe after unlock only reads the already-frozen opposite side.
       rr_commit();
       lock_delay();
       line_locks_.unlock_modification(line);
-      match::process_join_probe(ctx, task, update, emit_buf);
+      match::process_join_probe(ctx, world, task, update, emit_buf);
       line_locks_.leave(line);
       break;
     }

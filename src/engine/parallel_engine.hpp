@@ -65,7 +65,8 @@ class ParallelEngine : public EngineBase {
   // Executes one popped task with the appropriate locking; pushes emissions
   // through scheduler endpoint `ep`. `worker` is the observability stream
   // (0 control, 1..k match processes).
-  void execute_task(match::MatchContext& ctx, const match::Task& task,
+  void execute_task(match::MatchContext& ctx, match::WorldContext& world,
+                    const match::Task& task,
                     std::vector<match::Task>& emit_buf, unsigned ep,
                     MatchStats& stats, int worker);
   double trace_now_us() const {
@@ -76,6 +77,7 @@ class ParallelEngine : public EngineBase {
 
   match::HashTokenTable left_table_;
   match::HashTokenTable right_table_;
+  match::WorldContext world_;  // the engine's single world
   match::LineLocks line_locks_;
   // Scheduler endpoints: worker i -> i, control thread -> match_processes.
   std::unique_ptr<match::Scheduler> sched_;

@@ -12,14 +12,14 @@ SequentialEngine::SequentialEngine(const ops5::Program& program,
     left_table_ = std::make_unique<match::HashTokenTable>(options_.hash_buckets);
     right_table_ =
         std::make_unique<match::HashTokenTable>(options_.hash_buckets);
-    ctx_.left_table = left_table_.get();
-    ctx_.right_table = right_table_.get();
+    world_.left_table = left_table_.get();
+    world_.right_table = right_table_.get();
   } else {
     list_mems_ =
         std::make_unique<match::ListMemories>(network_->num_list_memories());
-    ctx_.list_mems = list_mems_.get();
+    world_.list_mems = list_mems_.get();
   }
-  ctx_.conflict_set = &cs_;
+  world_.conflict_set = &cs_;
   ctx_.arena = &arena_;
   ctx_.stats = &stats_.match;
   if (options_.match_vm) ctx_.code = &network_->code();
@@ -41,7 +41,7 @@ void SequentialEngine::drain() {
     const match::Task task = queue_.front();
     queue_.pop_front();
     emit_buf_.clear();
-    match::process_task(ctx_, *network_, task, emit_buf_);
+    match::process_task(ctx_, world_, *network_, task, emit_buf_);
     for (const match::Task& t : emit_buf_) queue_.push_back(t);
     stats_.match.tasks_executed += 1;
   }

@@ -28,6 +28,7 @@ class SequentialEngine : public EngineBase {
   std::unique_ptr<match::ListMemories> list_mems_;
   match::BumpArena arena_;
   match::MatchContext ctx_;
+  match::WorldContext world_;
   std::deque<match::Task> queue_;
   std::vector<match::Task> emit_buf_;
 };

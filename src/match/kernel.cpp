@@ -78,15 +78,15 @@ struct BucketPair {
   Bucket* opp;
 };
 
-BucketPair resolve_buckets(MatchContext& ctx, const Task& task,
-                           std::uint64_t hash) {
+BucketPair resolve_buckets(MatchContext& ctx, WorldContext& world,
+                           const Task& task, std::uint64_t hash) {
   if (ctx.strategy == MemoryStrategy::Hash) {
-    Bucket& l = ctx.left_table->bucket(hash);
-    Bucket& r = ctx.right_table->bucket(hash);
+    Bucket& l = world.left_table->bucket(hash);
+    Bucket& r = world.right_table->bucket(hash);
     return task.side() == Side::Left ? BucketPair{&l, &r} : BucketPair{&r, &l};
   }
-  Bucket& l = ctx.list_mems->at(task.join->left_mem);
-  Bucket& r = ctx.list_mems->at(task.join->right_mem);
+  Bucket& l = world.list_mems->at(task.join->left_mem);
+  Bucket& r = world.list_mems->at(task.join->right_mem);
   return task.side() == Side::Left ? BucketPair{&l, &r} : BucketPair{&r, &l};
 }
 
@@ -106,13 +106,15 @@ inline bool same_payload(const Task& task, const Entry* e) {
                                    : e->wme == task.wme;
 }
 
-// Emits one token to every successor of the join.
-void emit_to_successors(MatchContext&, const rete::JoinNode* j,
-                        const Token* token, std::int8_t sign,
-                        std::vector<Task>& out) {
+// Emits one token to every successor of the join, in the emitting task's
+// world.
+void emit_to_successors(MatchContext&, const Task& src,
+                        const rete::JoinNode* j, const Token* token,
+                        std::int8_t sign, std::vector<Task>& out) {
   for (const rete::Successor& s : j->succs) {
     Task t;
     t.sign = sign;
+    t.world = src.world;
     t.token = token;
     if (s.terminal) {
       t.kind = TaskKind::Terminal;
@@ -142,9 +144,10 @@ std::uint64_t task_hash(const Task& task) {
   return h;
 }
 
-void process_root(MatchContext& ctx, const rete::Network& net,
-                  const Task& task, std::vector<Task>& out,
-                  ActivationCost* cost) {
+void process_root(MatchContext& ctx, WorldContext& world,
+                  const rete::Network& net, const Task& task,
+                  std::vector<Task>& out, ActivationCost* cost) {
+  (void)world;  // roots touch no world memory; tokens go to the arena
   ctx.stats->wme_changes += 1;
   ctx.stats->node_activations += 1;
   const Wme* wme = task.wme;
@@ -172,6 +175,7 @@ void process_root(MatchContext& ctx, const rete::Network& net,
     for (const rete::AlphaDest& dest : prog->dests) {
       Task t;
       t.sign = task.sign;
+      t.world = task.world;
       t.join = dest.join;
       if (dest.side == Side::Right) {
         t.kind = TaskKind::JoinRight;
@@ -187,6 +191,7 @@ void process_root(MatchContext& ctx, const rete::Network& net,
       Task t;
       t.kind = TaskKind::Terminal;
       t.sign = task.sign;
+      t.world = task.world;
       t.terminal = term;
       if (!unit_token) unit_token = ctx.arena->make_token(nullptr, wme);
       t.token = unit_token;
@@ -196,8 +201,8 @@ void process_root(MatchContext& ctx, const rete::Network& net,
   if (any_vm) count_vm_ops(ctx, vc, cost);
 }
 
-MemUpdate process_join_update(MatchContext& ctx, const Task& task,
-                              ActivationCost* cost,
+MemUpdate process_join_update(MatchContext& ctx, WorldContext& world,
+                              const Task& task, ActivationCost* cost,
                               const std::uint64_t* hash_hint) {
   ctx.stats->node_activations += 1;
   const rete::JoinNode* j = task.join;
@@ -209,7 +214,7 @@ MemUpdate process_join_update(MatchContext& ctx, const Task& task,
       cost->key_slots = static_cast<std::uint32_t>(j->eq_tests.size());
     }
   }
-  BucketPair b = resolve_buckets(ctx, task, up.hash);
+  BucketPair b = resolve_buckets(ctx, world, task, up.hash);
   const int si = side_index(task.side());
 
   if (task.sign > 0) {
@@ -304,15 +309,15 @@ MemUpdate process_join_update(MatchContext& ctx, const Task& task,
   return up;
 }
 
-void process_join_probe(MatchContext& ctx, const Task& task,
-                        const MemUpdate& update, std::vector<Task>& out,
-                        ActivationCost* cost) {
+void process_join_probe(MatchContext& ctx, WorldContext& world,
+                        const Task& task, const MemUpdate& update,
+                        std::vector<Task>& out, ActivationCost* cost) {
   if (update.outcome == MemUpdate::Outcome::Annihilated ||
       update.outcome == MemUpdate::Outcome::ParkedDelete) {
     return;
   }
   const rete::JoinNode* j = task.join;
-  BucketPair b = resolve_buckets(ctx, task, update.hash);
+  BucketPair b = resolve_buckets(ctx, world, task, update.hash);
   const int si = side_index(task.side());
   const Side side = task.side();
   // One op-count accumulator per task: the probe loop runs the program
@@ -331,7 +336,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       const Wme* right = side == Side::Left ? e->wme : task.wme;
       if (!join_tests_pass(ctx, j, left, right, vcp)) continue;
       const Token* extended = ctx.arena->make_token(left, right);
-      emit_to_successors(ctx, j, extended, task.sign, out);
+      emit_to_successors(ctx, task, j, extended, task.sign, out);
       ++pairs;
       if (cost) cost->emitted_wmes += extended->len;
     }
@@ -363,14 +368,14 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       if (cost) cost->opp_examined += examined;
       update.entry->neg_count.store(count, std::memory_order_relaxed);
       if (count == 0) {
-        emit_to_successors(ctx, j, task.token, +1, out);
+        emit_to_successors(ctx, task, j, task.token, +1, out);
         ctx.stats->emissions += 1;
         if (cost) cost->emissions += 1;
       }
     } else {
       // Delete of a left token: emit `-` iff it was currently passing.
       if (update.entry->neg_count.load(std::memory_order_relaxed) == 0) {
-        emit_to_successors(ctx, j, update.entry->token, -1, out);
+        emit_to_successors(ctx, task, j, update.entry->token, -1, out);
         ctx.stats->emissions += 1;
         if (cost) cost->emissions += 1;
       }
@@ -389,7 +394,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       const std::int32_t prev =
           e->neg_count.fetch_add(1, std::memory_order_relaxed);
       if (prev == 0) {
-        emit_to_successors(ctx, j, e->token, -1, out);
+        emit_to_successors(ctx, task, j, e->token, -1, out);
         ctx.stats->emissions += 1;
         if (cost) cost->emissions += 1;
       }
@@ -397,7 +402,7 @@ void process_join_probe(MatchContext& ctx, const Task& task,
       const std::int32_t prev =
           e->neg_count.fetch_sub(1, std::memory_order_relaxed);
       if (prev == 1) {
-        emit_to_successors(ctx, j, e->token, +1, out);
+        emit_to_successors(ctx, task, j, e->token, +1, out);
         ctx.stats->emissions += 1;
         if (cost) cost->emissions += 1;
       }
@@ -409,20 +414,21 @@ void process_join_probe(MatchContext& ctx, const Task& task,
   if (cost) cost->opp_examined += examined;
 }
 
-void process_join(MatchContext& ctx, const Task& task, std::vector<Task>& out,
-                  ActivationCost* cost, const std::uint64_t* hash_hint) {
-  const MemUpdate up = process_join_update(ctx, task, cost, hash_hint);
-  process_join_probe(ctx, task, up, out, cost);
+void process_join(MatchContext& ctx, WorldContext& world, const Task& task,
+                  std::vector<Task>& out, ActivationCost* cost,
+                  const std::uint64_t* hash_hint) {
+  const MemUpdate up = process_join_update(ctx, world, task, cost, hash_hint);
+  process_join_probe(ctx, world, task, up, out, cost);
 }
 
-void process_terminal(MatchContext& ctx, const Task& task,
-                      ActivationCost* cost) {
+void process_terminal(MatchContext& ctx, WorldContext& world,
+                      const Task& task, ActivationCost* cost) {
   (void)cost;
   ctx.stats->node_activations += 1;
   if (task.sign > 0) {
-    ctx.conflict_set->insert(task.terminal->prod_index, task.token);
+    world.conflict_set->insert(task.terminal->prod_index, task.token);
   } else {
-    ctx.conflict_set->remove(task.terminal->prod_index, task.token);
+    world.conflict_set->remove(task.terminal->prod_index, task.token);
   }
 }
 

@@ -1,16 +1,27 @@
 // The semantic core of the matcher, shared by every engine.
 //
 // These functions implement exactly one node activation each, with explicit
-// locking preconditions instead of internal locks, so the three drivers —
+// locking preconditions instead of internal locks, so the four drivers —
 // the sequential token loop, the threaded worker loop (real spin locks),
-// and the Multimax simulator (virtual-time locks) — execute the *same*
-// match semantics and can only differ in scheduling.
+// the Multimax simulator (virtual-time locks), and the multi-world batch
+// engine — execute the *same* match semantics and can only differ in
+// scheduling.
+//
+// State is split along the world axis (src/world/):
+//  - MatchContext is per-WORKER: the memory strategy, the worker's token
+//    arena, its stats accumulator, and the shared compiled CodeStore.
+//  - WorldContext is per-WORLD: the token memories (hash tables or list
+//    buckets) and the conflict set. Single-world engines own exactly one;
+//    the BatchEngine resolves one per task from Task::world.
 //
 // Locking contract (hash backend, parallel drivers):
-//  - line_of() gives the line a Join task will touch; the driver must hold
-//    that line before calling process_join (simple scheme), or hold the
-//    line in side mode + the modification lock around the memory-update
-//    phase (MRSW scheme, via process_join_update / process_join_probe).
+//  - line_of() gives the line a Join task will touch within its world; the
+//    driver must hold that line before calling process_join (simple
+//    scheme), or hold the line in side mode + the modification lock around
+//    the memory-update phase (MRSW scheme, via process_join_update /
+//    process_join_probe). Batched drivers must fold Task::world into the
+//    lock index — tasks from different worlds never share memory, but may
+//    share a lock (false sharing is allowed; false non-sharing is not).
 //  - Root and Terminal tasks touch no line.
 //
 // Sequential drivers call the same entry points with no locks held.
@@ -30,18 +41,23 @@ namespace psme::match {
 
 enum class MemoryStrategy : std::uint8_t { List, Hash };  // vs1 / vs2
 
-// Everything a node activation touches. One per worker for stats/arena;
-// memory structures and the conflict set are shared.
-struct MatchContext {
-  MemoryStrategy strategy = MemoryStrategy::Hash;
-  // Hash backend (shared).
+// The mutable match state of one world: token memories + conflict set.
+// Everything a node activation writes lives here; the compiled network and
+// bytecode are shared read-only across all worlds.
+struct WorldContext {
+  // Hash backend.
   HashTokenTable* left_table = nullptr;
   HashTokenTable* right_table = nullptr;
-  // List backend (shared).
+  // List backend.
   ListMemories* list_mems = nullptr;
-  // Shared conflict set.
+  // Conflict set (internally thread-safe).
   ConflictSet* conflict_set = nullptr;
-  // Per-worker.
+};
+
+// Per-worker execution state. One per worker for stats/arena; the CodeStore
+// is immutable and shared.
+struct MatchContext {
+  MemoryStrategy strategy = MemoryStrategy::Hash;
   BumpArena* arena = nullptr;
   MatchStats* stats = nullptr;
   // Compiled test programs (Network::code()); null runs the interpreted
@@ -68,7 +84,9 @@ struct ActivationCost {
 };
 
 // (node, equality-key) hash for a Join task, read through the join's
-// compiled key layout; defines its hash-table line.
+// compiled key layout; defines its hash-table line. World-independent:
+// the same task hashes identically in every world (rr fingerprints and
+// the committed layout fixtures depend on this).
 std::uint64_t task_hash(const Task& task);
 inline std::uint32_t line_of(const Task& task, const HashTokenTable& table) {
   return table.line_of(task_hash(task));
@@ -78,17 +96,17 @@ inline std::uint32_t line_of(const Task& task, const HashTokenTable& table) {
 
 // Root task: run the alpha programs for the wme's class; schedules join /
 // terminal activations into `out`.
-void process_root(MatchContext& ctx, const rete::Network& net,
-                  const Task& task, std::vector<Task>& out,
-                  ActivationCost* cost = nullptr);
+void process_root(MatchContext& ctx, WorldContext& world,
+                  const rete::Network& net, const Task& task,
+                  std::vector<Task>& out, ActivationCost* cost = nullptr);
 
 // Join (positive or negative) activation, both phases under one lock.
-void process_join(MatchContext& ctx, const Task& task, std::vector<Task>& out,
-                  ActivationCost* cost = nullptr,
+void process_join(MatchContext& ctx, WorldContext& world, const Task& task,
+                  std::vector<Task>& out, ActivationCost* cost = nullptr,
                   const std::uint64_t* hash_hint = nullptr);
 
 // Terminal activation (conflict set has its own internal lock).
-void process_terminal(MatchContext& ctx, const Task& task,
+void process_terminal(MatchContext& ctx, WorldContext& world, const Task& task,
                       ActivationCost* cost = nullptr);
 
 // --- Split activation for the MRSW locking scheme -------------------------
@@ -109,26 +127,28 @@ struct MemUpdate {
 // `hash_hint`, when non-null, is the task's task_hash() value the driver
 // already computed to find the line — passed through so the update phase
 // does not hash the key a second time.
-MemUpdate process_join_update(MatchContext& ctx, const Task& task,
-                              ActivationCost* cost = nullptr,
+MemUpdate process_join_update(MatchContext& ctx, WorldContext& world,
+                              const Task& task, ActivationCost* cost = nullptr,
                               const std::uint64_t* hash_hint = nullptr);
 
 // Phase 2 — probe the opposite memory and emit; caller holds the line in
 // side mode (modification lock NOT required: the opposite chain cannot
 // change while this side holds the line, and own-chain mutations are done).
-void process_join_probe(MatchContext& ctx, const Task& task,
-                        const MemUpdate& update, std::vector<Task>& out,
+void process_join_probe(MatchContext& ctx, WorldContext& world,
+                        const Task& task, const MemUpdate& update,
+                        std::vector<Task>& out,
                         ActivationCost* cost = nullptr);
 
 // Dispatches a non-root task with both phases under the caller's lock.
-inline void process_task(MatchContext& ctx, const rete::Network& net,
-                         const Task& task, std::vector<Task>& out,
+inline void process_task(MatchContext& ctx, WorldContext& world,
+                         const rete::Network& net, const Task& task,
+                         std::vector<Task>& out,
                          ActivationCost* cost = nullptr) {
   switch (task.kind) {
-    case TaskKind::Root: process_root(ctx, net, task, out, cost); break;
+    case TaskKind::Root: process_root(ctx, world, net, task, out, cost); break;
     case TaskKind::JoinLeft:
-    case TaskKind::JoinRight: process_join(ctx, task, out, cost); break;
-    case TaskKind::Terminal: process_terminal(ctx, task, cost); break;
+    case TaskKind::JoinRight: process_join(ctx, world, task, out, cost); break;
+    case TaskKind::Terminal: process_terminal(ctx, world, task, cost); break;
   }
 }
 

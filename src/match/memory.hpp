@@ -144,6 +144,31 @@ class BumpArena {
 
   std::size_t bytes_allocated() const { return bytes_; }
 
+  // Does `p` point into one of this arena's blocks? World-isolation tests
+  // use this to prove a world's tokens and entries never reference another
+  // world's arena.
+  bool owns(const void* p) const {
+    const std::byte* q = static_cast<const std::byte*>(p);
+    for (const auto& b : blocks_) {
+      if (q >= b.get() && q < b.get() + kBlockSize) return true;
+    }
+    return false;
+  }
+
+  // WorldReset support: discard every allocation, overwrite the retained
+  // block with a poison byte so a stale pointer into a reset world's arena
+  // reads as garbage instead of a plausible token, and free the rest.
+  // Allocation restarts from the retained block.
+  static constexpr int kPoisonByte = 0x5a;
+  void reset(bool poison = true) {
+    if (poison) {
+      for (auto& b : blocks_) std::memset(b.get(), kPoisonByte, kBlockSize);
+    }
+    if (blocks_.size() > 1) blocks_.resize(1);
+    used_ = 0;
+    bytes_ = 0;
+  }
+
   static constexpr std::size_t kBlockSize = 1u << 16;
   // Worst case a fresh block starts `align - 1` bytes past alignment.
   static constexpr std::size_t kMaxAlign = 64;

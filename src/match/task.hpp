@@ -21,6 +21,10 @@ enum class TaskKind : std::uint8_t { Root, JoinLeft, JoinRight, Terminal };
 struct Task {
   TaskKind kind = TaskKind::Root;
   std::int8_t sign = +1;  // +1 add, -1 delete
+  // Owning world (src/world/). Single-world engines leave it 0; the batch
+  // engine stamps it on roots and the kernel propagates it to every task
+  // an activation emits, so any worker can resolve the right WorldContext.
+  std::uint32_t world = 0;
   const rete::JoinNode* join = nullptr;
   const rete::TerminalNode* terminal = nullptr;
   const Token* token = nullptr;  // JoinLeft / Terminal payload

@@ -123,11 +123,14 @@ class WsDeque {
 
   void store_slot(std::int64_t idx, const Task& t) {
     Slot& s = slots_[static_cast<std::size_t>(idx) & mask_];
+    // Header word: kind in bits 0-7, sign in 8-15, world id in 16-47 —
+    // the multi-world batch engine rides the same five-word slot.
     const std::uint64_t head = static_cast<std::uint64_t>(
                                    static_cast<std::uint8_t>(t.kind)) |
                                (static_cast<std::uint64_t>(
                                     static_cast<std::uint8_t>(t.sign))
-                                << 8);
+                                << 8) |
+                               (static_cast<std::uint64_t>(t.world) << 16);
     s.w[0].store(head, std::memory_order_relaxed);
     s.w[1].store(reinterpret_cast<std::uintptr_t>(t.join),
                  std::memory_order_relaxed);
@@ -146,6 +149,7 @@ class WsDeque {
     t.kind = static_cast<TaskKind>(head & 0xff);
     t.sign = static_cast<std::int8_t>(
         static_cast<std::uint8_t>((head >> 8) & 0xff));
+    t.world = static_cast<std::uint32_t>((head >> 16) & 0xffffffffull);
     t.join = reinterpret_cast<const rete::JoinNode*>(
         static_cast<std::uintptr_t>(s.w[1].load(std::memory_order_relaxed)));
     t.terminal = reinterpret_cast<const rete::TerminalNode*>(

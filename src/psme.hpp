@@ -14,3 +14,4 @@
 #include "rete/bytecode.hpp"        // IWYU pragma: export
 #include "rete/printer.hpp"         // IWYU pragma: export
 #include "workloads/workloads.hpp"  // IWYU pragma: export
+#include "world/batch_engine.hpp"   // IWYU pragma: export

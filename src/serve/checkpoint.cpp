@@ -82,10 +82,22 @@ Checkpoint Checkpoint::capture(const EngineBase& engine) {
   return ckpt;
 }
 
+Checkpoint Checkpoint::capture(const ops5::Program& program,
+                               EngineSnapshot snapshot) {
+  Checkpoint ckpt;
+  ckpt.fingerprint = fingerprint_of(program);
+  ckpt.snapshot = std::move(snapshot);
+  return ckpt;
+}
+
 void Checkpoint::restore(EngineBase& engine) const {
-  if (fingerprint_of(engine.program()) != fingerprint)
-    throw CheckpointError("program fingerprint mismatch");
+  verify(engine.program());
   engine.restore_state(snapshot);
+}
+
+void Checkpoint::verify(const ops5::Program& program) const {
+  if (fingerprint_of(program) != fingerprint)
+    throw CheckpointError("program fingerprint mismatch");
 }
 
 obs::Json Checkpoint::to_json() const {

@@ -47,9 +47,17 @@ struct Checkpoint {
 
   // Captures `engine` (must be between runs — at a quiescent point).
   static Checkpoint capture(const EngineBase& engine);
+  // Wraps a snapshot taken outside EngineBase (a world slot of a
+  // world::BatchEngine) in the same psme.checkpoint.v1 format — one
+  // checkpoint restores into any engine mode or world.
+  static Checkpoint capture(const ops5::Program& program,
+                            EngineSnapshot snapshot);
   // Injects into a freshly constructed engine compiled from the same
   // program; throws CheckpointError on fingerprint mismatch.
   void restore(EngineBase& engine) const;
+  // Fingerprint check alone, for callers that restore into a world slot
+  // (reset_world + restore_world) instead of an EngineBase.
+  void verify(const ops5::Program& program) const;
 
   obs::Json to_json() const;
   static Checkpoint from_json(const obs::Json& doc);  // throws on mismatch

@@ -33,6 +33,33 @@ SessionId Server::open_session(const ops5::Program& program,
   return id;
 }
 
+std::vector<SessionId> Server::open_batch_sessions(const ops5::Program& program,
+                                                   EngineConfig config,
+                                                   std::uint32_t count) {
+  if (count == 0)
+    throw std::invalid_argument("open_batch_sessions: count must be >= 1");
+  config.options.worlds = count;
+  // Compile once, outside the server lock, like open_session.
+  auto batch = std::make_unique<world::BatchEngine>(program, config.options);
+  std::vector<std::shared_ptr<Entry>> entries;
+  entries.reserve(count);
+  for (std::uint32_t w = 0; w < count; ++w) {
+    auto entry = std::make_shared<Entry>();
+    entry->session = std::make_unique<Session>(program, batch.get(), w);
+    entries.push_back(std::move(entry));
+  }
+  std::vector<SessionId> ids;
+  ids.reserve(count);
+  std::lock_guard<std::mutex> lk(mu_);
+  batches_.push_back(std::move(batch));
+  for (auto& entry : entries) {
+    const SessionId id = next_id_++;
+    sessions_.emplace(id, std::move(entry));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
 bool Server::close_session(SessionId id) {
   std::shared_ptr<Entry> doomed;
   {

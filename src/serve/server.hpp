@@ -53,6 +53,15 @@ class Server {
 
   // Sessions. `program` must outlive the session.
   SessionId open_session(const ops5::Program& program, EngineConfig config);
+  // Batched sessions: one world::BatchEngine with `count` worlds, one
+  // session per world slot. The Rete network compiles ONCE for all of
+  // them (vs once per open_session) and requests for different slots run
+  // in parallel on the worker pool — each drives only its own world.
+  // Requires config.options.match_processes == 0 (inline match; the slice
+  // executes on the worker thread). The engine lives until drain().
+  std::vector<SessionId> open_batch_sessions(const ops5::Program& program,
+                                             EngineConfig config,
+                                             std::uint32_t count);
   bool close_session(SessionId id);  // queued requests answer `err`
   std::size_t session_count() const;
 
@@ -95,6 +104,9 @@ class Server {
   mutable std::mutex mu_;  // guards sessions_, queue_, stats_, flags
   std::condition_variable work_cv_;   // workers: queue non-empty or stopping
   std::condition_variable drain_cv_;  // drain(): queue empty and idle
+  // Shared engines behind batch sessions. Declared before sessions_ so
+  // they are destroyed after every Session that points into them.
+  std::vector<std::unique_ptr<world::BatchEngine>> batches_;
   std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
   std::deque<Item> queue_;
   std::vector<std::thread> workers_;

@@ -53,6 +53,50 @@ Session::Session(const ops5::Program& program, EngineConfig config)
       config_(config),
       engine_(std::make_unique<psme::Engine>(program, config)) {}
 
+Session::Session(const ops5::Program& program, world::BatchEngine* batch,
+                 std::uint32_t slot)
+    : program_(program), batch_(batch), slot_(slot) {
+  if (batch_->options().match_processes != 0)
+    throw std::invalid_argument(
+        "world-backed sessions need an inline BatchEngine "
+        "(match_processes == 0): run_world slices execute on the "
+        "request thread");
+}
+
+const Wme* Session::do_make(const std::string& literal) {
+  return batch_ ? batch_->make(slot_, literal) : engine_->make(literal);
+}
+
+const Wme* Session::do_make(
+    SymbolId cls, const std::vector<std::pair<SymbolId, Value>>& fields) {
+  return batch_ ? batch_->make(slot_, cls, fields)
+                : engine_->make(cls, fields);
+}
+
+void Session::do_remove(TimeTag tag) {
+  if (batch_)
+    batch_->remove(slot_, tag);
+  else
+    engine_->remove(tag);
+}
+
+const WorkingMemory& Session::do_wm() const {
+  return batch_ ? *batch_->world(slot_).wm : engine_->wm();
+}
+
+const RunStats& Session::do_stats() const {
+  return batch_ ? batch_->world(slot_).stats : engine_->stats();
+}
+
+StopReason Session::run_slice(std::uint64_t cycle_cap) {
+  if (batch_) {
+    batch_->set_max_cycles(slot_, cycle_cap);
+    return batch_->run_world(slot_).reason;
+  }
+  engine_->base().set_max_cycles(cycle_cap);
+  return engine_->run().reason;
+}
+
 Response Session::execute(const std::string& line, Deadline deadline) {
   ++requests_;
   Response r;
@@ -83,7 +127,7 @@ Response Session::dispatch(const std::string& line, Deadline deadline) {
 }
 
 Response Session::cmd_make(const std::string& args) {
-  const Wme* wme = engine_->make(args);
+  const Wme* wme = do_make(args);
   return ok(std::to_string(wme->timetag));
 }
 
@@ -91,7 +135,7 @@ Response Session::cmd_modify(const std::string& args) {
   const auto [tag_str, updates] = split_verb(args);
   std::uint64_t tag = 0;
   if (!parse_u64(tag_str, &tag)) return err("modify: bad timetag");
-  const Wme* old = engine_->wm().find(tag);
+  const Wme* old = do_wm().find(tag);
   if (!old) return err("modify: no live wme " + tag_str);
   if (updates.empty()) return err("modify: no field updates");
 
@@ -113,16 +157,16 @@ Response Session::cmd_modify(const std::string& args) {
     if (!fields[slot].is_nil())
       pairs.emplace_back(info.slot_attrs[slot], fields[slot]);
 
-  engine_->remove(tag);  // OPS5 modify is remove + make (fresh timetag)
-  const Wme* wme = engine_->make(old->cls, pairs);
+  do_remove(tag);  // OPS5 modify is remove + make (fresh timetag)
+  const Wme* wme = do_make(old->cls, pairs);
   return ok(std::to_string(wme->timetag));
 }
 
 Response Session::cmd_remove(const std::string& args) {
   std::uint64_t tag = 0;
   if (!parse_u64(args, &tag)) return err("remove: bad timetag");
-  if (!engine_->wm().find(tag)) return err("remove: no live wme " + args);
-  engine_->remove(tag);
+  if (!do_wm().find(tag)) return err("remove: no live wme " + args);
+  do_remove(tag);
   return ok(args);
 }
 
@@ -131,31 +175,30 @@ Response Session::cmd_run(const std::string& args, Deadline deadline) {
   const bool bounded = !args.empty();
   if (bounded && !parse_u64(args, &budget)) return err("run: bad cycle count");
 
-  const std::uint64_t start = engine_->stats().cycles;
+  const std::uint64_t start = do_stats().cycles;
   const std::uint64_t target =
       bounded ? start + budget : std::numeric_limits<std::uint64_t>::max();
   StopReason reason = StopReason::MaxCycles;
   for (;;) {
-    const std::uint64_t cur = engine_->stats().cycles;
+    const std::uint64_t cur = do_stats().cycles;
     if (cur >= target) break;
-    engine_->base().set_max_cycles(std::min(target, cur + kRunSlice));
-    reason = engine_->run().reason;
+    reason = run_slice(std::min(target, cur + kRunSlice));
     if (reason != StopReason::MaxCycles) break;  // halt / empty conflict set
-    if (engine_->stats().cycles >= target) break;
+    if (do_stats().cycles >= target) break;
     if (std::chrono::steady_clock::now() > deadline) {
-      const std::uint64_t done = engine_->stats().cycles;
+      const std::uint64_t done = do_stats().cycles;
       return err("deadline cycles=" + std::to_string(done - start) +
                  " total=" + std::to_string(done));
     }
   }
-  const std::uint64_t total = engine_->stats().cycles;
+  const std::uint64_t total = do_stats().cycles;
   return ok("cycles=" + std::to_string(total - start) +
             " total=" + std::to_string(total) +
             " reason=" + reason_name(reason));
 }
 
 Response Session::cmd_dump() const {
-  const auto wmes = engine_->wm().snapshot();
+  const auto wmes = do_wm().snapshot();
   std::ostringstream out;
   out << wmes.size();
   for (const Wme* w : wmes)
@@ -164,7 +207,7 @@ Response Session::cmd_dump() const {
 }
 
 Response Session::cmd_trace() const {
-  const auto& trace = engine_->trace();
+  const auto& trace = this->trace();
   std::ostringstream out;
   out << trace.size();
   for (const FiringRecord& rec : trace) {
@@ -175,22 +218,33 @@ Response Session::cmd_trace() const {
 }
 
 Response Session::cmd_stats() const {
-  const RunStats& s = engine_->stats();
+  const RunStats& s = do_stats();
   return ok("cycles=" + std::to_string(s.cycles) +
             " firings=" + std::to_string(s.firings) +
-            " wm=" + std::to_string(engine_->wm().size()));
+            " wm=" + std::to_string(do_wm().size()));
 }
 
 Response Session::cmd_checkpoint() const {
+  if (batch_)
+    return ok(Checkpoint::capture(program_, batch_->snapshot_world(slot_))
+                  .serialize());
   return ok(Checkpoint::capture(engine_->base()).serialize());
 }
 
 Response Session::cmd_restore(const std::string& args) {
   if (args.empty()) return err("restore: missing checkpoint JSON");
   const Checkpoint ckpt = Checkpoint::deserialize(args);
-  auto fresh = std::make_unique<psme::Engine>(program_, config_);
-  ckpt.restore(fresh->base());
-  engine_ = std::move(fresh);
+  if (batch_) {
+    // A world slot is reusable state, not a disposable engine: verify the
+    // fingerprint first, then rebuild the slot in place.
+    ckpt.verify(program_);
+    batch_->reset_world(slot_);
+    batch_->restore_world(slot_, ckpt.snapshot);
+  } else {
+    auto fresh = std::make_unique<psme::Engine>(program_, config_);
+    ckpt.restore(fresh->base());
+    engine_ = std::move(fresh);
+  }
   return ok(std::to_string(ckpt.snapshot.cycles));
 }
 

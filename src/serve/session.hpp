@@ -24,6 +24,13 @@
 //
 // Sessions are not internally synchronized: the Server serializes the
 // requests of one session and runs different sessions in parallel.
+//
+// Two backends: a session either owns an Engine (engine-per-session, any
+// execution mode) or is bound to one world slot of a shared
+// world::BatchEngine (Server::open_batch_sessions) — same protocol, same
+// responses, N sessions over one compiled Rete network. World-backed
+// `restore` resets the world slot and replays the checkpoint into it
+// instead of replacing an engine.
 #pragma once
 
 #include <chrono>
@@ -31,6 +38,7 @@
 #include <string>
 
 #include "engine/engine.hpp"
+#include "world/batch_engine.hpp"
 
 namespace psme::rr {
 struct SessionTranscript;  // rr/session_rr.hpp
@@ -58,13 +66,21 @@ class Session {
   // `program` must outlive the session. The engine is constructed
   // immediately (Rete compilation happens here, not per request).
   Session(const ops5::Program& program, EngineConfig config);
+  // World-backed session: slot `slot` of `batch` (not owned; must outlive
+  // the session). The BatchEngine must run inline match (its run_world is
+  // what `run` slices call, concurrently across sessions).
+  Session(const ops5::Program& program, world::BatchEngine* batch,
+          std::uint32_t slot);
 
   // Executes one protocol command. Never throws: protocol and engine
   // errors come back as `err` responses.
   Response execute(const std::string& line, Deadline deadline = kNoDeadline);
 
-  const psme::Engine& engine() const { return *engine_; }
-  const std::vector<FiringRecord>& trace() const { return engine_->trace(); }
+  // Engine-backed sessions only (null for world-backed ones).
+  const psme::Engine* engine() const { return engine_.get(); }
+  const std::vector<FiringRecord>& trace() const {
+    return batch_ ? batch_->world(slot_).trace : engine_->trace();
+  }
   std::uint64_t requests() const { return requests_; }
 
   // Record every (command, response) pair into `t` (not owned; must
@@ -87,9 +103,21 @@ class Session {
   Response cmd_checkpoint() const;
   Response cmd_restore(const std::string& args);
 
+  // Backend seam: every protocol command goes through these, so the
+  // command implementations are single-sourced across both backends.
+  const Wme* do_make(const std::string& literal);
+  const Wme* do_make(SymbolId cls,
+                     const std::vector<std::pair<SymbolId, Value>>& fields);
+  void do_remove(TimeTag tag);
+  const WorkingMemory& do_wm() const;
+  const RunStats& do_stats() const;
+  StopReason run_slice(std::uint64_t cycle_cap);
+
   const ops5::Program& program_;
   EngineConfig config_;
-  std::unique_ptr<psme::Engine> engine_;
+  std::unique_ptr<psme::Engine> engine_;   // engine-per-session backend
+  world::BatchEngine* batch_ = nullptr;    // world-slot backend (not owned)
+  std::uint32_t slot_ = 0;
   std::uint64_t requests_ = 0;
   rr::SessionTranscript* transcript_ = nullptr;
 };

@@ -33,6 +33,9 @@ SimEngine::SimEngine(const ops5::Program& program, EngineOptions options,
   left_table_ = std::make_unique<match::HashTokenTable>(options_.hash_buckets);
   right_table_ =
       std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+  world_.left_table = left_table_.get();
+  world_.right_table = right_table_.get();
+  world_.conflict_set = &cs_;
 }
 
 SimEngine::~SimEngine() = default;
@@ -403,10 +406,10 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                              &st.line_acquisitions[si],
                              st.line_probe_hist[si]);
     match::ActivationCost ac;
-    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac, &hash);
+    const match::MemUpdate up = match::process_join_update(w.ctx, world_, task, &ac, &hash);
     co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
     match::ActivationCost ap;
-    match::process_join_probe(w.ctx, task, up, emit, &ap);
+    match::process_join_probe(w.ctx, world_, task, up, emit, &ap);
     co_await sched_->spend(cpu, probe_cost(ap));
     rr_commit();
     if (options_.rr_faults)
@@ -444,10 +447,10 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
 
   if (exclusive) {
     match::ActivationCost ac;
-    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac, &hash);
+    const match::MemUpdate up = match::process_join_update(w.ctx, world_, task, &ac, &hash);
     co_await sched_->spend(cpu, update_cost(up, ac, task.sign));
     match::ActivationCost ap;
-    match::process_join_probe(w.ctx, task, up, emit, &ap);
+    match::process_join_probe(w.ctx, world_, task, up, emit, &ap);
     co_await sched_->spend(cpu, probe_cost(ap));
     rr_commit();
     if (options_.rr_faults)
@@ -458,7 +461,7 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
                              &st.line_acquisitions[si],
                              st.line_probe_hist[si]);
     match::ActivationCost ac;
-    const match::MemUpdate up = match::process_join_update(w.ctx, task, &ac, &hash);
+    const match::MemUpdate up = match::process_join_update(w.ctx, world_, task, &ac, &hash);
     co_await sched_->spend(cpu,
                            cm.mrsw_modification + update_cost(up, ac, task.sign));
     // The update is what conflicting opposite-side tasks observe; the
@@ -469,7 +472,7 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
         co_await sched_->spend(cpu, static_cast<VTime>(mag));
     sched_->release(L.modification, cpu.now);
     match::ActivationCost ap;
-    match::process_join_probe(w.ctx, task, up, emit, &ap);
+    match::process_join_probe(w.ctx, world_, task, up, emit, &ap);
     co_await sched_->spend(cpu, probe_cost(ap));
   }
 
@@ -565,7 +568,7 @@ Proc SimEngine::worker_main(WorkerState& w) {
     switch (task.kind) {
       case match::TaskKind::Root: {
         match::ActivationCost ac;
-        match::process_root(w.ctx, *network_, task, emit, &ac);
+        match::process_root(w.ctx, world_, *network_, task, emit, &ac);
         co_await sched_->spend(
             cpu, ac.vm_used ? cm.root_cost_vm(ac.vm_loads, ac.vm_tests,
                                               ac.vm_branches, emit.size())
@@ -573,7 +576,7 @@ Proc SimEngine::worker_main(WorkerState& w) {
         break;
       }
       case match::TaskKind::Terminal: {
-        match::process_terminal(w.ctx, task);
+        match::process_terminal(w.ctx, world_, task);
         co_await sched_->spend(cpu, cm.terminal_update);
         break;
       }
@@ -767,9 +770,6 @@ RunResult SimEngine::run() {
       w->hint = static_cast<unsigned>(i);
       w->id = static_cast<unsigned>(i);
       w->ctx.strategy = match::MemoryStrategy::Hash;
-      w->ctx.left_table = left_table_.get();
-      w->ctx.right_table = right_table_.get();
-      w->ctx.conflict_set = &cs_;
       w->ctx.arena = &w->arena;
       w->ctx.stats = &w->stats;
       if (options_.match_vm) w->ctx.code = &network_->code();

@@ -91,6 +91,7 @@ class SimEngine : public EngineBase {
     unsigned id = 0;  // scheduler endpoint (steal discipline)
     match::MatchContext ctx;
   };
+  match::WorldContext world_;  // the simulator's single world
 
   Proc control_main();
   Proc worker_main(WorkerState& w);

@@ -1,0 +1,415 @@
+#include "world/batch_engine.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/spinlock.hpp"
+#include "common/symbol_table.hpp"
+#include "ops5/parser.hpp"
+#include "rr/digest.hpp"
+#include "rr/fault.hpp"
+
+namespace psme::world {
+
+// Routes one world's RHS effects back into the batch: WM changes become
+// (world, root-task) submissions, halt flags the world, write goes to the
+// shared sink.
+class BatchEngine::WorldEffects final : public RhsEffects {
+ public:
+  WorldEffects(BatchEngine& eng, World& w) : eng_(eng), w_(w) {}
+  void on_make(const Wme* wme) override { eng_.submit_change(w_, wme, +1); }
+  void on_remove(const Wme* wme) override { eng_.submit_change(w_, wme, -1); }
+  void on_write(const std::string& text) override {
+    if (eng_.options_.out) *eng_.options_.out << text;
+  }
+  void on_halt() override { w_.halted = true; }
+
+ private:
+  BatchEngine& eng_;
+  World& w_;
+};
+
+BatchEngine::BatchEngine(const ops5::Program& program, EngineOptions options)
+    : options_(options),
+      pool_(program, options,
+            options.worlds == 0 ? 1u : options.worlds,
+            options.match_processes + 1) {
+  if (options_.worlds == 0)
+    throw std::invalid_argument("BatchEngine: options.worlds must be >= 1");
+  if (options_.memory != match::MemoryStrategy::Hash)
+    throw std::invalid_argument(
+        "BatchEngine: worlds use the global hash-table memories (vs2)");
+  if (options_.rr_record || options_.rr_replay)
+    throw std::invalid_argument(
+        "BatchEngine: record/replay hooks are single-world; use "
+        "set_digest_capture for per-world digests");
+  if (options_.match_processes < 0)
+    throw std::invalid_argument("BatchEngine: negative match_processes");
+  if (options_.match_vm) code_ = &pool_.network().code();
+  control_ep_ = static_cast<unsigned>(options_.match_processes);
+  if (options_.match_processes > 0) {
+    sched_ = match::make_scheduler(options_.scheduler, options_.task_queues,
+                                   options_.match_processes + 1,
+                                   options_.steal_deque_capacity);
+    // Shared lock space across worlds: at least the per-world line count,
+    // widened up to 8x as worlds grow so same-bucket-different-world
+    // false sharing stays rare. Power-of-two by construction.
+    const std::uint32_t lines = pool_.world(0).left_table->size();
+    const std::uint32_t mult = std::min<std::uint32_t>(
+        std::bit_ceil(std::max(1u, pool_.size())), 8u);
+    line_locks_ = std::make_unique<match::LineLocks>(lines * mult,
+                                                     options_.lock_scheme);
+    lock_mask_ = lines * mult - 1;
+  }
+}
+
+BatchEngine::~BatchEngine() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_.store(true, std::memory_order_release);
+    active_.store(false, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+const Wme* BatchEngine::make(std::uint32_t wi, std::string_view wme_literal) {
+  const ops5::WmeLiteral lit = ops5::parse_wme_literal(wme_literal);
+  std::vector<std::pair<SymbolId, Value>> fields;
+  fields.reserve(lit.fields.size());
+  for (const auto& [attr, value] : lit.fields)
+    fields.emplace_back(intern(attr), value);
+  return make(wi, intern(lit.cls), fields);
+}
+
+const Wme* BatchEngine::make(
+    std::uint32_t wi, SymbolId cls,
+    const std::vector<std::pair<SymbolId, Value>>& fields) {
+  World& w = pool_.world(wi);
+  const Wme* wme = w.wm->make(cls, w.wm->build_fields(cls, fields));
+  w.pending.emplace_back(wme, +1);
+  return wme;
+}
+
+void BatchEngine::remove(std::uint32_t wi, TimeTag tag) {
+  World& w = pool_.world(wi);
+  const Wme* wme = w.wm->find(tag);
+  if (!wme) throw std::invalid_argument("remove: no live wme with timetag");
+  w.pending.emplace_back(wme, -1);
+  w.wm->remove(wme);
+}
+
+RunResult BatchEngine::result(std::uint32_t wi) const {
+  const World& w = pool_.world(wi);
+  RunResult r;
+  r.reason = w.last_reason;
+  r.stats = w.stats;
+  return r;
+}
+
+void BatchEngine::submit_change(World& w, const Wme* wme, std::int8_t sign) {
+  match::Task root;
+  root.kind = match::TaskKind::Root;
+  root.sign = sign;
+  root.world = w.id;
+  root.wme = wme;
+  if (options_.match_processes == 0) {
+    w.inline_queue.push_back(root);
+    drain_world_queue(w);
+    return;
+  }
+  sched_->push(root, control_ep_, w.stats.match);
+}
+
+void BatchEngine::drain_world_queue(World& w) {
+  match::MatchContext ctx;
+  ctx.strategy = match::MemoryStrategy::Hash;
+  ctx.arena = &w.arenas[0];
+  ctx.stats = &w.stats.match;
+  ctx.code = code_;
+  while (!w.inline_queue.empty()) {
+    const match::Task task = w.inline_queue.front();
+    w.inline_queue.pop_front();
+    w.emit_buf.clear();
+    match::process_task(ctx, w.ctx, pool_.network(), task, w.emit_buf);
+    for (const match::Task& t : w.emit_buf) w.inline_queue.push_back(t);
+    w.stats.match.tasks_executed += 1;
+  }
+}
+
+void BatchEngine::wait_all_quiescent() {
+  if (options_.match_processes == 0) return;  // inline drains eagerly
+  std::uint32_t spins = 0;
+  while (!sched_->phase_complete()) {
+    SpinLock::cpu_relax();
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void BatchEngine::begin_run() {
+  if (options_.match_processes == 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < options_.match_processes; ++i)
+      workers_.push_back(std::make_unique<Worker>());
+    for (int i = 0; i < options_.match_processes; ++i) {
+      workers_[static_cast<std::size_t>(i)]->thread =
+          std::thread([this, i] { worker_main(i); });
+      ++thread_spawns_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    active_.store(true, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
+}
+
+void BatchEngine::end_run() {
+  if (options_.match_processes == 0) return;
+  active_.store(false, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    pool_cv_.wait(lk, [this] {
+      return parked_ == static_cast<int>(workers_.size());
+    });
+  }
+  for (auto& w : workers_) {
+    batch_match_stats_.merge(w->stats);
+    w->stats = MatchStats{};
+  }
+}
+
+void BatchEngine::worker_main(int index) {
+  Worker& wk = *workers_[static_cast<std::size_t>(index)];
+  match::MatchContext ctx;
+  ctx.strategy = match::MemoryStrategy::Hash;
+  ctx.code = code_;
+  ctx.stats = &wk.stats;
+  std::vector<match::Task> emit_buf;
+  const unsigned ep = static_cast<unsigned>(index);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      ++parked_;
+      pool_cv_.notify_all();
+      pool_cv_.wait(lk, [this] {
+        return active_.load(std::memory_order_acquire) ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+      --parked_;
+      if (shutdown_.load(std::memory_order_acquire)) return;
+    }
+    std::uint32_t idle = 0;
+    while (active_.load(std::memory_order_acquire) &&
+           !shutdown_.load(std::memory_order_acquire)) {
+      if (rr::FaultInjector* faults = options_.rr_faults) {
+        if (faults->worker_dead(ep)) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (const std::uint32_t us = faults->stall(ep))
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+        if (faults->fail_pop(ep)) {
+          SpinLock::cpu_relax();
+          continue;
+        }
+      }
+      match::Task task;
+      if (!sched_->try_pop(&task, ep, wk.stats)) {
+        if (++idle >= 16) {
+          std::this_thread::yield();
+        } else {
+          SpinLock::cpu_relax();
+        }
+        continue;
+      }
+      idle = 0;
+      if (rr::FaultInjector* faults = options_.rr_faults) {
+        if (faults->drop_requeue(ep)) {
+          sched_->requeue(task, ep, wk.stats);
+          continue;
+        }
+        if (faults->lose_task(ep)) {
+          sched_->task_done();  // the bug: discarded but counted done
+          continue;
+        }
+      }
+      execute_task(ctx, task, emit_buf, ep, wk.stats);
+    }
+  }
+}
+
+void BatchEngine::execute_task(match::MatchContext& ctx,
+                               const match::Task& task,
+                               std::vector<match::Task>& emit_buf,
+                               unsigned ep, MatchStats& stats) {
+  World& w = pool_.world(task.world);
+  // The (world, worker) arena: race-free without synchronization, and
+  // every allocation is attributable to exactly one world.
+  ctx.arena = &w.arenas[ep];
+  emit_buf.clear();
+  switch (task.kind) {
+    case match::TaskKind::Root:
+      match::process_root(ctx, w.ctx, pool_.network(), task, emit_buf);
+      break;
+    case match::TaskKind::Terminal:
+      match::process_terminal(ctx, w.ctx, task);
+      break;
+    case match::TaskKind::JoinLeft:
+    case match::TaskKind::JoinRight: {
+      const std::uint64_t hash = match::task_hash(task);
+      const std::uint32_t line =
+          lock_line_of(w.left_table->line_of(hash), task.world);
+      const Side side = task.side();
+      if (line_locks_->scheme() == match::LockScheme::Simple) {
+        line_locks_->lock_exclusive(line, side, stats);
+        match::process_join(ctx, w.ctx, task, emit_buf, nullptr, &hash);
+        line_locks_->unlock_exclusive(line);
+        break;
+      }
+      // MRSW scheme (see ParallelEngine::execute_task for the protocol).
+      if (task.join->kind == rete::JoinKind::Negative) {
+        if (!line_locks_->try_enter_exclusive(line, side, stats)) {
+          sched_->requeue(task, ep, stats);
+          return;
+        }
+        match::process_join(ctx, w.ctx, task, emit_buf, nullptr, &hash);
+        line_locks_->leave_exclusive(line);
+        break;
+      }
+      if (!line_locks_->try_enter(line, side, stats)) {
+        sched_->requeue(task, ep, stats);
+        return;
+      }
+      line_locks_->lock_modification(line, side, stats);
+      const match::MemUpdate update =
+          match::process_join_update(ctx, w.ctx, task, nullptr, &hash);
+      line_locks_->unlock_modification(line);
+      match::process_join_probe(ctx, w.ctx, task, update, emit_buf);
+      line_locks_->leave(line);
+      break;
+    }
+  }
+  sched_->push_batch(emit_buf.data(), emit_buf.size(), ep, stats);
+  stats.tasks_executed += 1;
+  sched_->task_done();
+}
+
+void BatchEngine::apply_restored_refraction(World& w) {
+  for (const FiringRecord& rec : w.restored_fired)
+    w.cs->mark_fired(rec.prod_index, rec.timetags);
+  w.restored_fired.clear();
+}
+
+void BatchEngine::capture_digest(World& w) {
+  if (!digest_capture_) return;
+  if (!w.digests.empty() && w.digests.back().cycle == w.stats.cycles) return;
+  w.digests.push_back(
+      {w.stats.cycles, rr::wm_digest(*w.wm), rr::cs_digest(*w.cs)});
+}
+
+bool BatchEngine::fire_one(World& w) {
+  if (w.halted) {
+    w.last_reason = StopReason::Halt;
+    w.live = false;
+    return false;
+  }
+  if (w.stats.cycles >= w.max_cycles) {
+    w.last_reason = StopReason::MaxCycles;
+    w.live = false;
+    return false;
+  }
+  auto inst = w.cs->select_and_fire(options_.strategy);
+  if (!inst) {
+    w.last_reason = StopReason::EmptyConflictSet;
+    w.live = false;
+    return false;
+  }
+  ++w.stats.cycles;
+  ++w.stats.firings;
+  FiringRecord rec;
+  rec.prod_index = inst->prod_index;
+  rec.timetags = inst->tags_in_order();
+  if (options_.watch >= 1 && options_.out) {
+    *options_.out << "[w" << w.id << "] " << w.stats.cycles << ". "
+                  << symbol_name(
+                         pool_.program().productions()[inst->prod_index].name);
+    for (const TimeTag t : rec.timetags) *options_.out << " " << t;
+    *options_.out << "\n";
+  }
+  w.trace.push_back(std::move(rec));
+  WorldEffects fx(*this, w);
+  run_rhs(pool_.rhs()[inst->prod_index], pool_.program(), inst->wmes, *w.wm,
+          fx);
+  return true;
+}
+
+void BatchEngine::run_all() {
+  begin_run();
+  // Initial load: every world's pending changes enter the shared stream.
+  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+    World& w = pool_.world(i);
+    w.live = true;
+    for (const auto& [wme, sign] : w.pending) submit_change(w, wme, sign);
+    w.pending.clear();
+  }
+  wait_all_quiescent();
+  std::uint64_t round = 0;
+  if (options_.rr_faults) options_.rr_faults->set_cycle(round);
+  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+    World& w = pool_.world(i);
+    w.wm->collect();
+    apply_restored_refraction(w);
+    capture_digest(w);
+  }
+  // Batch rounds: every live world fires one instantiation and evaluates
+  // its RHS (root tasks from all worlds pipeline into the match), then ONE
+  // barrier covers them all — the per-cycle quiescence cost amortizes over
+  // the whole batch.
+  std::vector<std::uint32_t> fired;
+  fired.reserve(pool_.size());
+  for (;;) {
+    fired.clear();
+    for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+      World& w = pool_.world(i);
+      if (!w.live) continue;
+      if (fire_one(w)) fired.push_back(i);
+    }
+    if (fired.empty()) break;
+    wait_all_quiescent();
+    if (options_.rr_faults) options_.rr_faults->set_cycle(++round);
+    for (const std::uint32_t i : fired) {
+      World& w = pool_.world(i);
+      w.wm->collect();
+      capture_digest(w);
+    }
+  }
+  end_run();
+}
+
+RunResult BatchEngine::run_world(std::uint32_t wi) {
+  if (options_.match_processes > 0)
+    throw std::logic_error(
+        "run_world: single-world runs need inline match "
+        "(match_processes == 0); use run_all for the threaded pool");
+  World& w = pool_.world(wi);
+  for (const auto& [wme, sign] : w.pending) submit_change(w, wme, sign);
+  w.pending.clear();
+  w.wm->collect();
+  apply_restored_refraction(w);
+  capture_digest(w);
+  for (;;) {
+    w.live = true;
+    if (!fire_one(w)) break;
+    w.wm->collect();
+    capture_digest(w);
+  }
+  return result(wi);
+}
+
+}  // namespace psme::world

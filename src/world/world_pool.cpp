@@ -1,0 +1,103 @@
+#include "world/world.hpp"
+
+#include <stdexcept>
+
+namespace psme::world {
+
+std::uint64_t WorldPool::world_seed(std::uint64_t base, std::uint32_t id) {
+  // splitmix64 of (base + id): adjacent world ids get uncorrelated seeds.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+WorldPool::WorldPool(const ops5::Program& program,
+                     const EngineOptions& options, std::uint32_t num_worlds,
+                     int endpoints)
+    : program_(program),
+      options_(options),
+      endpoints_(endpoints),
+      network_(rete::build_network(program)) {
+  if (num_worlds == 0)
+    throw std::invalid_argument("WorldPool: need at least one world");
+  if (endpoints < 1)
+    throw std::invalid_argument("WorldPool: need at least one endpoint");
+  rhs_.reserve(program.productions().size());
+  for (const auto& prod : program.productions())
+    rhs_.push_back(compile_rhs(program, prod));
+  worlds_.reserve(num_worlds);
+  for (std::uint32_t i = 0; i < num_worlds; ++i) {
+    worlds_.push_back(std::make_unique<World>());
+    init_world(*worlds_.back(), i);
+  }
+}
+
+void WorldPool::init_world(World& w, std::uint32_t id) const {
+  w.id = id;
+  w.seed = world_seed(options_.seed, id);
+  w.wm = std::make_unique<WorkingMemory>(program_);
+  w.cs = std::make_unique<ConflictSet>(program_);
+  w.left_table =
+      std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+  w.right_table =
+      std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+  if (w.arenas.empty())
+    w.arenas = std::vector<match::BumpArena>(
+        static_cast<std::size_t>(endpoints_));
+  w.ctx.left_table = w.left_table.get();
+  w.ctx.right_table = w.right_table.get();
+  w.ctx.conflict_set = w.cs.get();
+  w.max_cycles = options_.max_cycles;
+}
+
+EngineSnapshot WorldPool::snapshot_world(std::uint32_t wi) const {
+  const World& w = world(wi);
+  EngineSnapshot snap;
+  snap.next_timetag = w.wm->last_timetag() + 1;
+  for (const Wme* wme : w.wm->snapshot())
+    snap.wmes.push_back({wme->timetag, wme->cls, wme->fields});
+  for (const Instantiation& inst : w.cs->snapshot())
+    if (inst.fired)
+      snap.fired.push_back({inst.prod_index, inst.tags_in_order()});
+  snap.trace = w.trace;
+  snap.cycles = w.stats.cycles;
+  snap.halted = w.halted;
+  return snap;
+}
+
+void WorldPool::reset_world(std::uint32_t wi) {
+  World& w = world(wi);
+  // Poison before the new state exists: any pointer that survived the
+  // reset now reads arena garbage, never a live token of the next epoch.
+  for (match::BumpArena& a : w.arenas) a.reset(/*poison=*/true);
+  w.trace.clear();
+  w.stats = RunStats{};
+  w.halted = false;
+  w.last_reason = StopReason::EmptyConflictSet;
+  w.pending.clear();
+  w.restored_fired.clear();
+  w.inline_queue.clear();
+  w.emit_buf.clear();
+  w.digests.clear();
+  w.live = false;
+  init_world(w, w.id);
+}
+
+void WorldPool::restore_world(std::uint32_t wi, const EngineSnapshot& snap) {
+  World& w = world(wi);
+  if (w.wm->size() != 0 || !w.trace.empty() || w.stats.cycles != 0)
+    throw std::logic_error("restore_world: world is not fresh (reset first)");
+  for (const WmeSnapshot& ws : snap.wmes) {
+    const Wme* wme = w.wm->make_with_tag(ws.timetag, ws.cls, ws.fields);
+    w.pending.emplace_back(wme, +1);
+  }
+  w.wm->set_next_tag(snap.next_timetag);
+  w.restored_fired = snap.fired;
+  w.trace = snap.trace;
+  w.stats.cycles = snap.cycles;
+  w.stats.firings = snap.cycles;
+  w.halted = snap.halted;
+}
+
+}  // namespace psme::world

@@ -10,6 +10,7 @@
 #include "engine/engine.hpp"
 #include "rr/digest.hpp"
 #include "workloads/workloads.hpp"
+#include "world/batch_engine.hpp"
 
 namespace psme {
 namespace {
@@ -192,6 +193,23 @@ TEST_P(WorkloadEquivalence, EnginesAgree) {
   sim_steal.options.match_processes = 7;
   sim_steal.options.scheduler = match::SchedulerKind::Steal;
   expect_same(run_mode(sim_steal), "simulator(steal)");
+
+  // The multi-world engine, inline and threaded: every slot of the batch
+  // must fire the single-engine trace (world_equivalence_test.cpp covers
+  // per-cycle digests; here the workload sweep covers program diversity).
+  for (const int procs : {0, 3}) {
+    EngineOptions wopt;
+    wopt.worlds = 4;
+    wopt.match_processes = procs;
+    wopt.max_cycles = 100000;
+    world::BatchEngine batch(program, wopt);
+    for (std::uint32_t slot = 0; slot < 4; ++slot)
+      for (const std::string& lit : w.initial_wmes) batch.make(slot, lit);
+    batch.run_all();
+    for (std::uint32_t slot = 0; slot < 4; ++slot)
+      expect_same(batch.world(slot).trace,
+                  procs == 0 ? "batch(inline)" : "batch(threaded)");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadEquivalence,

@@ -34,9 +34,9 @@ class InterleavingTest : public ::testing::TestWithParam<std::uint64_t> {
         left_(64),
         right_(64) {
     ctx_.strategy = MemoryStrategy::Hash;
-    ctx_.left_table = &left_;
-    ctx_.right_table = &right_;
-    ctx_.conflict_set = &cs_;
+    world_.left_table = &left_;
+    world_.right_table = &right_;
+    world_.conflict_set = &cs_;
     ctx_.arena = &arena_;
     ctx_.stats = &stats_;
   }
@@ -64,7 +64,7 @@ class InterleavingTest : public ::testing::TestWithParam<std::uint64_t> {
       const Task task = pool[pick];
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
       out.clear();
-      process_task(ctx_, *net_, task, out);
+      process_task(ctx_, world_, *net_, task, out);
       pool.insert(pool.end(), out.begin(), out.end());
     }
   }
@@ -90,6 +90,7 @@ class InterleavingTest : public ::testing::TestWithParam<std::uint64_t> {
   BumpArena arena_;
   MatchStats stats_;
   MatchContext ctx_;
+  WorldContext world_;
 };
 
 TEST_P(InterleavingTest, RandomSchedulesConvergeToTheSameConflictSet) {

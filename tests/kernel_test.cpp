@@ -30,10 +30,10 @@ class KernelTest : public ::testing::TestWithParam<MemoryStrategy> {
         right_(64),
         lists_(net_->num_list_memories()) {
     ctx_.strategy = GetParam();
-    ctx_.left_table = &left_;
-    ctx_.right_table = &right_;
-    ctx_.list_mems = &lists_;
-    ctx_.conflict_set = &cs_;
+    world_.left_table = &left_;
+    world_.right_table = &right_;
+    world_.list_mems = &lists_;
+    world_.conflict_set = &cs_;
     ctx_.arena = &arena_;
     ctx_.stats = &stats_;
   }
@@ -58,7 +58,7 @@ class KernelTest : public ::testing::TestWithParam<MemoryStrategy> {
       Task cur = q.front();
       q.pop_front();
       std::vector<Task> out;
-      process_task(ctx_, *net_, cur, out);
+      process_task(ctx_, world_, *net_, cur, out);
       for (const Task& n : out) q.push_back(n);
     }
   }
@@ -72,6 +72,7 @@ class KernelTest : public ::testing::TestWithParam<MemoryStrategy> {
   BumpArena arena_;
   MatchStats stats_;
   MatchContext ctx_;
+  WorldContext world_;
 };
 
 TEST_P(KernelTest, JoinProducesInstantiation) {

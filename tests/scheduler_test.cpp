@@ -48,6 +48,23 @@ TEST(WsDeque, OwnerPopIsLifoStealIsFifo) {
   EXPECT_EQ(d.steal(&t), WsDeque::Steal::Empty);
 }
 
+TEST(WsDeque, SlotHeaderRoundTripsTheWorldId) {
+  // The slot header word packs (kind, sign, world); a truncated world id
+  // would silently cross-wire batch worlds under work stealing.
+  WsDeque d(4);
+  Task t = dummy_task(77);
+  t.kind = TaskKind::JoinLeft;
+  t.sign = -1;
+  t.world = 0xdeadbeefu;  // full 32-bit range must survive
+  ASSERT_TRUE(d.push(t));
+  Task out;
+  ASSERT_TRUE(d.pop(&out));
+  EXPECT_EQ(out.kind, TaskKind::JoinLeft);
+  EXPECT_EQ(out.sign, -1);
+  EXPECT_EQ(out.world, 0xdeadbeefu);
+  EXPECT_EQ(tag_of(out), 77u);
+}
+
 TEST(WsDeque, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(WsDeque(5).capacity(), 8u);
   EXPECT_EQ(WsDeque(8).capacity(), 8u);

@@ -94,7 +94,7 @@ TEST(Session, RunSlicesRespectTheDeadline) {
                 steady_clock::now() + std::chrono::milliseconds(1));
   EXPECT_FALSE(r.ok);
   EXPECT_TRUE(r.text.starts_with("deadline cycles=")) << r.text;
-  const std::uint64_t done = s.engine().stats().cycles;
+  const std::uint64_t done = s.engine()->stats().cycles;
   EXPECT_GE(done, Session::kRunSlice);
   EXPECT_LT(done, 1000000u);
 
@@ -229,7 +229,7 @@ TEST(Server, DrainFinishesQueuedWorkThenRejects) {
   for (int i = 0; i < 10; ++i) futures.push_back(server.submit(id, "run 5"));
   server.drain();
   for (auto& f : futures) EXPECT_TRUE(f.get().ok);  // finished, not dropped
-  EXPECT_EQ(server.session(id)->engine().stats().cycles, 50u);
+  EXPECT_EQ(server.session(id)->engine()->stats().cycles, 50u);
 
   const Response rejected = server.call(id, "run 1");
   EXPECT_FALSE(rejected.ok);

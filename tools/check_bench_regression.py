@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""Gate the micro_match token-depth sweep against a committed baseline.
+"""Gate a psme.bench.v1 dump against a committed baseline.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
 
-Both files are psme.bench.v1 dumps from `micro_match --sweep --json FILE`.
-Rows are matched by `depth`; the check fails if any depth's ns_per_task
-exceeds baseline * (1 + tolerance). Depths present in only one file are
-reported but do not fail the gate (sweep shapes may grow over time).
+Two row schemas are understood, auto-detected from CURRENT:
+
+  - token-depth sweeps (`micro_match --sweep`): rows keyed by `depth`,
+    metric `ns_per_task`, lower is better;
+  - multi-world serving (`serve_throughput --worlds`): rows keyed by
+    `worlds`, metric `sessions_per_sec`, higher is better.
+
+Rows are matched key-for-key; the check fails if any matched row is more
+than `tolerance` worse than baseline (slower for ns_per_task, fewer
+sessions/sec for throughput). Keys present in only one file are reported
+but do not fail the gate (sweep shapes may grow over time). A baseline
+whose rows predate the current schema entirely (e.g. a pre-worlds
+serve_throughput dump) is skipped with a note instead of failing —
+regenerate the baseline to re-arm the gate.
 
 The default tolerance is 0.10 (the CI gate: >10% regression fails);
 override with --tolerance or the PSME_BENCH_TOLERANCE env var. The
@@ -20,19 +30,35 @@ import json
 import os
 import sys
 
+# (key field, metric field, True if higher is better)
+SCHEMAS = [
+    ("worlds", "sessions_per_sec", True),
+    ("depth", "ns_per_task", False),
+]
 
-def load_rows(path):
+
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "psme.bench.v1":
         sys.exit(f"{path}: not a psme.bench.v1 file")
+    return doc
+
+
+def extract_rows(doc, key, metric):
     rows = {}
     for row in doc.get("results", []):
-        if "depth" in row and "ns_per_task" in row:
-            rows[int(row["depth"])] = float(row["ns_per_task"])
-    if not rows:
-        sys.exit(f"{path}: no token-depth rows")
+        if key in row and metric in row:
+            rows[int(row[key])] = float(row[metric])
     return rows
+
+
+def detect_schema(doc, path):
+    for key, metric, higher in SCHEMAS:
+        rows = extract_rows(doc, key, metric)
+        if rows:
+            return key, metric, higher, rows
+    sys.exit(f"{path}: no rows matching any known bench schema")
 
 
 def main():
@@ -43,34 +69,44 @@ def main():
         "--tolerance",
         type=float,
         default=float(os.environ.get("PSME_BENCH_TOLERANCE", "0.10")),
-        help="allowed fractional slowdown vs baseline (default 0.10)",
+        help="allowed fractional regression vs baseline (default 0.10)",
     )
     args = ap.parse_args()
 
-    current = load_rows(args.current)
-    baseline = load_rows(args.baseline)
+    key, metric, higher, current = detect_schema(load_doc(args.current),
+                                                 args.current)
+    baseline = extract_rows(load_doc(args.baseline), key, metric)
+    if not baseline:
+        print(
+            f"NOTE: {args.baseline} has no ({key}, {metric}) rows — "
+            f"skipping the gate. Regenerate the baseline to re-arm it."
+        )
+        return 0
 
     failed = False
-    print(f"{'depth':>6} {'baseline':>12} {'current':>12} {'ratio':>8}")
-    for depth in sorted(set(current) | set(baseline)):
-        if depth not in baseline:
-            print(f"{depth:>6} {'-':>12} {current[depth]:>12.1f}    (new)")
+    print(f"{key:>6} {'baseline':>12} {'current':>12} {'ratio':>8}"
+          f"   ({metric}, {'higher' if higher else 'lower'} is better)")
+    for k in sorted(set(current) | set(baseline)):
+        if k not in baseline:
+            print(f"{k:>6} {'-':>12} {current[k]:>12.1f}    (new)")
             continue
-        if depth not in current:
-            print(f"{depth:>6} {baseline[depth]:>12.1f} {'-':>12}    (dropped)")
+        if k not in current:
+            print(f"{k:>6} {baseline[k]:>12.1f} {'-':>12}    (dropped)")
             continue
-        ratio = current[depth] / baseline[depth] if baseline[depth] else 0.0
+        ratio = current[k] / baseline[k] if baseline[k] else 0.0
+        # Normalize so > 1 always means "worse than baseline".
+        badness = (1.0 / ratio if ratio else float("inf")) if higher else ratio
         flag = ""
-        if ratio > 1.0 + args.tolerance:
+        if badness > 1.0 + args.tolerance:
             flag = "  REGRESSION"
             failed = True
         print(
-            f"{depth:>6} {baseline[depth]:>12.1f} {current[depth]:>12.1f} "
+            f"{k:>6} {baseline[k]:>12.1f} {current[k]:>12.1f} "
             f"{ratio:>8.3f}{flag}"
         )
     if failed:
         print(
-            f"FAIL: ns/task regressed more than "
+            f"FAIL: {metric} regressed more than "
             f"{args.tolerance:.0%} vs {args.baseline}"
         )
         return 1

@@ -13,6 +13,12 @@
 //                    lock-free deques with work stealing (default central)
 //   --locks {simple|mrsw}
 //   --strategy {lex|mea}
+//   --worlds N       run N independent copies of the program as world
+//                    slots of one world::BatchEngine (shared Rete network
+//                    + bytecode, per-world working memory); prints a
+//                    per-world stop summary. Sequential-kernel modes only.
+//   --no-vm          interpret the join tests instead of running the
+//                    compiled register bytecode (A/B comparison)
 //   --seed S         workload seed: selects --workload random's program and
 //                    is stamped into EngineOptions for record/replay
 //   --wm "(class ^attr value ...)"      add an initial wme (repeatable)
@@ -88,6 +94,7 @@ int main(int argc, char** argv) {
   bool print_net = false, dump_source = false, print_stats = false;
   bool dump_bytecode = false;
   bool analyze = false;
+  std::uint32_t worlds = 0;
   std::string mode = "seq";
 
   for (int i = 1; i < argc; ++i) {
@@ -127,6 +134,9 @@ int main(int argc, char** argv) {
     else if (arg == "--cycles") config.options.max_cycles =
         static_cast<std::uint64_t>(std::stoll(next()));
     else if (arg == "--watch") config.options.watch = std::stoi(next());
+    else if (arg == "--worlds") worlds =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--no-vm") config.options.match_vm = false;
     else if (arg == "--network") print_net = true;
     else if (arg == "--dump-bytecode") dump_bytecode = true;
     else if (arg == "--analyze") analyze = true;
@@ -156,6 +166,10 @@ int main(int argc, char** argv) {
   } else {
     usage("unknown mode");
   }
+  if (dump_bytecode && !config.options.match_vm)
+    usage("--dump-bytecode needs the bytecode VM; drop --no-vm");
+  if (worlds > 0 && config.mode != psme::ExecutionMode::Sequential)
+    usage("--worlds runs on the shared match kernel (seq/vs2 mode only)");
 
   // Resolve the program and initial working memory.
   std::string source;
@@ -208,6 +222,33 @@ int main(int argc, char** argv) {
               << psme::analysis::render_profile(
                      psme::analysis::profile_parallelism(
                          program, all_wmes, {}, config.options.max_cycles));
+    return 0;
+  }
+
+  if (worlds > 0) {
+    // Batched run: every world gets the same program + initial wmes and
+    // runs to its own stop. One compiled image serves them all.
+    psme::EngineOptions wopt = config.options;
+    wopt.worlds = worlds;
+    wopt.watch = 0;  // per-world watch output would interleave confusingly
+    psme::world::BatchEngine batch(program, wopt);
+    auto load_world = [&](std::uint32_t w) {
+      for (const std::string& lit : workload_wmes) batch.make(w, lit);
+      for (const std::string& lit : wmes) batch.make(w, lit);
+    };
+    for (std::uint32_t w = 0; w < worlds; ++w) load_world(w);
+    batch.run_all();
+    std::uint64_t cycles = 0, firings = 0;
+    for (std::uint32_t w = 0; w < worlds; ++w) {
+      const auto& stats = batch.world(w).stats;
+      cycles += stats.cycles;
+      firings += stats.firings;
+    }
+    std::cout << "; " << worlds << " worlds, one compiled network\n"
+              << "; total cycles: " << cycles
+              << ", total firings: " << firings << "\n"
+              << "; world 0 stopped after " << batch.world(0).stats.cycles
+              << " cycles, wm size " << batch.world(0).wm->size() << "\n";
     return 0;
   }
 
