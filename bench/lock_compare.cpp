@@ -1,0 +1,226 @@
+// Lock-discipline comparison: the 1988 lock study at modern scale.
+//
+// The paper weighed exclusive hash-line spin locks against
+// multiple-reader-single-writer locks (Tables 4-8/4-9). This bench adds
+// the third discipline — optimistic seqlock probes with commit-time
+// validation (docs/memory-layout.md) — and sweeps all three:
+//
+//   1. the Multimax simulator on the three paper programs plus an
+//      adversarial hot-line workload, 1..16 match processes, where the
+//      deterministic cost model exposes the crossover (these rows carry
+//      `ns_per_task` and feed the committed BENCH_locks_seed.json gate);
+//   2. the real threaded engine end to end on the hot-line workload,
+//      firing traces cross-checked against the sequential engine
+//      (informational — wall-clock rows are host-dependent and carry
+//      `match_ms` so the regression gate skips them).
+//
+// The hot-line workload is the Tourney pathology distilled: one production
+// whose two condition elements share no variables, so the compiled join
+// key is empty and every alpha/beta token lands on ONE hash line. MRSW
+// thrashes there (every insert is a writer; opposite-side conflicts
+// requeue), while Seqlock readers never take the line lock and pay only
+// discarded speculative probes.
+//
+// Shape check (enforced, exit 1): on the hot-line workload at 8+ workers
+// the simulator must rank Seqlock at or above MRSW throughput, and on the
+// uncontended paper programs at 1 worker Seqlock must stay within a few
+// percent of Simple (the fast path adds two sequence accesses only).
+//
+// Flags: --fast (reduced scale, same as PSME_BENCH_FAST=1) and
+// --json FILE (psme.bench.v1 rows; BENCH_locks_seed.json is the committed
+// fast-mode baseline).
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+
+using namespace psme;
+using namespace psme::bench;
+
+namespace {
+
+// See the file header: empty join keys aim every token at one line.
+ProgramSpec hotline(bool fast) {
+  const int n = fast ? 12 : 24;
+  workloads::Workload w;
+  w.name = "hotline";
+  w.source = R"(
+(literalize alpha id)
+(literalize beta id)
+(literalize gamma l r)
+
+(p cross
+  (alpha ^id <x>)
+  (beta ^id <y>)
+  -->
+  (make gamma ^l <x> ^r <y>))
+)";
+  for (int i = 0; i < n; ++i) {
+    w.initial_wmes.push_back("(alpha ^id " + std::to_string(i) + ")");
+    w.initial_wmes.push_back("(beta ^id " + std::to_string(i) + ")");
+  }
+  return {"Hotline", w};
+}
+
+// bench_common::run_sim with a cycle cap: the hot-line contention is all
+// in the initial insert wave, so a few firings suffice.
+SimOutcome run_sim_capped(const ProgramSpec& spec, int procs,
+                          match::LockScheme scheme,
+                          std::uint64_t max_cycles) {
+  auto program = ops5::Program::from_source(spec.workload.source);
+  EngineOptions opt;
+  opt.match_processes = procs;
+  opt.task_queues = procs > 1 ? procs : 1;
+  opt.lock_scheme = scheme;
+  opt.max_cycles = max_cycles;
+  sim::SimConfig cfg;
+  cfg.pipeline = true;
+  sim::SimEngine eng(program, opt, cfg);
+  workloads::load(eng, spec.workload);
+  eng.run();
+  return {eng.sim_match_seconds(), eng.sim_total_seconds(),
+          eng.match_stats()};
+}
+
+double ns_per_task(const SimOutcome& o) {
+  return o.stats.tasks_executed == 0
+             ? 0.0
+             : o.match_seconds * 1e9 /
+                   static_cast<double>(o.stats.tasks_executed);
+}
+
+struct SchemeSpec {
+  const char* label;
+  match::LockScheme scheme;
+};
+
+constexpr SchemeSpec kSchemes[] = {
+    {"simple", match::LockScheme::Simple},
+    {"mrsw", match::LockScheme::Mrsw},
+    {"seqlock", match::LockScheme::Seqlock},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) setenv("PSME_BENCH_FAST", "1", 1);
+  }
+  BenchJson json("lock_compare", argc, argv);
+  json.stamp("schemes", obs::Json("simple,mrsw,seqlock"));
+  const bool fast = fast_mode();
+
+  print_header("Lock comparison: simple vs MRSW vs seqlock hash lines",
+               "Tables 4-8/4-9 lock study, extended with seqlock probes");
+
+  // --- 1. simulator sweep --------------------------------------------------
+  // Virtual ns per executed task: lower is better, and deterministic — the
+  // cost model charges each discipline its own protocol (requeued re-scans
+  // for MRSW, 2*seq_read + re-paid probes per torn attempt for Seqlock).
+  const std::uint64_t kHotlineCycles = 10;
+  std::vector<ProgramSpec> specs = paper_programs();
+  specs.push_back(hotline(fast));
+  const int workers_list[] = {1, 2, 4, 8, 16};
+
+  std::printf("[sim] virtual ns/task (requeues | seq retries in brackets)\n\n");
+  // Recorded for the shape checks below.
+  double hot_mrsw_8 = 0, hot_seq_8 = 0, hot_mrsw_16 = 0, hot_seq_16 = 0;
+  double uncontended_worst_ratio = 0;
+  for (const ProgramSpec& ps : specs) {
+    const bool hot = ps.label == "Hotline";
+    const std::uint64_t cycles = hot ? kHotlineCycles : 10'000'000;
+    std::printf("%-10s %7s | %14s %22s %22s\n", ps.label.c_str(), "procs",
+                "simple", "mrsw", "seqlock");
+    for (const int p : workers_list) {
+      double ns[3] = {0, 0, 0};
+      std::uint64_t requeues = 0, retries = 0, fallbacks = 0;
+      for (int s = 0; s < 3; ++s) {
+        const SimOutcome o =
+            run_sim_capped(ps, p, kSchemes[s].scheme, cycles);
+        ns[s] = ns_per_task(o);
+        if (kSchemes[s].scheme == match::LockScheme::Mrsw)
+          requeues = o.stats.requeues;
+        if (kSchemes[s].scheme == match::LockScheme::Seqlock) {
+          retries = o.stats.seq_retries;
+          fallbacks = o.stats.seq_fallbacks;
+        }
+        obs::JsonObject row;
+        row.emplace_back("section", obs::Json("sim"));
+        row.emplace_back("workload", obs::Json(ps.label));
+        row.emplace_back("scheme", obs::Json(kSchemes[s].label));
+        row.emplace_back("workers", obs::Json(static_cast<double>(p)));
+        row.emplace_back("ns_per_task", obs::Json(ns[s]));
+        row.emplace_back("requeues",
+                         obs::Json(static_cast<double>(o.stats.requeues)));
+        row.emplace_back("seq_retries",
+                         obs::Json(static_cast<double>(o.stats.seq_retries)));
+        row.emplace_back(
+            "seq_fallbacks",
+            obs::Json(static_cast<double>(o.stats.seq_fallbacks)));
+        json.add(obs::Json(std::move(row)));
+      }
+      std::printf("%-10s %7d | %14.1f %14.1f [%5llu] %14.1f [%5llu]\n", "",
+                  p, ns[0], ns[1],
+                  static_cast<unsigned long long>(requeues), ns[2],
+                  static_cast<unsigned long long>(retries + fallbacks));
+      if (hot && p == 8) { hot_mrsw_8 = ns[1]; hot_seq_8 = ns[2]; }
+      if (hot && p == 16) { hot_mrsw_16 = ns[1]; hot_seq_16 = ns[2]; }
+      if (!hot && p == 1 && ns[0] > 0)
+        uncontended_worst_ratio =
+            std::max(uncontended_worst_ratio, ns[2] / ns[0]);
+    }
+    std::printf("\n");
+  }
+
+  // --- 2. threaded engine end to end ---------------------------------------
+  std::printf("[threads] hot-line workload end to end, firing traces "
+              "checked (informational)\n\n");
+  const ProgramSpec hot = hotline(fast);
+  auto program = ops5::Program::from_source(hot.workload.source);
+  EngineOptions seq_opt;
+  seq_opt.max_cycles = kHotlineCycles;
+  SequentialEngine seq(program, seq_opt);
+  workloads::load(seq, hot.workload);
+  seq.run();
+
+  std::printf("%-12s %12s %12s %12s %8s\n", "scheme", "match ms",
+              "requeues", "seq retries", "trace");
+  for (const SchemeSpec& ss : kSchemes) {
+    EngineOptions opt;
+    opt.match_processes = 4;
+    opt.task_queues = 2;
+    opt.lock_scheme = ss.scheme;
+    opt.max_cycles = kHotlineCycles;
+    ParallelEngine eng(program, opt);
+    workloads::load(eng, hot.workload);
+    const RunResult r = eng.run();
+    const bool trace_ok = eng.trace() == seq.trace();
+    std::printf("%-12s %12.3f %12llu %12llu %8s\n", ss.label,
+                r.stats.match_seconds * 1e3,
+                static_cast<unsigned long long>(r.stats.match.requeues),
+                static_cast<unsigned long long>(r.stats.match.seq_retries),
+                trace_ok ? "ok" : "DIVERGED");
+    if (!trace_ok) return 1;
+    obs::JsonObject row;
+    row.emplace_back("section", obs::Json("threads"));
+    row.emplace_back("workload", obs::Json(hot.label));
+    row.emplace_back("scheme", obs::Json(ss.label));
+    row.emplace_back("match_ms", obs::Json(r.stats.match_seconds * 1e3));
+    json.add(obs::Json(std::move(row)));
+  }
+
+  // --- 3. shape checks -----------------------------------------------------
+  std::printf("\nShape checks:\n");
+  bool ok = true;
+  auto require = [&](bool cond, const char* what) {
+    std::printf("  %-64s %s\n", what, cond ? "ok" : "FAIL");
+    ok &= cond;
+  };
+  require(hot_seq_8 <= hot_mrsw_8 * 1.05,
+          "hot line, 8 workers: seqlock >= mrsw throughput");
+  require(hot_seq_16 <= hot_mrsw_16 * 1.05,
+          "hot line, 16 workers: seqlock >= mrsw throughput");
+  require(uncontended_worst_ratio <= 1.10,
+          "paper programs, 1 worker: seqlock within 10% of simple");
+  return ok ? 0 : 1;
+}

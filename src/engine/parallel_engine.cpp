@@ -269,6 +269,58 @@ void ParallelEngine::execute_task(match::MatchContext& ctx,
         line_locks_.unlock_exclusive(line);
         break;
       }
+      if (line_locks_.scheme() == match::LockScheme::Seqlock) {
+        // Optimistic scheme: probe the opposite memory with no lock held,
+        // then validate the line's sequence under the writer lock before
+        // applying the memory update (kernel.hpp, SpecProbe). Negative
+        // nodes mutate opposite-side entries, so they run fully locked.
+        if (task.join->kind == rete::JoinKind::Negative) {
+          line_locks_.lock_writer(line, side, stats);
+          match::process_join(ctx, world, task, emit_buf, nullptr, &hash);
+          rr_commit();
+          lock_delay();
+          line_locks_.unlock_writer(line);
+          break;
+        }
+        std::uint32_t retries = 0;
+        bool committed = false;
+        while (!committed && retries <= match::kSeqlockMaxRetries) {
+          emit_buf.clear();
+          const std::uint32_t s0 = line_locks_.seq_begin(line);
+          match::SpecProbe spec;
+          match::speculate_join_probe(ctx, world, task, hash, emit_buf, spec);
+          if (!line_locks_.try_writer_commit(line, s0, side, stats)) {
+            ++retries;
+            continue;
+          }
+          const match::MemUpdate update =
+              match::process_join_update(ctx, world, task, nullptr, &hash);
+          if (update.outcome == match::MemUpdate::Outcome::Inserted ||
+              update.outcome == match::MemUpdate::Outcome::Removed) {
+            match::commit_spec_probe(ctx, task, spec);
+          } else {
+            emit_buf.clear();  // annihilated/parked: no probe happens
+          }
+          rr_commit();
+          lock_delay();
+          line_locks_.unlock_writer(line);
+          committed = true;
+        }
+        if (!committed) {
+          // Retry budget exhausted on a pathologically hot line: run the
+          // whole activation under the writer lock, like Simple would.
+          stats.seq_fallbacks += 1;
+          emit_buf.clear();
+          line_locks_.lock_writer(line, side, stats);
+          match::process_join(ctx, world, task, emit_buf, nullptr, &hash);
+          rr_commit();
+          lock_delay();
+          line_locks_.unlock_writer(line);
+        }
+        stats.seq_retries += retries;
+        if (stats.seq_retry_hist) stats.seq_retry_hist->record(retries);
+        break;
+      }
       // MRSW scheme.
       if (task.join->kind == rete::JoinKind::Negative) {
         if (!line_locks_.try_enter_exclusive(line, side, stats)) {

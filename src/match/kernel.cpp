@@ -235,21 +235,29 @@ MemUpdate process_join_update(MatchContext& ctx, WorldContext& world,
     }
     // Insert: claim the bucket's inline fast slot when free (no heap
     // Entry, no extra cache line), else push onto the overflow chain.
+    // Publication order matters under Seqlock: the payload is stored
+    // before the release store that makes the entry reachable (`live` for
+    // the fast slot, `head` for a chain entry), so a lock-free probe that
+    // observes the entry also observes its fields (memory.hpp).
     Entry* e;
     if (!b.own->fast.live) {
       e = &b.own->fast;
       e->next = nullptr;
       e->neg_count.store(0, std::memory_order_relaxed);
-      e->live = 1;
+      seq_store(e->token, task.token);
+      seq_store(e->wme, task.wme);
+      seq_store(e->hash, up.hash);
+      seq_store(e->node_id, j->id);
+      seq_store(e->live, std::uint8_t{1});
     } else {
       e = ctx.arena->make_entry();
+      e->token = task.token;
+      e->wme = task.wme;
+      e->hash = up.hash;
+      e->node_id = j->id;
       e->next = b.own->head;
-      b.own->head = e;
+      seq_store(b.own->head, e);
     }
-    e->token = task.token;
-    e->wme = task.wme;
-    e->hash = up.hash;
-    e->node_id = j->id;
     up.outcome = MemUpdate::Outcome::Inserted;
     up.entry = e;
     return up;
@@ -265,7 +273,7 @@ MemUpdate process_join_update(MatchContext& ctx, WorldContext& world,
     ++examined;
     if (entry_of_node(ctx, &b.own->fast, j, up.hash) &&
         same_payload(task, &b.own->fast)) {
-      b.own->fast.live = 0;
+      seq_store(b.own->fast.live, std::uint8_t{0});
       found = &b.own->fast;
     }
   }
@@ -274,10 +282,13 @@ MemUpdate process_join_update(MatchContext& ctx, WorldContext& world,
     for (Entry* e = b.own->head; e; e = e->next) {
       ++examined;
       if (entry_of_node(ctx, e, j, up.hash) && same_payload(task, e)) {
+        // Unlink with a release store: a concurrent speculative probe may
+        // be walking this chain; it sees either the old or the new link,
+        // both well-formed (the unlinked entry is never freed mid-run).
         if (prev) {
-          prev->next = e->next;
+          seq_store(prev->next, e->next);
         } else {
-          b.own->head = e->next;
+          seq_store(b.own->head, e->next);
         }
         found = e;
         break;
@@ -419,6 +430,60 @@ void process_join(MatchContext& ctx, WorldContext& world, const Task& task,
                   const std::uint64_t* hash_hint) {
   const MemUpdate up = process_join_update(ctx, world, task, cost, hash_hint);
   process_join_probe(ctx, world, task, up, out, cost);
+}
+
+void speculate_join_probe(MatchContext& ctx, WorldContext& world,
+                          const Task& task, std::uint64_t hash,
+                          std::vector<Task>& out, SpecProbe& spec) {
+  const rete::JoinNode* j = task.join;
+  assert(ctx.strategy == MemoryStrategy::Hash);
+  assert(j->kind == rete::JoinKind::Positive);
+  const Side side = task.side();
+  Bucket& opp = side == Side::Left ? world.right_table->bucket(hash)
+                                   : world.left_table->bucket(hash);
+  VmCounts vc;
+  VmCounts* vcp = ctx.code && j->vm_entry != rete::kNoProgram ? &vc : nullptr;
+  // Snapshot walk, fast slot first then the chain, all through seq_load:
+  // every pointer is arena-backed and never freed mid-run, so a torn view
+  // yields stale-but-safe entries whose results commit-time validation
+  // discards. The null checks can only fire on a tear (published entries
+  // always carry their side's payload) — cheap insurance, never semantics.
+  Entry* e = seq_load(opp.fast.live) ? &opp.fast : seq_load(opp.head);
+  while (e) {
+    ++spec.examined;
+    if (seq_load(e->node_id) == j->id && seq_load(e->hash) == hash) {
+      const Token* left = side == Side::Left ? task.token : seq_load(e->token);
+      const Wme* right = side == Side::Left ? seq_load(e->wme) : task.wme;
+      if (left && right && join_tests_pass(ctx, j, left, right, vcp)) {
+        const Token* extended = ctx.arena->make_token(left, right);
+        emit_to_successors(ctx, task, j, extended, task.sign, out);
+        ++spec.pairs;
+      }
+    } else {
+      ++spec.collisions;
+    }
+    e = e == &opp.fast ? seq_load(opp.head) : seq_load(e->next);
+  }
+  if (vcp) {
+    spec.vm_used = true;
+    spec.vm_loads = vc.loads;
+    spec.vm_tests = vc.tests;
+    spec.vm_branches = vc.branches;
+  }
+}
+
+void commit_spec_probe(MatchContext& ctx, const Task& task,
+                       const SpecProbe& spec) {
+  const int si = side_index(task.side());
+  ctx.stats->line_collisions += spec.collisions;
+  count_opp_examined(*ctx.stats, si, spec.examined);
+  count_bucket_chain(*ctx.stats, spec.examined);
+  ctx.stats->emissions += spec.pairs;
+  if (spec.vm_used) {
+    ctx.stats->vm_loads += spec.vm_loads;
+    ctx.stats->vm_tests += spec.vm_tests;
+    ctx.stats->vm_branches += spec.vm_branches;
+  }
 }
 
 void process_terminal(MatchContext& ctx, WorldContext& world,

@@ -61,6 +61,12 @@ void Observability::attach_worker(MatchStats& stats, int worker) {
                         "bucket entries walked per scan (inline fast slot "
                         "+ overflow chain, hash-prefilter misses included)"))
            .shard(worker);
+  stats.seq_retry_hist =
+      &registry
+           .histogram(h("psme.match.seq_retries_per_task", "retries",
+                        "speculative probe attempts discarded per join task "
+                        "(0 = first attempt committed; Seqlock scheme only)"))
+           .shard(worker);
 }
 
 void Observability::export_run_stats(const RunStats& stats,
@@ -92,6 +98,16 @@ void Observability::export_run_stats(const RunStats& stats,
                  "MRSW opposite-side conflicts put back on the queue",
                  "4-8"))
       .add(0, m.requeues);
+  registry
+      .counter(c("psme.match.seq_retries", "attempts",
+                 "speculative probes discarded by a torn line sequence "
+                 "(Seqlock scheme only)"))
+      .add(0, m.seq_retries);
+  registry
+      .counter(c("psme.match.seq_fallbacks", "activations",
+                 "join activations that exhausted the Seqlock retry budget "
+                 "and ran fully locked"))
+      .add(0, m.seq_fallbacks);
   registry
       .counter(c("psme.match.line_collisions", "entries",
                  "bucket entries skipped because their (node, key) hash "
@@ -230,7 +246,7 @@ void Observability::export_run_stats(const RunStats& stats,
 }
 
 void Observability::export_config(int match_processes, int task_queues,
-                                  bool mrsw_locks, bool work_stealing,
+                                  int lock_scheme, bool work_stealing,
                                   Registry& registry) {
   registry
       .gauge(g("psme.config.match_processes", "processes",
@@ -241,9 +257,10 @@ void Observability::export_config(int match_processes, int task_queues,
                "number of software task queues"))
       .set(task_queues);
   registry
-      .gauge(g("psme.config.mrsw_locks", "bool",
-               "1 when the MRSW hash-line lock scheme is active"))
-      .set(mrsw_locks ? 1 : 0);
+      .gauge(g("psme.config.lock_scheme", "enum",
+               "hash-line lock scheme: 0 simple, 1 MRSW, 2 seqlock "
+               "(match::LockScheme codes)"))
+      .set(lock_scheme);
   registry
       .gauge(g("psme.config.work_stealing", "bool",
                "1 when the work-stealing deque scheduler is active "

@@ -37,9 +37,11 @@ struct Observability {
   // Static exporters, usable with a bare Registry.
   static void export_run_stats(const RunStats& stats, Registry& registry);
   // Engine-configuration gauges (worker/queue counts, lock scheme,
-  // scheduler discipline).
+  // scheduler discipline). `lock_scheme` is the integer code of
+  // match::LockScheme (0 simple, 1 MRSW, 2 seqlock) — an int rather than
+  // the enum so obs does not depend on match headers.
   static void export_config(int match_processes, int task_queues,
-                            bool mrsw_locks, bool work_stealing,
+                            int lock_scheme, bool work_stealing,
                             Registry& registry);
 };
 

@@ -88,7 +88,7 @@ EngineOptions options_from(const RunSpec& spec) {
     throw std::invalid_argument("rr: unknown strategy: " + spec.strategy);
   if (!pick(spec.scheduler, {"central", "steal"}, &o.scheduler))
     throw std::invalid_argument("rr: unknown scheduler: " + spec.scheduler);
-  if (!pick(spec.lock_scheme, {"simple", "mrsw"}, &o.lock_scheme))
+  if (!pick(spec.lock_scheme, {"simple", "mrsw", "seqlock"}, &o.lock_scheme))
     throw std::invalid_argument("rr: unknown lock scheme: " +
                                 spec.lock_scheme);
   o.match_processes = spec.mode == "seq" ? 0 : spec.match_processes;
@@ -158,7 +158,7 @@ ReplayOutcome replay_run(const ReplayLog& log, obs::Observability* obs) {
     throw std::runtime_error("replay: bad strategy in log header");
   if (!pick(log.header.scheduler, {"central", "steal"}, &options.scheduler))
     throw std::runtime_error("replay: bad scheduler in log header");
-  if (!pick(log.header.lock_scheme, {"simple", "mrsw"},
+  if (!pick(log.header.lock_scheme, {"simple", "mrsw", "seqlock"},
             &options.lock_scheme))
     throw std::runtime_error("replay: bad lock scheme in log header");
   options.match_processes = log.header.match_processes;
@@ -284,7 +284,9 @@ RunSpec fuzz_spec(std::uint64_t seed, const FuzzOptions& opt) {
   spec.workload = workloads::random_program(seed, params);
   spec.mode = opt.mode;
   spec.scheduler = opt.scheduler;
-  spec.lock_scheme = "mrsw";
+  // Rotate the fuzz corpus across both contended lock disciplines so the
+  // fault plans exercise MRSW requeues and Seqlock retries alike.
+  spec.lock_scheme = seed % 2 == 0 ? "seqlock" : "mrsw";
   spec.match_processes = 3;
   spec.task_queues = 2;
   spec.seed = seed;

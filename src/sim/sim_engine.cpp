@@ -419,6 +419,61 @@ SubTask<bool> SimEngine::join_task(SimCpu& cpu, WorkerState& w,
     co_return true;
   }
 
+  if (options_.lock_scheme == match::LockScheme::Seqlock) {
+    // Optimistic discipline (match/line_locks.hpp). The simulator executes
+    // the activation functionally at its serialization point — under the
+    // writer lock, where the threaded engine validates its speculation —
+    // and models the speculative probes in the cost placement: only
+    // seq_write + the memory update are charged inside the lock; the probe
+    // scan (one run per attempt, seq_read each) is charged after release,
+    // which is exactly the reader-side concurrency the scheme buys.
+    // Commits that landed between the first speculative read (c0) and our
+    // acquisition are the torn attempts this task would have discarded.
+    SeqLine& L = seq_lines_[line];
+    const bool negative = task.join->kind == rete::JoinKind::Negative;
+    const std::uint64_t c0 = L.commits;
+    co_await sched_->acquire(cpu, L.writer, &st.line_probes[si],
+                             &st.line_acquisitions[si],
+                             st.line_probe_hist[si]);
+    ++L.commits;
+    match::ActivationCost ac;
+    const match::MemUpdate up =
+        match::process_join_update(w.ctx, world_, task, &ac, &hash);
+    co_await sched_->spend(cpu, cm.seq_write + update_cost(up, ac, task.sign));
+    match::ActivationCost ap;
+    match::process_join_probe(w.ctx, world_, task, up, emit, &ap);
+    std::uint64_t retries = 0;
+    bool probe_inside = negative;  // negatives run fully locked, no retries
+    if (!negative) {
+      retries = L.commits - 1 - c0;
+      if (retries > static_cast<std::uint64_t>(match::kSeqlockMaxRetries)) {
+        // Retry budget exhausted: the final run holds the lock for the
+        // whole activation, like Simple would.
+        retries = static_cast<std::uint64_t>(match::kSeqlockMaxRetries) + 1;
+        st.seq_fallbacks += 1;
+        probe_inside = true;
+      }
+      st.seq_retries += retries;
+      if (st.seq_retry_hist) st.seq_retry_hist->record(retries);
+    }
+    if (probe_inside) co_await sched_->spend(cpu, probe_cost(ap));
+    rr_commit();
+    if (options_.rr_faults)
+      if (const std::uint32_t mag = options_.rr_faults->lock_delay(w.id))
+        co_await sched_->spend(cpu, static_cast<VTime>(mag));
+    sched_->release(L.writer, cpu.now);
+    if (!negative) {
+      // Discarded attempts re-ran the scan lock-free; the committed probe
+      // too unless it fell back. Each attempt starts and validates with a
+      // sequence read.
+      const std::uint64_t attempts = retries + (probe_inside ? 0 : 1);
+      if (attempts > 0)
+        co_await sched_->spend(
+            cpu, attempts * (2 * cm.seq_read + probe_cost(ap)));
+    }
+    co_return true;
+  }
+
   // MRSW scheme (Section 3.2's complex locks).
   MrswLine& L = mrsw_lines_[line];
   const bool exclusive = task.join->kind == rete::JoinKind::Negative;
@@ -750,10 +805,19 @@ RunResult SimEngine::run() {
   if (steal_mode())
     deques_ = std::vector<SimDeque>(
         static_cast<std::size_t>(options_.match_processes) + 1);
-  if (options_.lock_scheme == match::LockScheme::Simple) {
-    simple_lines_ = std::vector<SimLock>(options_.hash_buckets);
-  } else {
-    mrsw_lines_ = std::vector<MrswLine>(options_.hash_buckets);
+  // Lock count follows the table's rounded (power-of-two) line count, not
+  // the requested bucket count — line_of() indexes the rounded space (same
+  // reasoning as ParallelEngine's lock table).
+  switch (options_.lock_scheme) {
+    case match::LockScheme::Simple:
+      simple_lines_ = std::vector<SimLock>(left_table_->size());
+      break;
+    case match::LockScheme::Mrsw:
+      mrsw_lines_ = std::vector<MrswLine>(left_table_->size());
+      break;
+    case match::LockScheme::Seqlock:
+      seq_lines_ = std::vector<SeqLine>(left_table_->size());
+      break;
   }
   task_count_ = 0;
   shutdown_ = false;

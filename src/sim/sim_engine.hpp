@@ -83,6 +83,14 @@ class SimEngine : public EngineBase {
     std::uint8_t flag = 0;  // 0 unused, 1 left, 2 right, 3 exclusive
     std::uint32_t users = 0;
   };
+  // Seqlock discipline: the writer lock (the threaded engine's
+  // modification lock) plus a commit counter standing in for the sequence
+  // word — commits that land between a task's first speculative read and
+  // its lock acquisition are exactly the torn attempts it would retry.
+  struct SeqLine {
+    SimLock writer;
+    std::uint64_t commits = 0;
+  };
   struct WorkerState {
     SimCpu* cpu = nullptr;
     match::BumpArena arena;
@@ -147,6 +155,7 @@ class SimEngine : public EngineBase {
   std::vector<SimDeque> deques_;  // steal discipline: P workers + control
   std::vector<SimLock> simple_lines_;
   std::vector<MrswLine> mrsw_lines_;
+  std::vector<SeqLine> seq_lines_;
   // Persistent across runs: the hash-table memories hold tokens allocated
   // from the workers' arenas, so worker state must outlive any single run.
   std::vector<std::unique_ptr<WorkerState>> workers_;

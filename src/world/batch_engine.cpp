@@ -5,6 +5,7 @@
 
 #include "common/spinlock.hpp"
 #include "common/symbol_table.hpp"
+#include "obs/metrics.hpp"
 #include "ops5/parser.hpp"
 #include "rr/digest.hpp"
 #include "rr/fault.hpp"
@@ -270,6 +271,52 @@ void BatchEngine::execute_task(match::MatchContext& ctx,
         line_locks_->lock_exclusive(line, side, stats);
         match::process_join(ctx, w.ctx, task, emit_buf, nullptr, &hash);
         line_locks_->unlock_exclusive(line);
+        break;
+      }
+      if (line_locks_->scheme() == match::LockScheme::Seqlock) {
+        // Optimistic probe + commit-time validation, as in
+        // ParallelEngine::execute_task. The lock line is shared across
+        // worlds (lock_line_of mixes the world id in), so a retry may be
+        // triggered by another world's commit on the same line — a false
+        // conflict, never a missed one: every writer of THIS world's
+        // bucket maps to this same line.
+        if (task.join->kind == rete::JoinKind::Negative) {
+          line_locks_->lock_writer(line, side, stats);
+          match::process_join(ctx, w.ctx, task, emit_buf, nullptr, &hash);
+          line_locks_->unlock_writer(line);
+          break;
+        }
+        std::uint32_t retries = 0;
+        bool committed = false;
+        while (!committed && retries <= match::kSeqlockMaxRetries) {
+          emit_buf.clear();
+          const std::uint32_t s0 = line_locks_->seq_begin(line);
+          match::SpecProbe spec;
+          match::speculate_join_probe(ctx, w.ctx, task, hash, emit_buf, spec);
+          if (!line_locks_->try_writer_commit(line, s0, side, stats)) {
+            ++retries;
+            continue;
+          }
+          const match::MemUpdate update =
+              match::process_join_update(ctx, w.ctx, task, nullptr, &hash);
+          if (update.outcome == match::MemUpdate::Outcome::Inserted ||
+              update.outcome == match::MemUpdate::Outcome::Removed) {
+            match::commit_spec_probe(ctx, task, spec);
+          } else {
+            emit_buf.clear();  // annihilated/parked: no probe happens
+          }
+          line_locks_->unlock_writer(line);
+          committed = true;
+        }
+        if (!committed) {
+          stats.seq_fallbacks += 1;
+          emit_buf.clear();
+          line_locks_->lock_writer(line, side, stats);
+          match::process_join(ctx, w.ctx, task, emit_buf, nullptr, &hash);
+          line_locks_->unlock_writer(line);
+        }
+        stats.seq_retries += retries;
+        if (stats.seq_retry_hist) stats.seq_retry_hist->record(retries);
         break;
       }
       // MRSW scheme (see ParallelEngine::execute_task for the protocol).

@@ -49,7 +49,7 @@ std::set<std::string> exported_names() {
   MatchStats stats;
   obs.attach_worker(stats, 0);
   obs.export_run(RunStats{});
-  Observability::export_config(4, 2, true, false, obs.registry);
+  Observability::export_config(4, 2, 1, false, obs.registry);
   const auto names = obs.registry.metric_names();
   return {names.begin(), names.end()};
 }
@@ -88,7 +88,7 @@ TEST(ObservabilityDoc, EveryMetricHasUnitAndHelp) {
   MatchStats stats;
   obs.attach_worker(stats, 0);
   obs.export_run(RunStats{});
-  Observability::export_config(4, 2, true, false, obs.registry);
+  Observability::export_config(4, 2, 1, false, obs.registry);
   for (const MetricDesc& d : obs.registry.descs()) {
     EXPECT_FALSE(d.unit.empty()) << d.name;
     EXPECT_FALSE(d.help.empty()) << d.name;

@@ -126,7 +126,8 @@ TEST(WorldEquivalence, Batch64WorldsEqualsSixtyFourSequentialRuns) {
   // The threaded pool interleaves every world's tasks over shared workers
   // and a shared lock array; per-world results must not change.
   for (const auto scheme :
-       {match::LockScheme::Simple, match::LockScheme::Mrsw}) {
+       {match::LockScheme::Simple, match::LockScheme::Mrsw,
+        match::LockScheme::Seqlock}) {
     EngineOptions topt = opt;
     topt.match_processes = 3;
     topt.task_queues = 2;
@@ -136,9 +137,9 @@ TEST(WorldEquivalence, Batch64WorldsEqualsSixtyFourSequentialRuns) {
     load_batch(threaded, wl);
     threaded.run_all();
     expect_worlds_match(threaded, refs,
-                        scheme == match::LockScheme::Simple
-                            ? "threaded/simple"
-                            : "threaded/mrsw");
+                        scheme == match::LockScheme::Simple ? "threaded/simple"
+                        : scheme == match::LockScheme::Mrsw ? "threaded/mrsw"
+                                                            : "threaded/seqlock");
   }
 }
 

@@ -3,8 +3,11 @@
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
 
-Two row schemas are understood, auto-detected from CURRENT:
+Three row schemas are understood, auto-detected from CURRENT:
 
+  - lock-discipline sweeps (`lock_compare`): rows keyed by the composite
+    (`workload`, `scheme`, `workers`), metric `ns_per_task`, lower is
+    better;
   - token-depth sweeps (`micro_match --sweep`): rows keyed by `depth`,
     metric `ns_per_task`, lower is better;
   - multi-world serving (`serve_throughput --worlds`): rows keyed by
@@ -30,11 +33,18 @@ import json
 import os
 import sys
 
-# (key field, metric field, True if higher is better)
+# (key field or tuple of key fields, metric field, True if higher is better)
 SCHEMAS = [
+    (("workload", "scheme", "workers"), "ns_per_task", False),
     ("worlds", "sessions_per_sec", True),
     ("depth", "ns_per_task", False),
 ]
+
+
+def row_key(row, field):
+    """One component of a row key: ints stay ints, strings stay strings."""
+    v = row[field]
+    return int(v) if isinstance(v, (int, float)) else str(v)
 
 
 def load_doc(path):
@@ -47,10 +57,17 @@ def load_doc(path):
 
 def extract_rows(doc, key, metric):
     rows = {}
+    fields = key if isinstance(key, tuple) else (key,)
     for row in doc.get("results", []):
-        if key in row and metric in row:
-            rows[int(row[key])] = float(row[metric])
+        if metric not in row or not all(f in row for f in fields):
+            continue
+        k = tuple(row_key(row, f) for f in fields)
+        rows[k if isinstance(key, tuple) else k[0]] = float(row[metric])
     return rows
+
+
+def fmt_key(k):
+    return "/".join(str(c) for c in k) if isinstance(k, tuple) else str(k)
 
 
 def detect_schema(doc, path):
@@ -84,14 +101,18 @@ def main():
         return 0
 
     failed = False
-    print(f"{key:>6} {'baseline':>12} {'current':>12} {'ratio':>8}"
+    key_name = "/".join(key) if isinstance(key, tuple) else key
+    width = max(len(key_name), 6,
+                *(len(fmt_key(k)) for k in set(current) | set(baseline)))
+    print(f"{key_name:>{width}} {'baseline':>12} {'current':>12} {'ratio':>8}"
           f"   ({metric}, {'higher' if higher else 'lower'} is better)")
     for k in sorted(set(current) | set(baseline)):
+        kl = fmt_key(k)
         if k not in baseline:
-            print(f"{k:>6} {'-':>12} {current[k]:>12.1f}    (new)")
+            print(f"{kl:>{width}} {'-':>12} {current[k]:>12.1f}    (new)")
             continue
         if k not in current:
-            print(f"{k:>6} {baseline[k]:>12.1f} {'-':>12}    (dropped)")
+            print(f"{kl:>{width}} {baseline[k]:>12.1f} {'-':>12}    (dropped)")
             continue
         ratio = current[k] / baseline[k] if baseline[k] else 0.0
         # Normalize so > 1 always means "worse than baseline".
@@ -101,7 +122,7 @@ def main():
             flag = "  REGRESSION"
             failed = True
         print(
-            f"{k:>6} {baseline[k]:>12.1f} {current[k]:>12.1f} "
+            f"{kl:>{width}} {baseline[k]:>12.1f} {current[k]:>12.1f} "
             f"{ratio:>8.3f}{flag}"
         )
     if failed:

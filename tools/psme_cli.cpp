@@ -11,7 +11,10 @@
 //   --sched {central|steal}   task scheduler for threads/sim modes:
 //                    the paper's central spin-locked queues, or per-worker
 //                    lock-free deques with work stealing (default central)
-//   --locks {simple|mrsw}
+//   --locks {simple|mrsw|seqlock}   hash-line lock scheme: exclusive spin
+//                    locks, the paper's multiple-reader-single-writer
+//                    locks, or optimistic seqlock probes with commit-time
+//                    validation (threads/sim/worlds kernels)
 //   --strategy {lex|mea}
 //   --worlds N       run N independent copies of the program as world
 //                    slots of one world::BatchEngine (shared Rete network
@@ -121,6 +124,8 @@ int main(int argc, char** argv) {
           psme::match::LockScheme::Simple;
       else if (v == "mrsw") config.options.lock_scheme =
           psme::match::LockScheme::Mrsw;
+      else if (v == "seqlock") config.options.lock_scheme =
+          psme::match::LockScheme::Seqlock;
       else usage("unknown lock scheme");
     } else if (arg == "--strategy") {
       const std::string v = next();
@@ -277,7 +282,7 @@ int main(int argc, char** argv) {
     obs.export_run(result.stats);
     psme::obs::Observability::export_config(
         config.options.match_processes, config.options.task_queues,
-        config.options.lock_scheme == psme::match::LockScheme::Mrsw,
+        static_cast<int>(config.options.lock_scheme),
         config.options.scheduler == psme::match::SchedulerKind::Steal,
         obs.registry);
     if (!metrics_path.empty()) {

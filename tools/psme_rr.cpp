@@ -9,7 +9,10 @@
 //   --workload {weaver|rubik|tourney|tourney-fixed|random}
 //   --mode {seq|threads|sim}   engine to record (default threads)
 //   --sched {central|steal}    task-scheduling discipline
-//   --locks {simple|mrsw}      hash-line lock scheme
+//   --locks {simple|mrsw|seqlock}   hash-line lock scheme: exclusive spin
+//                              locks, the paper's multiple-reader-single-
+//                              writer locks, or optimistic seqlock probes
+//                              with commit-time validation
 //   --strategy {lex|mea}
 //   --procs N --queues N --cycles N
 //   --seed S                   workload seed (selects `random`'s program)

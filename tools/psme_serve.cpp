@@ -19,6 +19,8 @@
 //   --queue-cap N     server request-queue capacity           (default 1024)
 //   --mode M          engine mode: seq|lisp|threads|sim|treat (default sim)
 //   --procs N         match processes for threads/sim modes   (default 4)
+//   --locks S         hash-line lock scheme for threads/sim
+//                     modes: simple|mrsw|seqlock           (default simple)
 //   --cycles N        loadgen: cycles per run slice           (default 25)
 //   --slices N        loadgen: run slices per session         (default 4)
 //   --think-ms X      loadgen: closed-loop think time         (default 0)
@@ -71,7 +73,8 @@ int repl(const psme::ops5::Program& program, psme::EngineConfig config,
 
 int main(int argc, char** argv) {
   bool loadgen = false, use_stdin = false;
-  std::string mode = "sim", workload_name, program_path, json_path;
+  std::string mode = "sim", locks = "simple", workload_name, program_path,
+      json_path;
   int procs = 4;
   psme::serve::ServerConfig server_config;
   psme::serve::LoadGenConfig gen;
@@ -92,6 +95,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::stoll(next()));
     else if (arg == "--mode") mode = next();
     else if (arg == "--procs") procs = std::stoi(next());
+    else if (arg == "--locks") locks = next();
     else if (arg == "--cycles") gen.run_cycles = std::stoi(next());
     else if (arg == "--slices") gen.run_slices = std::stoi(next());
     else if (arg == "--think-ms") gen.think_ms = std::stod(next());
@@ -124,6 +128,14 @@ int main(int argc, char** argv) {
   } else {
     usage("unknown mode");
   }
+  if (locks == "simple")
+    config.options.lock_scheme = psme::match::LockScheme::Simple;
+  else if (locks == "mrsw")
+    config.options.lock_scheme = psme::match::LockScheme::Mrsw;
+  else if (locks == "seqlock")
+    config.options.lock_scheme = psme::match::LockScheme::Seqlock;
+  else
+    usage("unknown lock scheme");
 
   try {
     if (use_stdin) {
