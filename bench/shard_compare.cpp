@@ -1,0 +1,144 @@
+// shard_compare: sessions/sec and ns/task versus shard count, on both
+// psme.shard.v1 transports, for the three paper workloads.
+//
+// Two throughput columns per row:
+//
+//  - virt/s: sessions per VIRTUAL second — the interconnect-priced
+//    makespan (max over contacted shards per round of request cost +
+//    shard compute + reply cost, CostModel at 0.75 MIPS with
+//    msg_fixed/msg_per_byte batch pricing). Deterministic: a fixed
+//    workload and topology always produce the same number, so this is
+//    the column BENCH_shard_seed.json gates in CI. It models an
+//    Encore-class machine with one processor per shard, which is the
+//    honest way to show shard scaling on a small CI box — see
+//    EXPERIMENTS.md for the wall-clock caveat.
+//  - wall/s: sessions per wall-clock second, printed for reference and
+//    NOT gated (noisy, and on a single-core runner the shard threads/
+//    processes time-slice one CPU, so it understates real scaling).
+//
+// `--json FILE` mirrors every row (schema psme.bench.v1, keyed by
+// workload/transport/shards, metric sessions_per_sec = the virtual
+// column); tools/check_bench_regression.py compares against the
+// committed BENCH_shard_seed.json.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "shard/shard_group.hpp"
+
+namespace psme::bench {
+namespace {
+
+struct Row {
+  std::uint64_t sessions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t tasks = 0;
+  double virt_seconds = 0;
+  double wall_seconds = 0;
+  shard::GroupStats stats;
+};
+
+Row run_group(const ops5::Program& program, const workloads::Workload& wl,
+              std::uint16_t shards, shard::TransportKind transport,
+              std::uint32_t sessions) {
+  EngineOptions opt;
+  opt.hash_buckets = 64;
+  shard::ShardGroupConfig cfg;
+  cfg.shards = shards;
+  cfg.sessions = sessions;
+  cfg.transport = transport;
+  shard::ShardGroup group(program, opt, cfg);
+  for (std::uint32_t s = 0; s < sessions; ++s)
+    for (const std::string& lit : wl.initial_wmes) group.make(s, lit);
+  const auto t0 = std::chrono::steady_clock::now();
+  group.run_all();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.sessions = sessions;
+  for (std::uint32_t s = 0; s < sessions; ++s)
+    row.cycles += group.result(s).stats.cycles;
+  row.stats = group.group_stats();
+  row.tasks = row.stats.tasks;
+  row.virt_seconds = cfg.cost.to_seconds(row.stats.makespan_vtime);
+  row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return row;
+}
+
+}  // namespace
+}  // namespace psme::bench
+
+int main(int argc, char** argv) {
+  using namespace psme;
+  using namespace psme::bench;
+
+  BenchJson json("shard_compare", argc, argv);
+  const bool fast = fast_mode();
+  const std::uint32_t sessions = fast ? 4 : 16;
+  json.stamp("sessions", obs::Json(std::uint64_t{sessions}));
+
+  std::vector<ProgramSpec> specs;
+  specs.push_back({"weaver", workloads::weaver(fast ? 6 : 16, 2)});
+  specs.push_back({"rubik", workloads::rubik(fast ? 6 : 12)});
+  specs.push_back({"tourney", workloads::tourney(fast ? 6 : 10, false)});
+
+  std::printf("\n=== shard_compare: sessions/sec vs shard count ===\n");
+  std::printf("(virt/s gated against BENCH_shard_seed.json; wall/s "
+              "informational)\n\n");
+  std::printf("%-8s %-7s %6s %9s %9s %9s %10s %8s\n", "workload",
+              "transport", "shards", "virt/s", "speedup", "wall/s",
+              "ns/task", "fwd");
+
+  for (const ProgramSpec& spec : specs) {
+    const auto program = ops5::Program::from_source(spec.workload.source);
+    for (const shard::TransportKind transport :
+         {shard::TransportKind::InProc, shard::TransportKind::Socket}) {
+      const char* tname =
+          transport == shard::TransportKind::Socket ? "socket" : "inproc";
+      double base_virt = 0;
+      for (const std::uint16_t shards : {1, 2, 4, 8}) {
+        const Row row =
+            run_group(program, spec.workload, shards, transport, sessions);
+        const double virt_sps =
+            row.virt_seconds > 0 ? row.sessions / row.virt_seconds : 0;
+        const double wall_sps =
+            row.wall_seconds > 0 ? row.sessions / row.wall_seconds : 0;
+        const double ns_per_task =
+            row.tasks > 0 ? row.wall_seconds * 1e9 / row.tasks : 0;
+        if (shards == 1) base_virt = virt_sps;
+        const double speedup = base_virt > 0 ? virt_sps / base_virt : 0;
+        std::printf("%-8s %-7s %6u %9.2f %8.2fx %9.1f %10.1f %8llu\n",
+                    spec.label.c_str(), tname, shards, virt_sps, speedup,
+                    wall_sps, ns_per_task,
+                    static_cast<unsigned long long>(row.stats.forwards));
+
+        obs::JsonObject r;
+        r.emplace_back("label", obs::Json(spec.label + "/" + tname +
+                                          "/s" + std::to_string(shards)));
+        r.emplace_back("workload", obs::Json(spec.label));
+        r.emplace_back("transport", obs::Json(tname));
+        r.emplace_back("shards", obs::Json(std::uint64_t{shards}));
+        r.emplace_back("sessions", obs::Json(row.sessions));
+        r.emplace_back("cycles", obs::Json(row.cycles));
+        r.emplace_back("tasks", obs::Json(row.tasks));
+        // The gated metric: deterministic, interconnect-priced.
+        r.emplace_back("sessions_per_sec", obs::Json(virt_sps));
+        r.emplace_back("speedup_vs_one_shard", obs::Json(speedup));
+        r.emplace_back("wall_sessions_per_sec", obs::Json(wall_sps));
+        r.emplace_back("ns_per_task_wall", obs::Json(ns_per_task));
+        r.emplace_back("makespan_vtime",
+                       obs::Json(std::uint64_t{row.stats.makespan_vtime}));
+        r.emplace_back("compute_vtime",
+                       obs::Json(std::uint64_t{row.stats.compute_vtime}));
+        r.emplace_back("comm_vtime",
+                       obs::Json(std::uint64_t{row.stats.comm_vtime}));
+        r.emplace_back("bytes",
+                       obs::Json(std::uint64_t{row.stats.bytes_sent +
+                                               row.stats.bytes_received}));
+        r.emplace_back("forwards", obs::Json(row.stats.forwards));
+        json.add(obs::Json(std::move(r)));
+      }
+    }
+  }
+  return 0;
+}

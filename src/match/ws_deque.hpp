@@ -12,10 +12,15 @@
 // spills to a spin-locked overflow list (see scheduler.hpp), which keeps
 // every slot access inside a bounded, pre-allocated array.
 //
-// Slots store the 5-word Task packed into relaxed atomic words, so a thief
-// racing a wrapped-around owner reads torn-but-discarded data instead of a
-// data race: if the owner overwrote the slot, the owner must first have
-// observed top past the thief's index, and the thief's CAS fails.
+// Slots store the 5-word Task packed into atomic words, so a thief racing
+// a wrapped-around owner reads torn-but-discarded data instead of a data
+// race: if the owner overwrote the slot, the owner must first have
+// observed top past the thief's index, and the thief's CAS fails. The
+// payload words are published per slot — pointers stored relaxed, then the
+// header word with release; the reader loads the header with acquire
+// before the pointers. That pairing (rather than leaning on the batch
+// fence alone) also hands the thief a happens-before edge to the pointed-
+// to Token/Wme contents, which fences hide from ThreadSanitizer.
 #pragma once
 
 #include <atomic>
@@ -109,7 +114,7 @@ class WsDeque {
  private:
   // A Task flattened into 5 independently-atomic words. Torn reads across
   // words are possible for a thief that subsequently loses its CAS; every
-  // consumed value was published by the owner's release fence.
+  // consumed value was published by the owner's release store of w[0].
   struct Slot {
     std::atomic<std::uint64_t> w[5];
   };
@@ -131,7 +136,6 @@ class WsDeque {
                                     static_cast<std::uint8_t>(t.sign))
                                 << 8) |
                                (static_cast<std::uint64_t>(t.world) << 16);
-    s.w[0].store(head, std::memory_order_relaxed);
     s.w[1].store(reinterpret_cast<std::uintptr_t>(t.join),
                  std::memory_order_relaxed);
     s.w[2].store(reinterpret_cast<std::uintptr_t>(t.terminal),
@@ -140,11 +144,15 @@ class WsDeque {
                  std::memory_order_relaxed);
     s.w[4].store(reinterpret_cast<std::uintptr_t>(t.wme),
                  std::memory_order_relaxed);
+    // Header last, with release: a reader that acquires w[0] sees the
+    // pointer words above AND everything the owner wrote into the pointed-
+    // to Token/Wme before pushing.
+    s.w[0].store(head, std::memory_order_release);
   }
 
   Task load_slot(std::int64_t idx) const {
     const Slot& s = slots_[static_cast<std::size_t>(idx) & mask_];
-    const std::uint64_t head = s.w[0].load(std::memory_order_relaxed);
+    const std::uint64_t head = s.w[0].load(std::memory_order_acquire);
     Task t;
     t.kind = static_cast<TaskKind>(head & 0xff);
     t.sign = static_cast<std::int8_t>(

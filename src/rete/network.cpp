@@ -47,6 +47,7 @@ NetworkCounts Network::counts() const {
   for (const auto& j : joins_) {
     if (j->kind == JoinKind::Negative) ++c.negative_nodes;
     if (j->succs.size() > 1) ++c.shared_join_nodes;
+    if (j->keyless()) ++c.keyless_join_nodes;
   }
   for (const auto& n : ct_nodes_) {
     ++c.constant_test_nodes;

@@ -132,6 +132,11 @@ struct JoinNode {
   // Entry pc of the compiled variable-test program (eq_tests + preds) in
   // Network::code(); kNoProgram for hand-built networks.
   std::uint32_t vm_entry = kNoProgram;
+
+  // Partition metadata (src/shard/partition.hpp): a keyless join hashes
+  // to hash_seed alone, so every activation of it lands on one shard —
+  // the documented fallback that replaces broadcasting its activations.
+  bool keyless() const { return left_key.empty(); }
 };
 
 struct TerminalNode {
@@ -149,6 +154,7 @@ struct NetworkCounts {
   std::size_t join_nodes = 0;
   std::size_t negative_nodes = 0;
   std::size_t shared_join_nodes = 0;  // joins with >1 successor
+  std::size_t keyless_join_nodes = 0;  // single-owner fallback when sharded
   std::size_t terminal_nodes = 0;
 };
 

@@ -80,6 +80,7 @@ std::string print_network(const Network& net, const ops5::Program& program) {
      << " alphas=" << c.alpha_programs << " joins=" << c.join_nodes
      << " negative=" << c.negative_nodes
      << " shared_joins=" << c.shared_join_nodes
+     << " keyless=" << c.keyless_join_nodes
      << " terminals=" << c.terminal_nodes << "\n";
   return os.str();
 }

@@ -132,17 +132,30 @@ bool ConflictSet::dominates(const Instantiation& a, const Instantiation& b,
   return a.tags_in_order() < b.tags_in_order();
 }
 
-std::optional<Instantiation> ConflictSet::select_and_fire(
-    CrStrategy strategy) {
-  SpinGuard g(lock_);
-  Instantiation* best = nullptr;
-  for (auto& [key, inst] : entries_) {
+const Instantiation* ConflictSet::best_unfired_locked(
+    CrStrategy strategy) const {
+  const Instantiation* best = nullptr;
+  for (const auto& [key, inst] : entries_) {
     (void)key;
     if (inst.fired || inst.refcount <= 0) continue;
     if (!best || dominates(inst, *best, strategy)) best = &inst;
   }
+  return best;
+}
+
+std::optional<Instantiation> ConflictSet::select_and_fire(
+    CrStrategy strategy) {
+  SpinGuard g(lock_);
+  const Instantiation* best = best_unfired_locked(strategy);
   if (!best) return std::nullopt;
-  best->fired = true;
+  const_cast<Instantiation*>(best)->fired = true;
+  return *best;
+}
+
+std::optional<Instantiation> ConflictSet::peek(CrStrategy strategy) const {
+  SpinGuard g(lock_);
+  const Instantiation* best = best_unfired_locked(strategy);
+  if (!best) return std::nullopt;
   return *best;
 }
 

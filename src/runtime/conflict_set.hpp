@@ -66,6 +66,13 @@ class ConflictSet {
   // process only).
   std::optional<Instantiation> select_and_fire(CrStrategy strategy);
 
+  // Picks the dominant unfired instantiation WITHOUT marking it fired.
+  // The sharded match uses this for the propose phase: each shard peeks
+  // its local dominant, the coordinator merges the candidates under the
+  // same total order, and only the global winner's shard gets a
+  // mark_fired. Must be called at quiescence.
+  std::optional<Instantiation> peek(CrStrategy strategy) const;
+
   // Checkpoint restore: marks the live instantiation of `prod_index` whose
   // positive CEs carry exactly `tags` (in CE order) as already fired, so a
   // resumed run does not fire it again. Returns false when no live
@@ -103,6 +110,9 @@ class ConflictSet {
   };
 
   static Key key_of(std::uint32_t prod_index, const Token* token);
+
+  // Scan for the dominant unfired entry. Caller holds lock_.
+  const Instantiation* best_unfired_locked(CrStrategy strategy) const;
 
   const ops5::Program& program_;
   mutable SpinLock lock_;

@@ -1,6 +1,23 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+
+#include "shard/shard_group.hpp"
+
 namespace psme::serve {
+
+namespace {
+
+// Admission control shared by every open_* path. Call with mu_ held.
+void admit(std::size_t live, std::size_t adding, std::size_t cap) {
+  if (cap != 0 && live + adding > cap)
+    throw std::runtime_error("admission: session capacity " +
+                             std::to_string(cap) + " reached (live=" +
+                             std::to_string(live) + ", requested=" +
+                             std::to_string(adding) + ")");
+}
+
+}  // namespace
 
 Server::Server(ServerConfig config)
     : config_(config), epoch_(std::chrono::steady_clock::now()) {
@@ -28,6 +45,7 @@ SessionId Server::open_session(const ops5::Program& program,
   auto entry = std::make_shared<Entry>();
   entry->session = std::make_unique<Session>(program, config);
   std::lock_guard<std::mutex> lk(mu_);
+  admit(sessions_.size(), 1, config_.max_sessions);
   const SessionId id = next_id_++;
   sessions_.emplace(id, std::move(entry));
   return id;
@@ -51,7 +69,52 @@ std::vector<SessionId> Server::open_batch_sessions(const ops5::Program& program,
   std::vector<SessionId> ids;
   ids.reserve(count);
   std::lock_guard<std::mutex> lk(mu_);
+  admit(sessions_.size(), count, config_.max_sessions);
   batches_.push_back(std::move(batch));
+  for (auto& entry : entries) {
+    const SessionId id = next_id_++;
+    sessions_.emplace(id, std::move(entry));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<SessionId> Server::open_shard_sessions(
+    const ops5::Program& program, EngineConfig config, std::uint32_t count,
+    std::uint16_t shards, shard::TransportKind transport,
+    std::uint16_t lanes) {
+  if (count == 0)
+    throw std::invalid_argument("open_shard_sessions: count must be >= 1");
+  if (lanes == 0 || lanes > count)
+    throw std::invalid_argument(
+        "open_shard_sessions: lanes must be in [1, count]");
+  // Contiguous blocks: lane l serves sessions [l*per, ...), the last lane
+  // takes the remainder. Compile + fork outside the server lock; the
+  // SocketTransport forks in the ShardGroup constructor.
+  const std::uint32_t per = (count + lanes - 1) / lanes;
+  std::vector<std::unique_ptr<shard::ShardGroup>> groups;
+  std::vector<std::shared_ptr<Entry>> entries;
+  entries.reserve(count);
+  for (std::uint32_t begin = 0; begin < count; begin += per) {
+    const std::uint32_t n = std::min(per, count - begin);
+    shard::ShardGroupConfig scfg;
+    scfg.shards = shards;
+    scfg.sessions = n;
+    scfg.transport = transport;
+    auto group = std::make_unique<shard::ShardGroup>(program, config.options,
+                                                     scfg);
+    for (std::uint32_t slot = 0; slot < n; ++slot) {
+      auto entry = std::make_shared<Entry>();
+      entry->session = std::make_unique<Session>(program, group.get(), slot);
+      entries.push_back(std::move(entry));
+    }
+    groups.push_back(std::move(group));
+  }
+  std::vector<SessionId> ids;
+  ids.reserve(count);
+  std::lock_guard<std::mutex> lk(mu_);
+  admit(sessions_.size(), count, config_.max_sessions);
+  for (auto& group : groups) shard_groups_.push_back(std::move(group));
   for (auto& entry : entries) {
     const SessionId id = next_id_++;
     sessions_.emplace(id, std::move(entry));

@@ -30,6 +30,10 @@
 
 #include "serve/session.hpp"
 
+namespace psme::shard {
+enum class TransportKind : std::uint8_t;  // shard/transport.hpp
+}
+
 namespace psme::serve {
 
 using SessionId = std::uint64_t;
@@ -37,6 +41,11 @@ using SessionId = std::uint64_t;
 struct ServerConfig {
   int workers = 4;
   std::size_t queue_capacity = 1024;
+  // Admission control for opens: 0 = unlimited, otherwise open_session /
+  // open_batch_sessions / open_shard_sessions reject (throw) once this
+  // many sessions are live. Bounds engine memory the same way
+  // queue_capacity bounds queued work.
+  std::size_t max_sessions = 0;
 };
 
 struct ServerStats {
@@ -62,6 +71,20 @@ class Server {
   std::vector<SessionId> open_batch_sessions(const ops5::Program& program,
                                              EngineConfig config,
                                              std::uint32_t count);
+  // Sharded sessions: `count` sessions spread over `lanes` independent
+  // shard::ShardGroups of `shards` shards each (sessions -> lanes by
+  // contiguous blocks). One ShardGroup serializes its sessions' requests
+  // on its own coordinator mutex, so lanes — not shards — are the
+  // front-tier parallelism knob; shards partition the match WITHIN a
+  // lane. `checkpoint`/`restore` on these sessions is the drain /
+  // migration path: the psme.checkpoint.v1 document restores into any
+  // topology. The groups live until drain().
+  std::vector<SessionId> open_shard_sessions(const ops5::Program& program,
+                                             EngineConfig config,
+                                             std::uint32_t count,
+                                             std::uint16_t shards,
+                                             shard::TransportKind transport,
+                                             std::uint16_t lanes = 1);
   bool close_session(SessionId id);  // queued requests answer `err`
   std::size_t session_count() const;
 
@@ -104,9 +127,11 @@ class Server {
   mutable std::mutex mu_;  // guards sessions_, queue_, stats_, flags
   std::condition_variable work_cv_;   // workers: queue non-empty or stopping
   std::condition_variable drain_cv_;  // drain(): queue empty and idle
-  // Shared engines behind batch sessions. Declared before sessions_ so
-  // they are destroyed after every Session that points into them.
+  // Shared engines behind batch/shard sessions. Declared before
+  // sessions_ so they are destroyed after every Session that points into
+  // them.
   std::vector<std::unique_ptr<world::BatchEngine>> batches_;
+  std::vector<std::unique_ptr<shard::ShardGroup>> shard_groups_;
   std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
   std::deque<Item> queue_;
   std::vector<std::thread> workers_;

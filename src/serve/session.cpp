@@ -8,6 +8,7 @@
 #include "ops5/parser.hpp"
 #include "rr/session_rr.hpp"
 #include "serve/checkpoint.hpp"
+#include "shard/shard_group.hpp"
 
 namespace psme::serve {
 
@@ -63,32 +64,51 @@ Session::Session(const ops5::Program& program, world::BatchEngine* batch,
         "request thread");
 }
 
+Session::Session(const ops5::Program& program, shard::ShardGroup* group,
+                 std::uint32_t slot)
+    : program_(program), group_(group), slot_(slot) {}
+
+const std::vector<FiringRecord>& Session::trace() const {
+  if (group_) return group_->trace(slot_);
+  return batch_ ? batch_->world(slot_).trace : engine_->trace();
+}
+
 const Wme* Session::do_make(const std::string& literal) {
+  if (group_) return group_->make(slot_, literal);
   return batch_ ? batch_->make(slot_, literal) : engine_->make(literal);
 }
 
 const Wme* Session::do_make(
     SymbolId cls, const std::vector<std::pair<SymbolId, Value>>& fields) {
+  if (group_) return group_->make(slot_, cls, fields);
   return batch_ ? batch_->make(slot_, cls, fields)
                 : engine_->make(cls, fields);
 }
 
 void Session::do_remove(TimeTag tag) {
-  if (batch_)
+  if (group_)
+    group_->remove(slot_, tag);
+  else if (batch_)
     batch_->remove(slot_, tag);
   else
     engine_->remove(tag);
 }
 
 const WorkingMemory& Session::do_wm() const {
+  if (group_) return group_->wm(slot_);
   return batch_ ? *batch_->world(slot_).wm : engine_->wm();
 }
 
 const RunStats& Session::do_stats() const {
+  if (group_) return group_->run_stats(slot_);
   return batch_ ? batch_->world(slot_).stats : engine_->stats();
 }
 
 StopReason Session::run_slice(std::uint64_t cycle_cap) {
+  if (group_) {
+    group_->set_max_cycles(slot_, cycle_cap);
+    return group_->run_session(slot_).reason;
+  }
   if (batch_) {
     batch_->set_max_cycles(slot_, cycle_cap);
     return batch_->run_world(slot_).reason;
@@ -225,6 +245,9 @@ Response Session::cmd_stats() const {
 }
 
 Response Session::cmd_checkpoint() const {
+  if (group_)
+    return ok(Checkpoint::capture(program_, group_->snapshot_session(slot_))
+                  .serialize());
   if (batch_)
     return ok(Checkpoint::capture(program_, batch_->snapshot_world(slot_))
                   .serialize());
@@ -234,7 +257,13 @@ Response Session::cmd_checkpoint() const {
 Response Session::cmd_restore(const std::string& args) {
   if (args.empty()) return err("restore: missing checkpoint JSON");
   const Checkpoint ckpt = Checkpoint::deserialize(args);
-  if (batch_) {
+  if (group_) {
+    // Migration landing point: the checkpoint may come from any engine
+    // mode or any other shard topology.
+    ckpt.verify(program_);
+    group_->reset_session(slot_);
+    group_->restore_session(slot_, ckpt.snapshot);
+  } else if (batch_) {
     // A world slot is reusable state, not a disposable engine: verify the
     // fingerprint first, then rebuild the slot in place.
     ckpt.verify(program_);

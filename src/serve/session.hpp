@@ -25,12 +25,16 @@
 // Sessions are not internally synchronized: the Server serializes the
 // requests of one session and runs different sessions in parallel.
 //
-// Two backends: a session either owns an Engine (engine-per-session, any
-// execution mode) or is bound to one world slot of a shared
-// world::BatchEngine (Server::open_batch_sessions) — same protocol, same
-// responses, N sessions over one compiled Rete network. World-backed
-// `restore` resets the world slot and replays the checkpoint into it
-// instead of replacing an engine.
+// Three backends: a session owns an Engine (engine-per-session, any
+// execution mode), is bound to one world slot of a shared
+// world::BatchEngine (Server::open_batch_sessions), or is bound to one
+// session slot of a shard::ShardGroup (Server::open_shard_sessions) —
+// same protocol, same responses, N sessions over one compiled Rete
+// network. World- and shard-backed `restore` reset the slot and replay
+// the checkpoint into it instead of replacing an engine; for a
+// shard-backed session that is the drain/migration path — the same
+// psme.checkpoint.v1 document restores into a group with a different
+// shard count or transport.
 #pragma once
 
 #include <chrono>
@@ -42,6 +46,9 @@
 
 namespace psme::rr {
 struct SessionTranscript;  // rr/session_rr.hpp
+}
+namespace psme::shard {
+class ShardGroup;  // shard/shard_group.hpp
 }
 
 namespace psme::serve {
@@ -71,16 +78,19 @@ class Session {
   // what `run` slices call, concurrently across sessions).
   Session(const ops5::Program& program, world::BatchEngine* batch,
           std::uint32_t slot);
+  // Shard-backed session: session slot `slot` of `group` (not owned;
+  // must outlive the session). Requests serialize on the group's own
+  // mutex, so the Server's front tier opens one ShardGroup per lane.
+  Session(const ops5::Program& program, shard::ShardGroup* group,
+          std::uint32_t slot);
 
   // Executes one protocol command. Never throws: protocol and engine
   // errors come back as `err` responses.
   Response execute(const std::string& line, Deadline deadline = kNoDeadline);
 
-  // Engine-backed sessions only (null for world-backed ones).
+  // Engine-backed sessions only (null for world-/shard-backed ones).
   const psme::Engine* engine() const { return engine_.get(); }
-  const std::vector<FiringRecord>& trace() const {
-    return batch_ ? batch_->world(slot_).trace : engine_->trace();
-  }
+  const std::vector<FiringRecord>& trace() const;
   std::uint64_t requests() const { return requests_; }
 
   // Record every (command, response) pair into `t` (not owned; must
@@ -117,6 +127,7 @@ class Session {
   EngineConfig config_;
   std::unique_ptr<psme::Engine> engine_;   // engine-per-session backend
   world::BatchEngine* batch_ = nullptr;    // world-slot backend (not owned)
+  shard::ShardGroup* group_ = nullptr;     // shard-slot backend (not owned)
   std::uint32_t slot_ = 0;
   std::uint64_t requests_ = 0;
   rr::SessionTranscript* transcript_ = nullptr;

@@ -1,0 +1,81 @@
+// Partition function for the sharded match (docs/sharding.md).
+//
+// The match is partitioned by *join key*, not by rule or by wme class: a
+// Join task's shard is a consistent hash of task_hash(task), which mixes
+// the node's seed with the activation's compiled key-slot values
+// (match/kernel.hpp). Left and right activations that could ever pair
+// read equal key values by construction, so they hash identically and
+// land on the same shard — that shard's token tables hold the complete
+// (node, key) memory and probes never cross shards.
+//
+// Keyless joins (no equality tests — cross products and most negated
+// context checks) have an empty compiled key, so task_hash degenerates to
+// the node seed alone: every activation of such a node maps to ONE shard.
+// That single-owner fallback replaces broadcasting the node's activations
+// to all shards — cheaper, and trivially correct, at the price of zero
+// parallelism for that node (rete::NetworkCounts::keyless_join_nodes
+// reports how much of the network runs in fallback).
+//
+// Shard ids come from Lamping & Veach's jump consistent hash: adding a
+// shard moves only ~1/N of the key space, so a drained-and-regrown group
+// re-localizes most of its token memory instead of reshuffling all of it.
+#pragma once
+
+#include <cstdint>
+
+#include "match/kernel.hpp"
+#include "match/task.hpp"
+#include "rr/digest.hpp"
+
+namespace psme::shard {
+
+// The coordinator's id on the wire (never a valid shard id).
+inline constexpr std::uint16_t kCoordinator = 0xffff;
+
+// Jump consistent hash (Lamping & Veach 2014): maps key uniformly onto
+// [0, buckets) with minimal movement as buckets grows.
+inline std::uint32_t jump_hash(std::uint64_t key, std::uint32_t buckets) {
+  std::int64_t b = -1, j = 0;
+  while (j < static_cast<std::int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ull + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1ll << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+// Owner shard of one match task. Deterministic across shards and across
+// processes: only node ids, seeds and timetags feed the hash, never
+// pointers.
+//  - Join tasks partition by task_hash (node seed + key-slot values).
+//  - Terminal tasks reached straight from an alpha program (single-CE
+//    productions) partition by (terminal id, token timetags), so the `+`
+//    and the eventual `-` of one instantiation meet at the same conflict
+//    set. Terminals emitted by a join are NOT routed through this — the
+//    emitting shard owns them (see ShardState::route).
+//  - Root tasks have no owner: WM deltas broadcast and every shard runs
+//    the alpha programs, keeping only the tasks it owns.
+inline std::uint16_t owner_of(const match::Task& t, std::uint16_t shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t h = 0;
+  switch (t.kind) {
+    case match::TaskKind::JoinLeft:
+    case match::TaskKind::JoinRight:
+      h = match::task_hash(t);
+      break;
+    case match::TaskKind::Terminal: {
+      h = rr::mix64(0xa11ce5e7ul, t.terminal->id);
+      for (std::uint32_t i = 0; i < t.token->len; ++i)
+        h = rr::mix64(h, t.token->wme_at(i)->timetag);
+      break;
+    }
+    case match::TaskKind::Root:
+      return 0;
+  }
+  return static_cast<std::uint16_t>(jump_hash(h, shards));
+}
+
+}  // namespace psme::shard

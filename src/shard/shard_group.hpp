@@ -1,0 +1,212 @@
+// ShardGroup: the coordinator of a sharded match (docs/sharding.md).
+//
+// Partitioned counterpart of world::BatchEngine: N shared-nothing
+// ShardStates each own one partition of every session's match state; the
+// coordinator owns the authoritative working memory, the firing trace and
+// conflict resolution, and speaks psme.shard.v1 to the shards over a
+// Transport (in-process threads or forked processes — same bytes either
+// way).
+//
+// One recognize-act round:
+//  1. flush: each session's pending WM deltas become WmDelta frames,
+//     broadcast to every shard (each runs the alpha net and keeps only
+//     the Root emissions it owns).
+//  2. exchange: reply batches carry TaskFwd frames for join activations
+//     owned elsewhere; the coordinator relays them hub-and-spoke,
+//     re-batched per destination shard, until no shard emits more.
+//  3. quiesce: a barrier frame makes shards apply deferred wme removes
+//     and collect; the coordinator collects its own WM and (optionally)
+//     captures per-cycle rr digests — WM from its authoritative copy, CS
+//     as the order-independent merge of every shard's sorted entry
+//     hashes, so a sharded run and a single-engine run produce
+//     bit-identical digest rows.
+//  4. select+fire: PeekQuery asks each shard for its local dominant
+//     instantiation; the coordinator merges the proposals under the SAME
+//     ConflictSet::dominates total order, sends Fire to the winner's
+//     shard (refraction), and runs the RHS locally — new deltas feed
+//     step 1 of the next round.
+//
+// Interconnect pricing: every request/reply batch is charged
+// CostModel::batch_cost(bytes) and every reply reports its modeled
+// compute (BatchDone); a round's virtual makespan is the MAX over
+// contacted shards of (request cost + shard compute + reply cost), which
+// is what bench/shard_compare reports as virtual time. Digest/checkpoint
+// traffic is diagnostic and deliberately unpriced.
+//
+// Thread safety: one coarse mutex serializes the public surface (the
+// transport is strict request/reply per shard). The serve front tier
+// therefore runs one ShardGroup per worker lane rather than sharing one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "rete/builder.hpp"
+#include "runtime/rhs.hpp"
+#include "shard/shard.hpp"
+#include "shard/transport.hpp"
+#include "sim/cost_model.hpp"
+#include "world/world.hpp"
+
+namespace psme::obs {
+class Registry;
+}
+
+namespace psme::shard {
+
+struct ShardGroupConfig {
+  std::uint16_t shards = 1;
+  std::uint32_t sessions = 1;
+  TransportKind transport = TransportKind::InProc;
+  sim::CostModel cost;
+};
+
+// Interconnect + partition accounting, aggregated over the group's life.
+struct GroupStats {
+  std::uint64_t batches = 0;         // request + reply batches moved
+  std::uint64_t frames = 0;          // frames inside those batches
+  std::uint64_t bytes_sent = 0;      // coordinator -> shard
+  std::uint64_t bytes_received = 0;  // shard -> coordinator
+  std::uint64_t forwards = 0;        // TaskFwd frames relayed (hub)
+  std::uint64_t deltas = 0;          // WmDelta frames broadcast
+  std::uint64_t rounds = 0;          // exchange rounds priced
+  std::uint64_t tasks = 0;           // match tasks executed, all shards
+  std::uint64_t dropped = 0;         // root emissions owned elsewhere
+  sim::VTime compute_vtime = 0;      // sum of shard batch compute
+  sim::VTime comm_vtime = 0;         // sum of batch_cost both directions
+  sim::VTime makespan_vtime = 0;     // sum over rounds of the slowest path
+};
+
+class ShardGroup {
+ public:
+  // Builds the compiled image once, then cfg.shards ShardStates over it
+  // and the chosen transport (SocketTransport forks HERE — construct the
+  // group before starting unrelated threads). Performs the Hello
+  // fingerprint/topology handshake with every shard.
+  ShardGroup(const ops5::Program& program, EngineOptions options,
+             ShardGroupConfig cfg);
+  ~ShardGroup();
+
+  std::uint16_t num_shards() const { return cfg_.shards; }
+  std::uint32_t num_sessions() const { return cfg_.sessions; }
+  TransportKind transport_kind() const { return cfg_.transport; }
+  const ops5::Program& program() const { return program_; }
+  const rete::Network& network() const { return *network_; }
+  const EngineOptions& options() const { return options_; }
+
+  // Working-memory edits between runs, addressed by session.
+  const Wme* make(std::uint32_t session, std::string_view wme_literal);
+  const Wme* make(std::uint32_t session, SymbolId cls,
+                  const std::vector<std::pair<SymbolId, Value>>& fields);
+  void remove(std::uint32_t session, TimeTag tag);
+  void set_max_cycles(std::uint32_t session, std::uint64_t n);
+
+  // Runs every session to halt / empty conflict set / its cycle cap, one
+  // batched select+fire round across all live sessions per cycle.
+  void run_all();
+  // Runs one session to its stop.
+  RunResult run_session(std::uint32_t session);
+  RunResult result(std::uint32_t session) const;
+  // Live reference (serve's stats/run commands poll it between slices).
+  const RunStats& run_stats(std::uint32_t session) const;
+
+  const std::vector<FiringRecord>& trace(std::uint32_t session) const;
+  const WorkingMemory& wm(std::uint32_t session) const;
+
+  // Checkpoints (psme.checkpoint.v1 payload, engine_base.hpp). The fired
+  // list is gathered from the owning shards (FiredQuery); restore
+  // replays wmes through the coordinator WM and re-applies refraction on
+  // the shards at the next run's first quiescence.
+  EngineSnapshot snapshot_session(std::uint32_t session);
+  void reset_session(std::uint32_t session);
+  void restore_session(std::uint32_t session, const EngineSnapshot& snap);
+
+  // Per-cycle digest capture (world::World::DigestRow, same semantics as
+  // BatchEngine::set_digest_capture). With `per_shard_detail`, also keeps
+  // each shard's sorted conflict-set hashes per captured cycle so an
+  // equivalence failure can name the divergent (shard, cycle).
+  void set_digest_capture(bool on, bool per_shard_detail = false) {
+    digest_capture_ = on;
+    cs_detail_ = on && per_shard_detail;
+  }
+  const std::vector<world::World::DigestRow>& digests(
+      std::uint32_t session) const;
+  struct CsDetailRow {
+    std::uint64_t cycle = 0;
+    std::vector<std::vector<std::uint64_t>> per_shard;  // sorted hashes
+  };
+  const std::vector<CsDetailRow>& cs_detail(std::uint32_t session) const;
+
+  // Syncs lifetime counters from the shards (StatsQuery) and returns the
+  // merged interconnect + partition accounting.
+  GroupStats group_stats();
+  // psme.shard.* metrics (docs/observability.md).
+  void export_obs(obs::Registry& registry);
+
+ private:
+  // Coordinator-side session state: the authoritative WM (timetags are
+  // assigned here and broadcast), trace, stop bookkeeping, and the
+  // pending deltas produced by make/remove/RHS since the last flush.
+  struct Session {
+    std::uint32_t id = 0;
+    std::unique_ptr<WorkingMemory> wm;
+    std::vector<FiringRecord> trace;
+    RunStats stats;
+    bool halted = false;
+    bool live = false;
+    std::uint64_t max_cycles = 1'000'000;
+    StopReason last_reason = StopReason::EmptyConflictSet;
+    std::vector<std::pair<const Wme*, std::int8_t>> pending;
+    std::vector<FiringRecord> restored_fired;
+    std::vector<world::World::DigestRow> digests;
+    std::vector<CsDetailRow> cs_detail;
+  };
+  class GroupEffects;
+
+  Session& session(std::uint32_t id);
+  const Session& session(std::uint32_t id) const;
+
+  // Pending outgoing batch per shard; created on first frame.
+  BatchWriter& to(std::uint16_t s);
+  // Sends every pending batch, collects replies, relays TaskFwd frames
+  // into fresh batches and repeats until nothing is in flight. Non-relay
+  // reply frames go to `on_frame`. `priced` charges the interconnect.
+  void exchange(bool priced,
+                const std::function<void(std::uint16_t, const Frame&)>&
+                    on_frame = nullptr);
+
+  void flush_pending(Session& s);
+  // Delta exchange + (restore refraction) + quiesce barrier.
+  void match_round(const std::vector<std::uint32_t>& refraction_for);
+  void capture_digests(const std::vector<std::uint32_t>& ids);
+  // One select+fire round over `candidates`; returns the sessions that
+  // fired (BatchEngine::fire_one semantics per session).
+  std::vector<std::uint32_t> fire_phase(
+      const std::vector<std::uint32_t>& candidates);
+  void run_session_locked(std::uint32_t id);
+  GroupStats group_stats_locked();
+
+  const ops5::Program& program_;
+  EngineOptions options_;
+  ShardGroupConfig cfg_;
+  std::unique_ptr<rete::Network> network_;
+  std::vector<CompiledRhs> rhs_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<BatchWriter>> out_;
+  // Comparator only (never populated): the same dominates() total order
+  // every other engine uses decides between shard proposals.
+  ConflictSet cr_;
+  GroupStats stats_;
+  bool digest_capture_ = false;
+  bool cs_detail_ = false;
+  mutable std::mutex mu_;
+};
+
+}  // namespace psme::shard

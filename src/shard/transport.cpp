@@ -1,0 +1,198 @@
+#include "shard/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace psme::shard {
+
+// --- in-process ------------------------------------------------------------
+
+InProcTransport::InProcTransport(std::vector<ShardState*> shards) {
+  lanes_.reserve(shards.size());
+  for (ShardState* s : shards) {
+    lanes_.push_back(std::make_unique<Lane>());
+    Lane* lane = lanes_.back().get();
+    lane->thread = std::thread([this, s, lane] { serve(s, lane); });
+  }
+}
+
+InProcTransport::~InProcTransport() { stop(); }
+
+void InProcTransport::serve(ShardState* shard, Lane* lane) {
+  for (;;) {
+    std::string request;
+    {
+      std::unique_lock<std::mutex> lk(lane->mu);
+      lane->cv.wait(lk,
+                    [&] { return lane->stop || !lane->requests.empty(); });
+      if (lane->requests.empty()) return;  // stop with nothing pending
+      request = std::move(lane->requests.front());
+      lane->requests.pop_front();
+    }
+    std::string reply = shard->handle(request);
+    {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      lane->replies.push_back(std::move(reply));
+    }
+    lane->cv.notify_all();
+    if (shard->done()) return;
+  }
+}
+
+void InProcTransport::send(std::uint16_t shard, std::string bytes) {
+  Lane& lane = *lanes_.at(shard);
+  {
+    std::lock_guard<std::mutex> lk(lane.mu);
+    lane.requests.push_back(std::move(bytes));
+  }
+  lane.cv.notify_all();
+}
+
+std::string InProcTransport::recv(std::uint16_t shard) {
+  Lane& lane = *lanes_.at(shard);
+  std::unique_lock<std::mutex> lk(lane.mu);
+  lane.cv.wait(lk, [&] { return !lane.replies.empty(); });
+  std::string reply = std::move(lane.replies.front());
+  lane.replies.pop_front();
+  return reply;
+}
+
+void InProcTransport::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+// --- multi-process ---------------------------------------------------------
+
+namespace {
+
+// Length-framed blocking I/O: [u32 len][payload]. MSG_NOSIGNAL turns a
+// dead peer into an error return instead of SIGPIPE.
+void write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("send: ") + std::strerror(errno));
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+bool read_all(int fd, char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) return false;  // peer closed
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_frame(int fd, const std::string& bytes) {
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+  char hdr[4];
+  std::memcpy(hdr, &len, 4);
+  write_all(fd, hdr, 4);
+  write_all(fd, bytes.data(), bytes.size());
+}
+
+std::string read_frame(int fd) {
+  char hdr[4];
+  if (!read_all(fd, hdr, 4)) throw TransportError("peer closed connection");
+  std::uint32_t len = 0;
+  std::memcpy(&len, hdr, 4);
+  // A shard batch is bounded by what one cycle can emit; 256 MiB rejects
+  // corrupt headers before allocation.
+  if (len > (256u << 20)) throw TransportError("oversized frame header");
+  std::string bytes(len, '\0');
+  if (!read_all(fd, bytes.data(), len))
+    throw TransportError("peer closed mid-frame");
+  return bytes;
+}
+
+[[noreturn]] void child_serve(ShardState* shard, int fd) {
+  // The child owns this ShardState copy-on-write; the shared compiled
+  // image is read-only so it is never actually copied.
+  for (;;) {
+    std::string request;
+    try {
+      request = read_frame(fd);
+    } catch (const TransportError&) {
+      ::_exit(0);  // coordinator went away
+    }
+    const std::string reply = shard->handle(request);
+    write_frame(fd, reply);
+    if (shard->done()) ::_exit(0);
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::vector<ShardState*> shards) {
+  peers_.reserve(shards.size());
+  for (ShardState* s : shards) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+      throw TransportError(std::string("socketpair: ") +
+                           std::strerror(errno));
+    const int pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw TransportError(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(sv[0]);
+      // Child: inherit the already-forked siblings' parent fds too; they
+      // are harmless (closed at _exit) and avoiding them would need a
+      // pre-fork of all pairs. Serve until Shutdown, then _exit — never
+      // return into the caller's stack (gtest, main).
+      child_serve(s, sv[1]);
+    }
+    ::close(sv[1]);
+    peers_.push_back({sv[0], pid});
+  }
+}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+void SocketTransport::send(std::uint16_t shard, std::string bytes) {
+  write_frame(peers_.at(shard).fd, bytes);
+}
+
+std::string SocketTransport::recv(std::uint16_t shard) {
+  return read_frame(peers_.at(shard).fd);
+}
+
+void SocketTransport::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (Peer& p : peers_) {
+    if (p.fd >= 0) ::close(p.fd);
+    if (p.pid > 0) {
+      int status = 0;
+      ::waitpid(p.pid, &status, 0);
+    }
+  }
+}
+
+}  // namespace psme::shard

@@ -89,6 +89,21 @@ struct CostModel {
   // single bus transaction with no software lock.
   VTime hts_op = 4;
 
+  // Interconnect between shared-nothing engine shards (src/shard/,
+  // docs/sharding.md; not in the paper — the scale-out step past one
+  // Multimax). One aggregated batch per destination per phase pays the
+  // fixed cost once, PELCR-style: msg_fixed models the syscall + framing
+  // + remote wakeup of a small-message send on paper-era interconnects
+  // (~1 ms at 0.75 MIPS), msg_per_byte the serialize/copy/deserialize of
+  // the payload. Batching N frames to one destination costs
+  // msg_fixed + msg_per_byte * bytes, not N * msg_fixed — that gap is
+  // the aggregation amortization the shard_compare bench sweeps.
+  VTime msg_fixed = 800;
+  VTime msg_per_byte = 2;
+  VTime batch_cost(std::size_t bytes) const {
+    return msg_fixed + msg_per_byte * static_cast<VTime>(bytes);
+  }
+
   // Control process.
   VTime rhs_per_change = 260;    // threaded-code evaluation per WM action
   VTime cr_base = 180;           // conflict-resolution fixed cost

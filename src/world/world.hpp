@@ -79,6 +79,18 @@ struct World {
   bool live = false;
 };
 
+// Shared World lifecycle, usable without a WorldPool (the shard engines
+// build per-session Worlds over their own shared image; see
+// src/shard/shard.hpp). All four keep psme.checkpoint.v1 semantics.
+void init_world(World& w, std::uint32_t id, const ops5::Program& program,
+                const EngineOptions& options, int endpoints);
+EngineSnapshot snapshot_world_state(const World& w);
+// Poisons the arenas and rebuilds the mutable state empty.
+void reset_world_state(World& w, const ops5::Program& program,
+                       const EngineOptions& options, int endpoints);
+// Replays a snapshot into a freshly reset world.
+void restore_world_state(World& w, const EngineSnapshot& snap);
+
 // Owns N worlds plus the single shared compiled image: one Rete network
 // (with its bytecode CodeStore) and one compiled-RHS vector, built once
 // however many worlds exist.
@@ -111,8 +123,6 @@ class WorldPool {
   static std::uint64_t world_seed(std::uint64_t base, std::uint32_t id);
 
  private:
-  void init_world(World& w, std::uint32_t id) const;
-
   const ops5::Program& program_;
   EngineOptions options_;
   int endpoints_;

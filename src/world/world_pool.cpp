@@ -29,30 +29,30 @@ WorldPool::WorldPool(const ops5::Program& program,
   worlds_.reserve(num_worlds);
   for (std::uint32_t i = 0; i < num_worlds; ++i) {
     worlds_.push_back(std::make_unique<World>());
-    init_world(*worlds_.back(), i);
+    init_world(*worlds_.back(), i, program_, options_, endpoints_);
   }
 }
 
-void WorldPool::init_world(World& w, std::uint32_t id) const {
+void init_world(World& w, std::uint32_t id, const ops5::Program& program,
+                const EngineOptions& options, int endpoints) {
   w.id = id;
-  w.seed = world_seed(options_.seed, id);
-  w.wm = std::make_unique<WorkingMemory>(program_);
-  w.cs = std::make_unique<ConflictSet>(program_);
+  w.seed = WorldPool::world_seed(options.seed, id);
+  w.wm = std::make_unique<WorkingMemory>(program);
+  w.cs = std::make_unique<ConflictSet>(program);
   w.left_table =
-      std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+      std::make_unique<match::HashTokenTable>(options.hash_buckets);
   w.right_table =
-      std::make_unique<match::HashTokenTable>(options_.hash_buckets);
+      std::make_unique<match::HashTokenTable>(options.hash_buckets);
   if (w.arenas.empty())
     w.arenas = std::vector<match::BumpArena>(
-        static_cast<std::size_t>(endpoints_));
+        static_cast<std::size_t>(endpoints));
   w.ctx.left_table = w.left_table.get();
   w.ctx.right_table = w.right_table.get();
   w.ctx.conflict_set = w.cs.get();
-  w.max_cycles = options_.max_cycles;
+  w.max_cycles = options.max_cycles;
 }
 
-EngineSnapshot WorldPool::snapshot_world(std::uint32_t wi) const {
-  const World& w = world(wi);
+EngineSnapshot snapshot_world_state(const World& w) {
   EngineSnapshot snap;
   snap.next_timetag = w.wm->last_timetag() + 1;
   for (const Wme* wme : w.wm->snapshot())
@@ -66,8 +66,8 @@ EngineSnapshot WorldPool::snapshot_world(std::uint32_t wi) const {
   return snap;
 }
 
-void WorldPool::reset_world(std::uint32_t wi) {
-  World& w = world(wi);
+void reset_world_state(World& w, const ops5::Program& program,
+                       const EngineOptions& options, int endpoints) {
   // Poison before the new state exists: any pointer that survived the
   // reset now reads arena garbage, never a live token of the next epoch.
   for (match::BumpArena& a : w.arenas) a.reset(/*poison=*/true);
@@ -81,11 +81,10 @@ void WorldPool::reset_world(std::uint32_t wi) {
   w.emit_buf.clear();
   w.digests.clear();
   w.live = false;
-  init_world(w, w.id);
+  init_world(w, w.id, program, options, endpoints);
 }
 
-void WorldPool::restore_world(std::uint32_t wi, const EngineSnapshot& snap) {
-  World& w = world(wi);
+void restore_world_state(World& w, const EngineSnapshot& snap) {
   if (w.wm->size() != 0 || !w.trace.empty() || w.stats.cycles != 0)
     throw std::logic_error("restore_world: world is not fresh (reset first)");
   for (const WmeSnapshot& ws : snap.wmes) {
@@ -98,6 +97,18 @@ void WorldPool::restore_world(std::uint32_t wi, const EngineSnapshot& snap) {
   w.stats.cycles = snap.cycles;
   w.stats.firings = snap.cycles;
   w.halted = snap.halted;
+}
+
+EngineSnapshot WorldPool::snapshot_world(std::uint32_t wi) const {
+  return snapshot_world_state(world(wi));
+}
+
+void WorldPool::reset_world(std::uint32_t wi) {
+  reset_world_state(world(wi), program_, options_, endpoints_);
+}
+
+void WorldPool::restore_world(std::uint32_t wi, const EngineSnapshot& snap) {
+  restore_world_state(world(wi), snap);
 }
 
 }  // namespace psme::world

@@ -8,6 +8,7 @@
 #include <chrono>
 
 #include "serve/loadgen.hpp"
+#include "shard/transport.hpp"
 #include "workloads/workloads.hpp"
 
 namespace psme::serve {
@@ -26,6 +27,15 @@ constexpr const char* kHalter = R"(
 (literalize a x)
 (p p1 (a ^x 1) --> (halt))
 )";
+
+// One single-session shard lane with the given topology.
+std::vector<SessionId> server_open_one(Server& server,
+                                       const ops5::Program& program,
+                                       shard::TransportKind transport,
+                                       std::uint16_t shards) {
+  return server.open_shard_sessions(program, {}, /*count=*/1, shards,
+                                    transport);
+}
 
 TEST(Session, ProtocolBasics) {
   const auto program = ops5::Program::from_source(kHalter);
@@ -235,6 +245,94 @@ TEST(Server, DrainFinishesQueuedWorkThenRejects) {
   EXPECT_FALSE(rejected.ok);
   EXPECT_TRUE(rejected.text.starts_with("overloaded")) << rejected.text;
   server.drain();  // idempotent
+}
+
+TEST(Server, ShardSessionsSpeakTheSameProtocol) {
+  // Shard-backed sessions answer every protocol command exactly like an
+  // engine-backed session: same traces, same stats, same responses.
+  const auto w = workloads::rubik(5);
+  const auto program = ops5::Program::from_source(w.source);
+  Server server({.workers = 2, .queue_capacity = 64});
+  const SessionId ref = server.open_session(program, {});
+  const auto ids = server.open_shard_sessions(
+      program, {}, /*count=*/4, /*shards=*/2, shard::TransportKind::InProc,
+      /*lanes=*/2);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(server.session_count(), 5u);
+
+  for (const std::string& wme : w.initial_wmes) {
+    ASSERT_TRUE(server.call(ref, "make " + wme).ok);
+    for (const SessionId id : ids)
+      ASSERT_TRUE(server.call(id, "make " + wme).ok);
+  }
+  const Response want_run = server.call(ref, "run");
+  ASSERT_TRUE(want_run.ok);
+  const std::string want_trace = server.call(ref, "trace").text;
+  const std::string want_stats = server.call(ref, "stats").text;
+  for (const SessionId id : ids) {
+    EXPECT_EQ(server.call(id, "run").text, want_run.text);
+    EXPECT_EQ(server.call(id, "trace").text, want_trace);
+    EXPECT_EQ(server.call(id, "stats").text, want_stats);
+  }
+  server.drain();
+}
+
+TEST(Server, ShardSessionDrainsAndMigratesAcrossTopologies) {
+  // The drain/migration path: checkpoint a session served by a 2-shard
+  // in-process lane, restore it into a 4-shard socket lane on another
+  // server, and the continued run reproduces the uninterrupted trace.
+  const auto w = workloads::rubik(5);
+  const auto program = ops5::Program::from_source(w.source);
+
+  std::string full_trace;
+  {
+    Session ref(program, {});
+    for (const std::string& wme : w.initial_wmes)
+      ASSERT_TRUE(ref.execute("make " + wme).ok);
+    ASSERT_TRUE(ref.execute("run").ok);
+    full_trace = ref.execute("trace").text;
+  }
+
+  Server old_server({.workers = 1, .queue_capacity = 64});
+  const auto old_ids = server_open_one(old_server, program,
+                                       shard::TransportKind::InProc, 2);
+  const SessionId src = old_ids.front();
+  for (const std::string& wme : w.initial_wmes)
+    ASSERT_TRUE(old_server.call(src, "make " + wme).ok);
+  ASSERT_TRUE(old_server.call(src, "run 3").ok);
+  const Response ckpt = old_server.call(src, "checkpoint");
+  ASSERT_TRUE(ckpt.ok);
+  old_server.drain();  // source drained; the checkpoint is the hand-off
+
+  Server new_server({.workers = 1, .queue_capacity = 64});
+  const auto new_ids = server_open_one(new_server, program,
+                                       shard::TransportKind::Socket, 4);
+  const SessionId dst = new_ids.front();
+  const Response restored = new_server.call(dst, "restore " + ckpt.text);
+  ASSERT_TRUE(restored.ok) << restored.text;
+  EXPECT_EQ(restored.text, "3");
+  ASSERT_TRUE(new_server.call(dst, "run").ok);
+  EXPECT_EQ(new_server.call(dst, "trace").text, full_trace);
+  new_server.drain();
+}
+
+TEST(Server, AdmissionControlCapsLiveSessions) {
+  const auto program = ops5::Program::from_source(kHalter);
+  Server server({.workers = 1, .queue_capacity = 16, .max_sessions = 3});
+  const SessionId a = server.open_session(program, {});
+  server.open_session(program, {});
+  // A batch open that would exceed the cap is rejected whole.
+  EXPECT_THROW(server.open_batch_sessions(program, {}, 2),
+               std::runtime_error);
+  EXPECT_THROW(server.open_shard_sessions(program, {}, 2, 2,
+                                          shard::TransportKind::InProc),
+               std::runtime_error);
+  EXPECT_EQ(server.session_count(), 2u);
+  // Closing frees capacity for admission again.
+  ASSERT_TRUE(server.close_session(a));
+  EXPECT_EQ(server.open_batch_sessions(program, {}, 2).size(), 2u);
+  EXPECT_EQ(server.session_count(), 3u);
+  EXPECT_THROW(server.open_session(program, {}), std::runtime_error);
 }
 
 TEST(LoadGen, ClosedLoopFleetHasZeroDivergence) {

@@ -3,8 +3,11 @@
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
 
-Three row schemas are understood, auto-detected from CURRENT:
+Four row schemas are understood, auto-detected from CURRENT:
 
+  - shard sweeps (`shard_compare`): rows keyed by the composite
+    (`workload`, `transport`, `shards`), metric `sessions_per_sec`
+    (virtual, interconnect-priced — deterministic), higher is better;
   - lock-discipline sweeps (`lock_compare`): rows keyed by the composite
     (`workload`, `scheme`, `workers`), metric `ns_per_task`, lower is
     better;
@@ -12,6 +15,10 @@ Three row schemas are understood, auto-detected from CURRENT:
     metric `ns_per_task`, lower is better;
   - multi-world serving (`serve_throughput --worlds`): rows keyed by
     `worlds`, metric `sessions_per_sec`, higher is better.
+
+The shard schema must stay listed before the worlds schema: BenchJson
+stamps a `worlds` field into every row, so shard rows would otherwise
+collapse onto the single `worlds` key.
 
 Rows are matched key-for-key; the check fails if any matched row is more
 than `tolerance` worse than baseline (slower for ns_per_task, fewer
@@ -34,7 +41,10 @@ import os
 import sys
 
 # (key field or tuple of key fields, metric field, True if higher is better)
+# Order matters: composite schemas come before the single-key ones they
+# would otherwise be shadowed by (every row carries a stamped `worlds`).
 SCHEMAS = [
+    (("workload", "transport", "shards"), "sessions_per_sec", True),
     (("workload", "scheme", "workers"), "ns_per_task", False),
     ("worlds", "sessions_per_sec", True),
     ("depth", "ns_per_task", False),

@@ -20,6 +20,15 @@
 //                    slots of one world::BatchEngine (shared Rete network
 //                    + bytecode, per-world working memory); prints a
 //                    per-world stop summary. Sequential-kernel modes only.
+//   --shards N       partition the match across N shared-nothing shards
+//                    of a shard::ShardGroup speaking psme.shard.v1
+//                    (docs/sharding.md); prints per-session stop and
+//                    interconnect summaries. Sequential-kernel (seq/vs2)
+//                    mode only. Combines with --worlds: the worlds become
+//                    sessions of the one sharded group.
+//   --transport {inproc|socket}   shard interconnect: in-process threads
+//                    or forked processes over socketpairs (default
+//                    inproc). Needs --shards.
 //   --no-vm          interpret the join tests instead of running the
 //                    compiled register bytecode (A/B comparison)
 //   --seed S         workload seed: selects --workload random's program and
@@ -49,6 +58,7 @@
 #include <sstream>
 
 #include "psme.hpp"
+#include "shard/shard_group.hpp"
 
 namespace {
 
@@ -98,6 +108,8 @@ int main(int argc, char** argv) {
   bool dump_bytecode = false;
   bool analyze = false;
   std::uint32_t worlds = 0;
+  std::uint16_t shards = 0;
+  std::string transport = "inproc";
   std::string mode = "seq";
 
   for (int i = 1; i < argc; ++i) {
@@ -141,6 +153,9 @@ int main(int argc, char** argv) {
     else if (arg == "--watch") config.options.watch = std::stoi(next());
     else if (arg == "--worlds") worlds =
         static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--shards") shards =
+        static_cast<std::uint16_t>(std::stoul(next()));
+    else if (arg == "--transport") transport = next();
     else if (arg == "--no-vm") config.options.match_vm = false;
     else if (arg == "--network") print_net = true;
     else if (arg == "--dump-bytecode") dump_bytecode = true;
@@ -175,6 +190,14 @@ int main(int argc, char** argv) {
     usage("--dump-bytecode needs the bytecode VM; drop --no-vm");
   if (worlds > 0 && config.mode != psme::ExecutionMode::Sequential)
     usage("--worlds runs on the shared match kernel (seq/vs2 mode only)");
+  if (shards > 0 && config.mode != psme::ExecutionMode::Sequential)
+    usage("--shards partitions the sequential kernel (seq/vs2 mode only)");
+  if (transport != "inproc" && transport != "socket")
+    usage("unknown transport (inproc|socket)");
+  if (shards == 0 && transport != "inproc")
+    usage("--transport needs --shards");
+  if (shards > 0 && config.options.memory != psme::match::MemoryStrategy::Hash)
+    usage("--shards routes on hashed join keys; use --mode seq, not vs1");
 
   // Resolve the program and initial working memory.
   std::string source;
@@ -227,6 +250,57 @@ int main(int argc, char** argv) {
               << psme::analysis::render_profile(
                      psme::analysis::profile_parallelism(
                          program, all_wmes, {}, config.options.max_cycles));
+    return 0;
+  }
+
+  if (shards > 0) {
+    // Sharded run: the match is partitioned across N shared-nothing
+    // shards behind one coordinator; --worlds sessions (default 1) share
+    // the group and its compiled network.
+    const std::uint32_t sessions = worlds > 0 ? worlds : 1;
+    psme::shard::ShardGroupConfig scfg;
+    scfg.shards = shards;
+    scfg.sessions = sessions;
+    scfg.transport = transport == "socket"
+                         ? psme::shard::TransportKind::Socket
+                         : psme::shard::TransportKind::InProc;
+    psme::EngineOptions sopt = config.options;
+    if (sessions > 1) sopt.watch = 0;  // same interleaving concern as --worlds
+    psme::shard::ShardGroup group(program, sopt, scfg);
+    for (std::uint32_t s = 0; s < sessions; ++s) {
+      for (const std::string& lit : workload_wmes) group.make(s, lit);
+      for (const std::string& lit : wmes) group.make(s, lit);
+      group.set_max_cycles(s, config.options.max_cycles);
+    }
+    group.run_all();
+    std::cout << "; " << shards << " shards (" << transport << "), "
+              << sessions << " session(s), one compiled network\n";
+    for (std::uint32_t s = 0; s < sessions; ++s) {
+      const psme::RunResult r = group.result(s);
+      const char* why =
+          r.reason == psme::StopReason::Halt ? "halt"
+          : r.reason == psme::StopReason::EmptyConflictSet
+              ? "empty conflict set"
+              : "cycle limit";
+      std::cout << "; session " << s << " stopped (" << why << ") after "
+                << r.stats.cycles << " cycles, wm size "
+                << group.wm(s).size() << "\n";
+    }
+    const psme::shard::GroupStats gs = group.group_stats();
+    std::cout << "; interconnect: " << gs.batches << " batches, "
+              << gs.frames << " frames, " << gs.bytes_sent << " B out, "
+              << gs.bytes_received << " B in, " << gs.forwards
+              << " forwards, " << gs.dropped << " dropped\n"
+              << "; virtual time: compute " << gs.compute_vtime << ", comm "
+              << gs.comm_vtime << ", makespan " << gs.makespan_vtime << "\n";
+    if (!metrics_path.empty()) {
+      psme::obs::Registry registry;
+      group.export_obs(registry);
+      std::ofstream out(metrics_path);
+      if (!out) usage(("cannot write " + metrics_path).c_str());
+      registry.write_json(out);
+      std::cout << "; metrics -> " << metrics_path << "\n";
+    }
     return 0;
   }
 

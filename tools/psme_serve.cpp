@@ -29,6 +29,13 @@
 //   --seed N          loadgen: workload-mix seed              (default 1)
 //   --no-verify       loadgen: skip the trace-divergence check
 //   --json FILE       loadgen: also write the report as JSON
+//   --shards N        stdin: back the session with a shard::ShardGroup of
+//                     N shared-nothing shards (docs/sharding.md) instead
+//                     of one engine; checkpoint/restore still speak
+//                     psme.checkpoint.v1, so a session drains out of /
+//                     into any topology                       (default 0)
+//   --transport T     stdin: shard interconnect, inproc|socket; needs
+//                     --shards                           (default inproc)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "serve/loadgen.hpp"
+#include "shard/shard_group.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -49,9 +57,8 @@ namespace {
   std::exit(2);
 }
 
-int repl(const psme::ops5::Program& program, psme::EngineConfig config,
+int repl(psme::serve::Session& session,
          const std::vector<std::string>& initial_wmes) {
-  psme::serve::Session session(program, config);
   for (const std::string& wme : initial_wmes) {
     const psme::serve::Response r = session.execute("make " + wme);
     if (!r.ok) {
@@ -76,6 +83,8 @@ int main(int argc, char** argv) {
   std::string mode = "sim", locks = "simple", workload_name, program_path,
       json_path;
   int procs = 4;
+  int shards = 0;
+  std::string transport = "inproc";
   psme::serve::ServerConfig server_config;
   psme::serve::LoadGenConfig gen;
 
@@ -105,12 +114,21 @@ int main(int argc, char** argv) {
       gen.seed = static_cast<std::uint64_t>(std::stoull(next()));
     else if (arg == "--no-verify") gen.verify_traces = false;
     else if (arg == "--json") json_path = next();
+    else if (arg == "--shards") shards = std::stoi(next());
+    else if (arg == "--transport") transport = next();
     else if (arg == "--workload") workload_name = next();
     else if (!arg.empty() && arg[0] == '-')
       usage(("unknown option " + arg).c_str());
     else program_path = arg;
   }
   if (loadgen == use_stdin) usage("pick exactly one of --loadgen / --stdin");
+  if (shards < 0 || shards > 0xffff) usage("--shards out of range");
+  if (shards > 0 && loadgen)
+    usage("--shards backs a --stdin session (loadgen drives engine modes)");
+  if (transport != "inproc" && transport != "socket")
+    usage("unknown transport (inproc|socket)");
+  if (shards == 0 && transport != "inproc")
+    usage("--transport needs --shards");
 
   psme::EngineConfig config;
   if (mode == "seq") {
@@ -160,7 +178,19 @@ int main(int argc, char** argv) {
       }
       const psme::ops5::Program program =
           psme::ops5::Program::from_source(source);
-      return repl(program, config, initial_wmes);
+      if (shards > 0) {
+        psme::shard::ShardGroupConfig scfg;
+        scfg.shards = static_cast<std::uint16_t>(shards);
+        scfg.sessions = 1;
+        scfg.transport = transport == "socket"
+                             ? psme::shard::TransportKind::Socket
+                             : psme::shard::TransportKind::InProc;
+        psme::shard::ShardGroup group(program, config.options, scfg);
+        psme::serve::Session session(program, &group, 0);
+        return repl(session, initial_wmes);
+      }
+      psme::serve::Session session(program, config);
+      return repl(session, initial_wmes);
     }
 
     gen.engine = config;

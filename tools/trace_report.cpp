@@ -2,6 +2,7 @@
 //
 // Usage:
 //   trace_report TRACE.json [--metrics METRICS.json]
+//   trace_report --metrics METRICS.json
 //
 // Reads a trace written by `psme_cli --trace` (Chrome trace_event JSON,
 // see docs/observability.md for the schema) and prints:
@@ -19,6 +20,12 @@
 // equal psme.match.tasks_executed and per-side probe sums must equal
 // psme.line.probes.left/right. Exits 1 on any mismatch, so the build's
 // cli_obs_report test doubles as an end-to-end consistency check.
+//
+// --metrics alone (no trace) prints only the metrics-derived sections —
+// the form sharded runs use, since `psme_cli --shards --metrics-json`
+// prices its interconnect in virtual time and emits no per-task trace;
+// the sharding section summarizes the psme.shard.* counters
+// (docs/sharding.md).
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -37,7 +44,8 @@ using psme::obs::Json;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::cerr << "error: " << msg << "\n";
-  std::cerr << "usage: trace_report TRACE.json [--metrics METRICS.json]\n";
+  std::cerr << "usage: trace_report TRACE.json [--metrics METRICS.json]\n"
+               "       trace_report --metrics METRICS.json\n";
   std::exit(msg ? 1 : 0);
 }
 
@@ -136,8 +144,19 @@ int main(int argc, char** argv) {
       usage("more than one trace file given");
     }
   }
-  if (trace_path.empty()) usage("no trace file given");
+  // A trace is required unless --metrics alone is given (sharded runs
+  // price their interconnect in virtual time and emit no task trace).
+  if (trace_path.empty() && metrics_path.empty())
+    usage("no trace file given");
+  const bool have_trace = !trace_path.empty();
 
+  std::map<std::string, KindAgg> kinds;
+  std::map<std::uint64_t, WorkerAgg> workers;
+  Log2Hist line_left, line_right, queue_all;
+  std::uint64_t side_probes[2] = {0, 0};  // left, right (join + requeue)
+  std::uint64_t completed = 0;
+
+  if (have_trace) {
   const Json trace = load_json(trace_path);
   const Json* events = trace.find("traceEvents");
   if (!events || !events->is_array())
@@ -146,10 +165,6 @@ int main(int argc, char** argv) {
   if (const Json* other = trace.find("otherData"))
     if (const Json* c = other->find("clock")) clock = c->as_string();
 
-  std::map<std::string, KindAgg> kinds;
-  std::map<std::uint64_t, WorkerAgg> workers;
-  Log2Hist line_left, line_right, queue_all;
-  std::uint64_t side_probes[2] = {0, 0};  // left, right (join + requeue)
   double span_end_us = 0;
 
   for (const Json& ev : events->as_array()) {
@@ -194,7 +209,6 @@ int main(int argc, char** argv) {
               clock.c_str(), span_end_us / 1000.0);
 
   std::printf("\ntasks by node kind:\n");
-  std::uint64_t completed = 0;
   for (const auto& [name, k] : kinds) {
     std::printf("  %-13s %8llu tasks  %10.1f us busy  %8llu line probes"
                 "  %8llu queue probes\n",
@@ -219,6 +233,7 @@ int main(int argc, char** argv) {
   line_left.print("line probes per left activation");
   line_right.print("line probes per right activation");
   queue_all.print("queue probes per task");
+  }  // have_trace
 
   if (metrics_path.empty()) return 0;
 
@@ -295,6 +310,50 @@ int main(int argc, char** argv) {
       std::printf("  branches %12.0f\n", branches->second);
     }
   }
+
+  // Sharded-match interconnect summary (docs/sharding.md): present only
+  // in dumps from `psme_cli --shards --metrics-json` / ShardGroup::
+  // export_obs. Virtual times are in simulated instructions (CostModel);
+  // makespan overlaps compute with communication, so it is at most their
+  // sum and the overlap line shows how much the batching discipline hid.
+  {
+    const auto shards = mv.find("psme.shard.shards");
+    if (shards != mv.end()) {
+      auto opt = [&](const char* name) -> double {
+        const auto it = mv.find(name);
+        return it != mv.end() ? it->second : 0.0;
+      };
+      const double batches = opt("psme.shard.batches");
+      const double frames = opt("psme.shard.frames");
+      const double compute = opt("psme.shard.vtime.compute");
+      const double comm = opt("psme.shard.vtime.comm");
+      const double makespan = opt("psme.shard.vtime.makespan");
+      std::printf("\nsharding:\n");
+      std::printf("  shards           %12.0f  (%.0f sessions)\n",
+                  shards->second, opt("psme.shard.sessions"));
+      std::printf("  batches          %12.0f", batches);
+      if (batches > 0)
+        std::printf("  (%.2f frames each)", frames / batches);
+      std::printf("\n");
+      std::printf("  bytes sent       %12.0f  (%.0f received)\n",
+                  opt("psme.shard.bytes_sent"),
+                  opt("psme.shard.bytes_received"));
+      std::printf("  forwards         %12.0f  (%.0f deltas, %.0f dropped)\n",
+                  opt("psme.shard.forwards"), opt("psme.shard.deltas"),
+                  opt("psme.shard.dropped"));
+      std::printf("  tasks            %12.0f  over %.0f rounds\n",
+                  opt("psme.shard.tasks"), opt("psme.shard.rounds"));
+      std::printf("  vtime compute    %12.0f  instructions\n", compute);
+      std::printf("  vtime comm       %12.0f  instructions\n", comm);
+      std::printf("  vtime makespan   %12.0f", makespan);
+      if (compute + comm > 0)
+        std::printf("  (%.1f%% of compute+comm overlapped away)",
+                    100.0 * (1.0 - makespan / (compute + comm)));
+      std::printf("\n");
+    }
+  }
+
+  if (!have_trace) return 0;
 
   std::printf("\ncross-check against %s:\n", metrics_path.c_str());
   bool ok = true;
