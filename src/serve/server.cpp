@@ -83,6 +83,15 @@ std::vector<SessionId> Server::open_shard_sessions(
     const ops5::Program& program, EngineConfig config, std::uint32_t count,
     std::uint16_t shards, shard::TransportKind transport,
     std::uint16_t lanes) {
+  const shard::ShardGroupConfig defaults;
+  return open_shard_sessions(program, config, count, shards, transport, lanes,
+                             defaults.keyless, defaults.overlap);
+}
+
+std::vector<SessionId> Server::open_shard_sessions(
+    const ops5::Program& program, EngineConfig config, std::uint32_t count,
+    std::uint16_t shards, shard::TransportKind transport, std::uint16_t lanes,
+    shard::KeylessPolicy keyless, bool overlap) {
   if (count == 0)
     throw std::invalid_argument("open_shard_sessions: count must be >= 1");
   if (lanes == 0 || lanes > count)
@@ -101,6 +110,8 @@ std::vector<SessionId> Server::open_shard_sessions(
     scfg.shards = shards;
     scfg.sessions = n;
     scfg.transport = transport;
+    scfg.keyless = keyless;
+    scfg.overlap = overlap;
     auto group = std::make_unique<shard::ShardGroup>(program, config.options,
                                                      scfg);
     for (std::uint32_t slot = 0; slot < n; ++slot) {

@@ -32,6 +32,7 @@
 
 namespace psme::shard {
 enum class TransportKind : std::uint8_t;  // shard/transport.hpp
+enum class KeylessPolicy : std::uint8_t;  // shard/partition.hpp
 }
 
 namespace psme::serve {
@@ -85,6 +86,19 @@ class Server {
                                              std::uint16_t shards,
                                              shard::TransportKind transport,
                                              std::uint16_t lanes = 1);
+  // Full form: also picks the keyless-join policy and whether priced
+  // exchanges overlap (shard/partition.hpp, shard/shard_group.hpp). The
+  // short form above delegates with the ShardGroupConfig defaults
+  // (replicate + overlap); pass KeylessPolicy::Owner / overlap=false to
+  // reproduce the strictly-synchronous single-owner behavior.
+  std::vector<SessionId> open_shard_sessions(const ops5::Program& program,
+                                             EngineConfig config,
+                                             std::uint32_t count,
+                                             std::uint16_t shards,
+                                             shard::TransportKind transport,
+                                             std::uint16_t lanes,
+                                             shard::KeylessPolicy keyless,
+                                             bool overlap);
   bool close_session(SessionId id);  // queued requests answer `err`
   std::size_t session_count() const;
 

@@ -11,10 +11,21 @@
 // Keyless joins (no equality tests — cross products and most negated
 // context checks) have an empty compiled key, so task_hash degenerates to
 // the node seed alone: every activation of such a node maps to ONE shard.
-// That single-owner fallback replaces broadcasting the node's activations
-// to all shards — cheaper, and trivially correct, at the price of zero
-// parallelism for that node (rete::NetworkCounts::keyless_join_nodes
-// reports how much of the network runs in fallback).
+// That single-owner fallback (KeylessPolicy::Owner) replaces broadcasting
+// the node's activations to all shards — cheaper, and trivially correct,
+// at the price of zero parallelism for that node
+// (rete::NetworkCounts::keyless_join_nodes reports how much of the
+// network runs in fallback).
+//
+// KeylessPolicy::Replicate lifts that ceiling: each hot keyless node's
+// *opposite* (wme-side) memory is replicated to every shard. Writes are
+// already broadcast — WM deltas reach all shards and each runs the alpha
+// programs — so a replica costs no extra frames, only the duplicated
+// right-activation compute; in exchange, left probes stay wherever the
+// token was produced instead of serializing on the node-seed owner. The
+// replication decision is per node, at network-compile time (see
+// PartitionPlan below); Terminal routing is untouched, so conflict-set
+// entries stay disjoint across shards and digest merging is unchanged.
 //
 // Shard ids come from Lamping & Veach's jump consistent hash: adding a
 // shard moves only ~1/N of the key space, so a drained-and-regrown group
@@ -75,6 +86,68 @@ inline std::uint16_t owner_of(const match::Task& t, std::uint16_t shards) {
     case match::TaskKind::Root:
       return 0;
   }
+  return static_cast<std::uint16_t>(jump_hash(h, shards));
+}
+
+// What to do with joins whose compiled key is empty (docs/sharding.md).
+enum class KeylessPolicy : std::uint8_t {
+  Owner,      // every activation of a keyless node maps to one shard
+  Replicate,  // keyless nodes' wme-side memories replicate to all shards
+};
+
+// Per-network replication plan, derived deterministically on every shard
+// (and the coordinator) from the compiled network — nothing crosses the
+// wire. A keyless join replicates when the policy says so, the group
+// actually has >1 shard, and at least one alpha program feeds its right
+// input (true for every reachable join in this network shape; the fan-in
+// count keeps the decision per-node and lets a future policy threshold
+// on it).
+struct PartitionPlan {
+  KeylessPolicy keyless = KeylessPolicy::Owner;
+  std::uint16_t shards = 1;
+  std::vector<bool> replicated;  // indexed by JoinNode::id
+  std::size_t replicated_nodes = 0;
+
+  bool replicates(const rete::JoinNode* j) const {
+    return j != nullptr && j->id < replicated.size() && replicated[j->id];
+  }
+
+  static PartitionPlan build(const rete::Network& net, KeylessPolicy policy,
+                             std::uint16_t shards) {
+    PartitionPlan plan;
+    plan.keyless = policy;
+    plan.shards = shards;
+    if (policy != KeylessPolicy::Replicate || shards <= 1) return plan;
+    std::uint32_t max_id = 0;
+    for (const auto& j : net.joins()) max_id = std::max(max_id, j->id);
+    std::vector<std::uint32_t> right_fan_in(max_id + 1, 0);
+    for (const auto& a : net.alphas())
+      for (const rete::AlphaDest& d : a->dests)
+        if (d.side == Side::Right && d.join != nullptr &&
+            d.join->id <= max_id)
+          ++right_fan_in[d.join->id];
+    plan.replicated.assign(max_id + 1, false);
+    for (const auto& j : net.joins())
+      if (j->keyless() && right_fan_in[j->id] > 0) {
+        plan.replicated[j->id] = true;
+        ++plan.replicated_nodes;
+      }
+    return plan;
+  }
+};
+
+// Owner of a ROOT-emitted left activation of a replicated keyless node.
+// The node-seed hash would collapse every such token onto one shard;
+// spreading by (node seed, token timetags) partitions the left memory
+// while the replicated right memory answers probes locally. Join-emitted
+// lefts of replicated nodes never route through this — the emitting
+// shard keeps them (ShardState::route).
+inline std::uint16_t replica_left_owner(const match::Task& t,
+                                        std::uint16_t shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t h = rr::mix64(0x5b1ca7e5ul, t.join->hash_seed);
+  for (std::uint32_t i = 0; i < t.token->len; ++i)
+    h = rr::mix64(h, t.token->wme_at(i)->timetag);
   return static_cast<std::uint16_t>(jump_hash(h, shards));
 }
 

@@ -5,7 +5,7 @@
 // destination per phase, so the per-message fixed cost amortizes over
 // every frame the phase produced). A batch is:
 //
-//   [u32 magic 'PSB1'] [u8 version=1] [u16 src] [u16 dst] [u32 nframes]
+//   [u32 magic 'PSB1'] [u8 version] [u16 src] [u16 dst] [u32 nframes]
 //   nframes x ( [u8 type] [type-specific payload] )
 //
 // all little-endian, no alignment. Shard ids are dense u16; the
@@ -13,6 +13,14 @@
 // transports — in-process queues and socketpair pipes — so a frame
 // round-trips bit-identically whether or not a process boundary is
 // crossed (the protocol fuzz tests rely on this).
+//
+// Versioning: the current version is 2. Version 2 is a strict superset
+// of version 1 — every v1 frame keeps its exact v1 wire layout, so v1
+// byte streams decode unchanged — and adds the overlapped-exchange
+// handshake (FlushMark/FlushAck, rejected in v1 batches) plus one
+// trailing field on StatsReply (replicated_keeps, decoded only when the
+// batch header says v2). The decoder accepts both version bytes;
+// Batch::version reports which one arrived.
 //
 // Decoding is defensive: every read is bounds-checked against the
 // remaining payload and every count field is validated before
@@ -31,7 +39,8 @@
 namespace psme::shard {
 
 inline constexpr std::uint32_t kMagic = 0x31425350u;  // "PSB1", LE
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kMinVersion = 1;  // v1 streams still decode
 
 class ProtocolError : public std::runtime_error {
  public:
@@ -57,6 +66,10 @@ enum class FrameType : std::uint8_t {
   StatsReply = 15,    // reply to StatsQuery
   BatchDone = 16,     // trails every reply batch: per-batch cost facts
   Shutdown = 17,      // shard acknowledges, then exits its serve loop
+  // v2 frames — the overlapped-exchange credit handshake. Rejected when
+  // the batch header says version 1.
+  FlushMark = 18,  // coordinator: "drain everything before this mark"
+  FlushAck = 19,   // shard echo: the mark's (cycle, epoch), credit return
 };
 
 struct HelloFrame {
@@ -109,11 +122,23 @@ struct StatsReplyFrame {
   std::uint64_t forwarded = 0;   // tasks routed to another shard
   std::uint64_t dropped = 0;     // root emissions owned elsewhere
   std::uint64_t vtime = 0;       // modeled compute, CostModel instructions
+  // v2 only: tasks kept local by keyless replication (wire-absent and
+  // decoded as 0 when the batch header says version 1).
+  std::uint64_t replicated_keeps = 0;
 };
 
 struct BatchDoneFrame {
   std::uint64_t vtime_delta = 0;  // modeled compute for THIS batch
   std::uint32_t tasks_delta = 0;  // tasks executed for THIS batch
+};
+
+// FlushMark / FlushAck. The coordinator stamps every overlapped request
+// batch with (exchange cycle, per-shard epoch); the shard drains the
+// batch and echoes the mark back, returning the send credit. Epochs are
+// strictly increasing per shard connection — both sides validate.
+struct FlushFrame {
+  std::uint64_t cycle = 0;  // which overlapped exchange this belongs to
+  std::uint32_t epoch = 0;  // per-shard send sequence within the run
 };
 
 // A decoded frame: `type` says which member is meaningful.
@@ -128,18 +153,23 @@ struct Frame {
   FiredReplyFrame fired;
   StatsReplyFrame stats;   // StatsReply
   BatchDoneFrame done;
+  FlushFrame flush;        // FlushMark / FlushAck
 };
 
 struct Batch {
   std::uint16_t src = 0xffff;  // partition.hpp kCoordinator
   std::uint16_t dst = 0;
+  std::uint8_t version = kVersion;  // header byte the batch arrived with
   std::vector<Frame> frames;
 };
 
 // Incremental batch builder: append frames, then take() the wire bytes.
+// `version` pins the header byte and the StatsReply layout; writing a
+// v2-only frame into a v1 batch throws (the decoder would reject it).
 class BatchWriter {
  public:
-  BatchWriter(std::uint16_t src, std::uint16_t dst);
+  BatchWriter(std::uint16_t src, std::uint16_t dst,
+              std::uint8_t version = kVersion);
 
   void hello(const HelloFrame& f);
   void wm_delta(const WmDeltaFrame& f);
@@ -158,6 +188,8 @@ class BatchWriter {
   void stats_reply(const StatsReplyFrame& f);
   void batch_done(const BatchDoneFrame& f);
   void shutdown();
+  void flush_mark(const FlushFrame& f);
+  void flush_ack(const FlushFrame& f);
 
   std::size_t frames() const { return frames_; }
   bool empty() const { return frames_ == 0; }
@@ -174,6 +206,7 @@ class BatchWriter {
 
   std::string buf_;
   std::size_t frames_ = 0;
+  std::uint8_t version_ = kVersion;
 };
 
 // Decodes a full batch. Throws ProtocolError on any malformed input.

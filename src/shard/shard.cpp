@@ -16,6 +16,7 @@ ShardState::ShardState(const ops5::Program& program, const rete::Network& net,
   // BETWEEN shards, so the per-shard match is the sequential kernel.
   options_.match_processes = 0;
   options_.memory = match::MemoryStrategy::Hash;
+  plan_ = PartitionPlan::build(net_, cfg_.keyless, cfg_.shards);
   for (const auto& j : net_.joins()) join_by_id_.emplace(j->id, j.get());
   slices_.resize(cfg_.sessions);
 }
@@ -104,6 +105,22 @@ void ShardState::route(Slice& s, const match::Task& src,
                        std::vector<match::Task>& out, BatchWriter& reply) {
   for (const match::Task& t : out) {
     if (src.kind == match::TaskKind::Root) {
+      if (t.kind != match::TaskKind::Terminal && plan_.replicates(t.join)) {
+        // Replicated keyless node. The wme-side write applies to EVERY
+        // shard's replica (the delta already reached all of them, so no
+        // extra frames — only duplicated compute); a first-CE token
+        // spreads by (node seed, timetags) so the left memory partitions
+        // instead of collapsing onto the node-seed owner.
+        if (t.kind == match::TaskKind::JoinRight) {
+          s.w.inline_queue.push_back(t);
+          ++replicated_keeps_;
+        } else if (replica_left_owner(t, cfg_.shards) == cfg_.self) {
+          s.w.inline_queue.push_back(t);
+        } else {
+          ++dropped_;
+        }
+        continue;
+      }
       // Every shard ran this Root; each keeps only its own partition.
       if (owner_of(t, cfg_.shards) == cfg_.self) {
         s.w.inline_queue.push_back(t);
@@ -116,6 +133,15 @@ void ShardState::route(Slice& s, const match::Task& src,
       // Join-emitted terminal: the final join's key placed the whole
       // instantiation here, so the local conflict set owns it.
       s.w.inline_queue.push_back(t);
+      continue;
+    }
+    if (plan_.replicates(t.join)) {
+      // Probe locality: the node's full wme-side memory is right here,
+      // so the token never leaves the shard that produced it. Its later
+      // retraction is emitted by the same deterministic upstream state,
+      // so + and - of one token always meet on one shard.
+      s.w.inline_queue.push_back(t);
+      ++replicated_keeps_;
       continue;
     }
     const std::uint16_t owner = owner_of(t, cfg_.shards);
@@ -271,9 +297,21 @@ std::string ShardState::handle(const std::string& bytes) {
         sr.forwarded = forwarded_;
         sr.dropped = dropped_;
         sr.vtime = vtime_;
+        sr.replicated_keeps = replicated_keeps_;
         reply.stats_reply(sr);
         break;
       }
+      case FrameType::FlushMark:
+        // Overlapped-exchange credit handshake: drain everything queued
+        // ahead of the mark, then echo it — the ack tells the
+        // coordinator this batch's forwards are all in the reply and
+        // returns its send credit.
+        if (f.flush.epoch <= last_epoch_)
+          throw ProtocolError("flush mark epoch not increasing");
+        last_epoch_ = f.flush.epoch;
+        flush();
+        reply.flush_ack(f.flush);
+        break;
       case FrameType::Shutdown:
         done_ = true;
         break;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "engine/options.hpp"
+#include "shard/partition.hpp"
 #include "shard/protocol.hpp"
 #include "sim/cost_model.hpp"
 #include "world/world.hpp"
@@ -45,6 +46,9 @@ struct ShardConfig {
   std::uint32_t sessions = 1;
   std::uint64_t fingerprint = 0;  // expected program fingerprint
   sim::CostModel cost;            // per-activation compute pricing
+  // Keyless-join routing (docs/sharding.md). Owner here so a bare
+  // ShardState behaves like PR 9; ShardGroup always sets it explicitly.
+  KeylessPolicy keyless = KeylessPolicy::Owner;
 };
 
 class ShardState {
@@ -84,12 +88,18 @@ class ShardState {
   const rete::Network& net_;
   EngineOptions options_;
   ShardConfig cfg_;
+  PartitionPlan plan_;  // which keyless joins replicate here
   std::unordered_map<std::uint32_t, const rete::JoinNode*> join_by_id_;
   std::vector<std::unique_ptr<Slice>> slices_;  // lazily built
   std::vector<Slice*> touched_;  // slices with queued work this batch
 
+  // Overlapped-exchange handshake: FlushMark epochs must be strictly
+  // increasing over the connection's lifetime.
+  std::uint32_t last_epoch_ = 0;
+
   // Lifetime counters (StatsReply) and per-batch deltas (BatchDone).
   std::uint64_t tasks_ = 0, forwarded_ = 0, dropped_ = 0;
+  std::uint64_t replicated_keeps_ = 0;
   sim::VTime vtime_ = 0;
   std::uint64_t batch_tasks_ = 0;
   sim::VTime batch_vtime_ = 0;

@@ -58,12 +58,17 @@ ShardGroup::ShardGroup(const ops5::Program& program, EngineOptions options,
     sessions_[i]->max_cycles = options_.max_cycles;
   }
   out_.resize(cfg_.shards);
+  epoch_.resize(cfg_.shards, 0);
+  stats_.replicated_nodes =
+      PartitionPlan::build(*network_, cfg_.keyless, cfg_.shards)
+          .replicated_nodes;
 
   ShardConfig sc;
   sc.shards = cfg_.shards;
   sc.sessions = cfg_.sessions;
   sc.fingerprint = serve::Checkpoint::fingerprint_of(program_);
   sc.cost = cfg_.cost;
+  sc.keyless = cfg_.keyless;
   std::vector<ShardState*> raw;
   for (std::uint16_t k = 0; k < cfg_.shards; ++k) {
     sc.self = k;
@@ -120,6 +125,13 @@ BatchWriter& ShardGroup::to(std::uint16_t s) {
 void ShardGroup::exchange(
     bool priced,
     const std::function<void(std::uint16_t, const Frame&)>& on_frame) {
+  // Priced traffic takes the overlapped path when configured; control
+  // traffic (handshake, digests, checkpoints, stats) is single-round and
+  // stays on the synchronous loop below, unmarked.
+  if (priced && cfg_.overlap) {
+    exchange_overlapped(on_frame);
+    return;
+  }
   for (;;) {
     std::vector<std::uint16_t> contacted;
     std::vector<std::size_t> sent_bytes;
@@ -183,6 +195,109 @@ void ShardGroup::exchange(
   }
 }
 
+void ShardGroup::exchange_overlapped(
+    const std::function<void(std::uint16_t, const Frame&)>& on_frame,
+    const std::function<bool()>& on_drained) {
+  // Credit window: one marked batch in flight per shard — the FlushAck
+  // returns the credit — preserving the transports' one-request-per-pipe
+  // invariant. The overlap is across shards: while one shard's frames
+  // are in flight the others compute, and relayed forwards leave the
+  // moment the carrying reply arrives (eager send toward any shard whose
+  // credit is free) instead of waiting out an end-of-round barrier.
+  struct InFlight {
+    std::uint32_t epoch = 0;
+    sim::VTime req_cost = 0;
+    bool active = false;
+  };
+  std::vector<InFlight> inflight(cfg_.shards);
+  const std::uint64_t cycle = ++exchange_cycle_;
+
+  auto send_ready = [&](std::uint16_t k) {
+    if (inflight[k].active || !out_[k] || out_[k]->empty()) return;
+    FlushFrame m;
+    m.cycle = cycle;
+    m.epoch = ++epoch_[k];
+    out_[k]->flush_mark(m);
+    stats_.frames += out_[k]->frames();
+    std::string bytes = out_[k]->take();
+    out_[k].reset();
+    stats_.batches += 1;
+    stats_.bytes_sent += bytes.size();
+    inflight[k] = {m.epoch, cfg_.cost.batch_cost(bytes.size()), true};
+    transport_->send(k, std::move(bytes));
+  };
+
+  for (;;) {
+    for (std::uint16_t k = 0; k < cfg_.shards; ++k) send_ready(k);
+    bool any = false;
+    for (const InFlight& f : inflight) any = any || f.active;
+    if (!any) {
+      // Drained. The caller may fold a finalizer (the quiesce barrier)
+      // into this same exchange instead of paying a separate one.
+      if (on_drained && on_drained()) continue;
+      return;
+    }
+    // One sweep: one reply from each shard with a batch in flight, in
+    // shard order — determinism never depends on completion order.
+    sim::VTime sweep_overlapped = 0;
+    sim::VTime sweep_serial = 0;
+    for (std::uint16_t k = 0; k < cfg_.shards; ++k) {
+      if (!inflight[k].active) continue;
+      const InFlight sent = inflight[k];
+      const std::string reply_bytes = transport_->recv(k);
+      inflight[k].active = false;
+      stats_.batches += 1;
+      stats_.bytes_received += reply_bytes.size();
+      const Batch reply = decode_batch(reply_bytes);
+      if (reply.src != k || reply.dst != kCoordinator)
+        throw ProtocolError("reply batch from unexpected endpoint");
+      sim::VTime shard_compute = 0;
+      bool acked = false;
+      for (const Frame& f : reply.frames) {
+        stats_.frames += 1;
+        switch (f.type) {
+          case FrameType::TaskFwd:
+            if (f.fwd.dst >= cfg_.shards)
+              throw ProtocolError("forward addressed to unknown shard");
+            to(f.fwd.dst).task_fwd(f.fwd);
+            stats_.forwards += 1;
+            break;
+          case FrameType::BatchDone:
+            shard_compute = f.done.vtime_delta;
+            break;
+          case FrameType::FlushAck:
+            if (f.flush.cycle != cycle || f.flush.epoch != sent.epoch)
+              throw ProtocolError("flush ack does not match its mark");
+            acked = true;
+            break;
+          default:
+            if (on_frame) on_frame(k, f);
+            break;
+        }
+      }
+      if (!acked)
+        throw ProtocolError("overlapped reply missing its flush ack");
+      const sim::VTime comm =
+          sent.req_cost + cfg_.cost.batch_cost(reply_bytes.size());
+      stats_.compute_vtime += shard_compute;
+      stats_.comm_vtime += comm;
+      sweep_overlapped =
+          std::max(sweep_overlapped,
+                   cfg_.cost.path_cost(shard_compute, comm, true));
+      sweep_serial = std::max(
+          sweep_serial, cfg_.cost.path_cost(shard_compute, comm, false));
+      // Eager relay: anything this reply produced leaves now if the
+      // destination's credit is free — a later shard in this sweep sees
+      // it this sweep, not behind a barrier.
+      for (std::uint16_t k2 = 0; k2 < cfg_.shards; ++k2) send_ready(k2);
+    }
+    stats_.makespan_vtime += sweep_overlapped;
+    stats_.overlap_saved_vtime += sweep_serial - sweep_overlapped;
+    stats_.rounds += 1;
+    stats_.overlap_rounds += 1;
+  }
+}
+
 const Wme* ShardGroup::make(std::uint32_t si, std::string_view wme_literal) {
   const ops5::WmeLiteral lit = ops5::parse_wme_literal(wme_literal);
   std::vector<std::pair<SymbolId, Value>> fields;
@@ -235,22 +350,39 @@ void ShardGroup::flush_pending(Session& s) {
 
 void ShardGroup::match_round(
     const std::vector<std::uint32_t>& refraction_for) {
+  // Quiesce barrier (+ checkpoint-restore refraction: the conflict sets
+  // are complete once traffic drains, so the owner shard can find each
+  // instantiation).
+  auto enqueue_quiesce = [&] {
+    for (const std::uint32_t id : refraction_for) {
+      Session& s = session(id);
+      for (const FiringRecord& rec : s.restored_fired) {
+        InstFrame f;
+        f.session = id;
+        f.prod_index = rec.prod_index;
+        f.tags.assign(rec.timetags.begin(), rec.timetags.end());
+        for (std::uint16_t k = 0; k < cfg_.shards; ++k) to(k).mark_fired(f);
+      }
+      s.restored_fired.clear();
+    }
+    for (std::uint16_t k = 0; k < cfg_.shards; ++k) to(k).quiesce();
+  };
+  if (cfg_.overlap) {
+    // Deltas, forwards AND the quiesce barrier ride one overlapped
+    // exchange: when traffic drains, the barrier frames are appended and
+    // confirmed under the same credit/ack discipline.
+    bool quiesced = false;
+    exchange_overlapped(nullptr, [&]() -> bool {
+      if (quiesced) return false;
+      quiesced = true;
+      enqueue_quiesce();
+      return true;
+    });
+    return;
+  }
   // Deltas propagate and forwarded join activations relay until drained.
   exchange(/*priced=*/true);
-  // Quiesce barrier (+ checkpoint-restore refraction: the conflict sets
-  // are complete now, so the owner shard can find each instantiation).
-  for (const std::uint32_t id : refraction_for) {
-    Session& s = session(id);
-    for (const FiringRecord& rec : s.restored_fired) {
-      InstFrame f;
-      f.session = id;
-      f.prod_index = rec.prod_index;
-      f.tags.assign(rec.timetags.begin(), rec.timetags.end());
-      for (std::uint16_t k = 0; k < cfg_.shards; ++k) to(k).mark_fired(f);
-    }
-    s.restored_fired.clear();
-  }
-  for (std::uint16_t k = 0; k < cfg_.shards; ++k) to(k).quiesce();
+  enqueue_quiesce();
   exchange(/*priced=*/true);
 }
 
@@ -543,12 +675,14 @@ void ShardGroup::restore_session(std::uint32_t si,
 GroupStats ShardGroup::group_stats_locked() {
   stats_.tasks = 0;
   stats_.dropped = 0;
+  stats_.replicated_keeps = 0;
   for (std::uint16_t k = 0; k < cfg_.shards; ++k) to(k).stats_query();
   exchange(/*priced=*/false, [&](std::uint16_t, const Frame& f) {
     if (f.type != FrameType::StatsReply)
       throw ProtocolError("unexpected reply to StatsQuery");
     stats_.tasks += f.stats.tasks;
     stats_.dropped += f.stats.dropped;
+    stats_.replicated_keeps += f.stats.replicated_keeps;
   });
   return stats_;
 }
@@ -610,6 +744,18 @@ void ShardGroup::export_obs(obs::Registry& registry) {
   registry.counter(c("psme.shard.vtime.makespan", "instructions",
                      "sum over rounds of the slowest shard's path"))
       .add(0, gs.makespan_vtime);
+  registry.counter(c("psme.shard.overlap.rounds", "rounds",
+                     "priced rounds run by the overlapped exchange"))
+      .add(0, gs.overlap_rounds);
+  registry.counter(c("psme.shard.overlap.saved_vtime", "instructions",
+                     "idle-wait vtime the overlap hid vs a sync barrier"))
+      .add(0, gs.overlap_saved_vtime);
+  registry.gauge(g("psme.shard.replicated_nodes", "nodes",
+                   "keyless join nodes running replicated")).set(
+      static_cast<std::int64_t>(gs.replicated_nodes));
+  registry.counter(c("psme.shard.replicated_keeps", "tasks",
+                     "tasks kept local by keyless replication"))
+      .add(0, gs.replicated_keeps);
 }
 
 }  // namespace psme::shard

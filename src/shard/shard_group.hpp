@@ -29,13 +29,30 @@
 // Interconnect pricing: every request/reply batch is charged
 // CostModel::batch_cost(bytes) and every reply reports its modeled
 // compute (BatchDone); a round's virtual makespan is the MAX over
-// contacted shards of (request cost + shard compute + reply cost), which
-// is what bench/shard_compare reports as virtual time. Digest/checkpoint
-// traffic is diagnostic and deliberately unpriced.
+// contacted shards of CostModel::path_cost(compute, comm) — with the
+// synchronous exchange that is request + compute + reply back-to-back,
+// with the overlapped exchange it is max(compute, comm) because the
+// shard keeps draining while frames are in flight. That makespan is what
+// bench/shard_compare reports as virtual time. Digest/checkpoint traffic
+// is diagnostic and deliberately unpriced.
+//
+// Overlapped exchange (ShardGroupConfig::overlap, the default): every
+// priced request batch ends with a FlushMark carrying (exchange cycle,
+// per-shard epoch); the shard drains and echoes a FlushAck, returning
+// the coordinator's send credit for that shard. The coordinator relays
+// TaskFwd frames the moment the carrying reply arrives — an eager send
+// toward any shard whose credit is free — instead of holding them for an
+// end-of-round barrier, and the quiesce barrier itself rides the same
+// exchange once traffic drains. Replies are still consumed in shard
+// order and frames applied in the same total order as the synchronous
+// path, so per-cycle rr digests stay bit-identical (the equivalence
+// suite runs all four policy x overlap combinations).
 //
 // Thread safety: one coarse mutex serializes the public surface (the
-// transport is strict request/reply per shard). The serve front tier
-// therefore runs one ShardGroup per worker lane rather than sharing one.
+// transport is strict request/reply per shard; the overlap credit window
+// is one batch in flight per shard, preserving that invariant). The
+// serve front tier therefore runs one ShardGroup per worker lane rather
+// than sharing one.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +81,11 @@ struct ShardGroupConfig {
   std::uint32_t sessions = 1;
   TransportKind transport = TransportKind::InProc;
   sim::CostModel cost;
+  // Keyless-join routing and exchange overlap (docs/sharding.md). The
+  // defaults are the fast path; `--keyless owner --overlap off`
+  // reproduces PR 9's synchronous single-owner behavior byte-for-byte.
+  KeylessPolicy keyless = KeylessPolicy::Replicate;
+  bool overlap = true;
 };
 
 // Interconnect + partition accounting, aggregated over the group's life.
@@ -80,6 +102,10 @@ struct GroupStats {
   sim::VTime compute_vtime = 0;      // sum of shard batch compute
   sim::VTime comm_vtime = 0;         // sum of batch_cost both directions
   sim::VTime makespan_vtime = 0;     // sum over rounds of the slowest path
+  std::uint64_t overlap_rounds = 0;  // rounds priced by the overlapped path
+  sim::VTime overlap_saved_vtime = 0;  // barrier counterfactual - overlapped
+  std::uint64_t replicated_nodes = 0;  // keyless joins running replicated
+  std::uint64_t replicated_keeps = 0;  // tasks kept local by replication
 };
 
 class ShardGroup {
@@ -179,6 +205,15 @@ class ShardGroup {
   void exchange(bool priced,
                 const std::function<void(std::uint16_t, const Frame&)>&
                     on_frame = nullptr);
+  // The overlapped variant (priced exchanges when cfg_.overlap): marks
+  // every request batch, relays forwards eagerly as each reply arrives,
+  // and prices each sweep as max over shards of max(compute, comm).
+  // `on_drained` runs when nothing is in flight; returning true (after
+  // enqueueing more frames — e.g. the folded quiesce barrier) continues
+  // the exchange, false ends it.
+  void exchange_overlapped(
+      const std::function<void(std::uint16_t, const Frame&)>& on_frame,
+      const std::function<bool()>& on_drained = nullptr);
 
   void flush_pending(Session& s);
   // Delta exchange + (restore refraction) + quiesce barrier.
@@ -204,6 +239,10 @@ class ShardGroup {
   // every other engine uses decides between shard proposals.
   ConflictSet cr_;
   GroupStats stats_;
+  // Overlapped-exchange handshake state: one exchange cycle id per
+  // exchange_overlapped call, one strictly-increasing epoch per shard.
+  std::uint64_t exchange_cycle_ = 0;
+  std::vector<std::uint32_t> epoch_;
   bool digest_capture_ = false;
   bool cs_detail_ = false;
   mutable std::mutex mu_;

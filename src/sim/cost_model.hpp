@@ -103,6 +103,13 @@ struct CostModel {
   VTime batch_cost(std::size_t bytes) const {
     return msg_fixed + msg_per_byte * static_cast<VTime>(bytes);
   }
+  // One shard's path through one exchange round. A synchronous round
+  // pays request + compute + reply back-to-back; an overlapped exchange
+  // keeps the shard draining while its frames are in flight, so the
+  // round costs the longer of the two legs (the shorter hides under it).
+  VTime path_cost(VTime compute, VTime comm, bool overlapped) const {
+    return overlapped ? (compute > comm ? compute : comm) : compute + comm;
+  }
 
   // Control process.
   VTime rhs_per_change = 260;    // threaded-code evaluation per WM action

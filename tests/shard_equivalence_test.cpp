@@ -1,8 +1,9 @@
 // The PR's acceptance bar: a 64-session sharded run (4+ shards, both
 // transports) must produce per-cycle rr digests — WM digest and merged
 // conflict-set digest at every quiescent point — identical to a
-// single-engine run of each session, plus identical firing traces. A
-// divergence names the first (session, cycle) pair, and the per-shard
+// single-engine run of each session, plus identical firing traces, in
+// ALL FOUR {keyless owner, replicate} x {overlap on, off} combinations.
+// A divergence names the first (session, cycle) pair, and the per-shard
 // conflict-set detail then names the first SHARD whose local entries are
 // not a subset of the reference conflict set, so a partition bug is
 // localizable to the shard that produced it.
@@ -110,15 +111,31 @@ void expect_sessions_match(ShardGroup& group,
   }
 }
 
-TEST(ShardEquivalence, SixtyFourSessionsFourShardsBothTransports) {
-  const auto wl = workloads::rubik(6);
-  const auto program = ops5::Program::from_source(wl.source);
+// The 64 sequential references are the expensive half; compute them once
+// and share them across the four policy/overlap combination tests.
+const workloads::Workload& rubik_wl() {
+  static const auto wl = workloads::rubik(6);
+  return wl;
+}
+const ops5::Program& rubik_program() {
+  static const auto program = ops5::Program::from_source(rubik_wl().source);
+  return program;
+}
+const std::vector<SessionRef>& rubik_refs() {
+  static const std::vector<SessionRef> refs = [] {
+    std::vector<SessionRef> r;
+    r.reserve(kSessions);
+    for (std::uint32_t s = 0; s < kSessions; ++s)
+      r.push_back(sequential_ref(rubik_program(), session_wmes(rubik_wl(), s)));
+    return r;
+  }();
+  return refs;
+}
 
-  std::vector<SessionRef> refs;
-  refs.reserve(kSessions);
-  for (std::uint32_t s = 0; s < kSessions; ++s)
-    refs.push_back(sequential_ref(program, session_wmes(wl, s)));
-
+// One cell of the acceptance matrix: 64 sessions, 4 shards, both
+// transports, under the given keyless policy and exchange mode.
+void run_matrix_cell(KeylessPolicy keyless, bool overlap) {
+  const std::vector<SessionRef>& refs = rubik_refs();
   for (const TransportKind t :
        {TransportKind::InProc, TransportKind::Socket}) {
     EngineOptions opt;
@@ -127,16 +144,94 @@ TEST(ShardEquivalence, SixtyFourSessionsFourShardsBothTransports) {
     cfg.shards = 4;
     cfg.sessions = kSessions;
     cfg.transport = t;
-    ShardGroup group(program, opt, cfg);
+    cfg.keyless = keyless;
+    cfg.overlap = overlap;
+    ShardGroup group(rubik_program(), opt, cfg);
     group.set_digest_capture(true, /*per_shard_detail=*/true);
     for (std::uint32_t s = 0; s < kSessions; ++s) {
-      for (const std::string& lit : session_wmes(wl, s)) group.make(s, lit);
+      for (const std::string& lit : session_wmes(rubik_wl(), s))
+        group.make(s, lit);
       group.set_max_cycles(s, kCycles);
     }
     group.run_all();
-    expect_sessions_match(
-        group, refs,
-        t == TransportKind::Socket ? "socket/4" : "inproc/4");
+    const std::string label =
+        std::string(t == TransportKind::Socket ? "socket/4" : "inproc/4") +
+        (keyless == KeylessPolicy::Replicate ? " keyless=replicate"
+                                             : " keyless=owner") +
+        (overlap ? " overlap=on" : " overlap=off");
+    expect_sessions_match(group, refs, label.c_str());
+    const GroupStats gs = group.group_stats();
+    if (overlap) {
+      EXPECT_GT(gs.overlap_rounds, 0u) << label;
+      EXPECT_EQ(gs.overlap_rounds, gs.rounds) << label;
+    } else {
+      EXPECT_EQ(gs.overlap_rounds, 0u) << label;
+      EXPECT_EQ(gs.overlap_saved_vtime, 0u) << label;
+    }
+    if (keyless == KeylessPolicy::Owner) {
+      EXPECT_EQ(gs.replicated_nodes, 0u) << label;
+      EXPECT_EQ(gs.replicated_keeps, 0u) << label;
+    }
+  }
+}
+
+TEST(ShardEquivalence, SixtyFourSessionsFourShardsOwnerSync) {
+  run_matrix_cell(KeylessPolicy::Owner, /*overlap=*/false);
+}
+TEST(ShardEquivalence, SixtyFourSessionsFourShardsOwnerOverlap) {
+  run_matrix_cell(KeylessPolicy::Owner, /*overlap=*/true);
+}
+TEST(ShardEquivalence, SixtyFourSessionsFourShardsReplicateSync) {
+  run_matrix_cell(KeylessPolicy::Replicate, /*overlap=*/false);
+}
+TEST(ShardEquivalence, SixtyFourSessionsFourShardsReplicateOverlap) {
+  run_matrix_cell(KeylessPolicy::Replicate, /*overlap=*/true);
+}
+
+TEST(ShardEquivalence, TourneyKeylessMatrixMatchesSequential) {
+  // tourney is the keyless-heavy workload (the 1.07x ceiling this PR's
+  // replication lifts): prove the full policy/overlap matrix on it too,
+  // and that Replicate actually replicates nodes here.
+  const auto wl = workloads::tourney(6);
+  const auto program = ops5::Program::from_source(wl.source);
+  constexpr std::uint32_t kTourneySessions = 8;
+  std::vector<SessionRef> refs;
+  for (std::uint32_t s = 0; s < kTourneySessions; ++s)
+    refs.push_back(sequential_ref(program, session_wmes(wl, s)));
+  for (const KeylessPolicy keyless :
+       {KeylessPolicy::Owner, KeylessPolicy::Replicate}) {
+    for (const bool overlap : {false, true}) {
+      for (const TransportKind t :
+           {TransportKind::InProc, TransportKind::Socket}) {
+        EngineOptions opt;
+        opt.hash_buckets = 64;
+        ShardGroupConfig cfg;
+        cfg.shards = 4;
+        cfg.sessions = kTourneySessions;
+        cfg.transport = t;
+        cfg.keyless = keyless;
+        cfg.overlap = overlap;
+        ShardGroup group(program, opt, cfg);
+        group.set_digest_capture(true, /*per_shard_detail=*/true);
+        for (std::uint32_t s = 0; s < kTourneySessions; ++s) {
+          for (const std::string& lit : session_wmes(wl, s))
+            group.make(s, lit);
+          group.set_max_cycles(s, kCycles);
+        }
+        group.run_all();
+        const std::string label =
+            std::string("tourney ") +
+            (t == TransportKind::Socket ? "socket" : "inproc") +
+            (keyless == KeylessPolicy::Replicate ? " replicate" : " owner") +
+            (overlap ? " on" : " off");
+        expect_sessions_match(group, refs, label.c_str());
+        const GroupStats gs = group.group_stats();
+        if (keyless == KeylessPolicy::Replicate) {
+          EXPECT_GT(gs.replicated_nodes, 0u) << label;
+          EXPECT_GT(gs.replicated_keeps, 0u) << label;
+        }
+      }
+    }
   }
 }
 
@@ -188,6 +283,11 @@ TEST(ShardEquivalence, RestoredSessionContinuesTheReferenceTrace) {
   ShardGroupConfig src_cfg;
   src_cfg.shards = 2;
   src_cfg.sessions = 1;
+  // Migrate across policies too: the checkpoint replays wmes through the
+  // coordinator, so the destination rebuilds all partition state under
+  // its own (here: replicate + overlap, the defaults) routing.
+  src_cfg.keyless = KeylessPolicy::Owner;
+  src_cfg.overlap = false;
   ShardGroup source(program, opt, src_cfg);
   for (const std::string& lit : wmes) source.make(0, lit);
   source.set_max_cycles(0, 6);

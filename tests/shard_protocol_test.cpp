@@ -78,9 +78,12 @@ std::string full_batch() {
   sr.forwarded = 20;
   sr.dropped = 30;
   sr.vtime = 4'000'000'000ull;
+  sr.replicated_keeps = 55;
   w.stats_reply(sr);
   w.batch_done({12345, 17});
   w.shutdown();
+  w.flush_mark({0xdead'beef'0000'0001ull, 42});
+  w.flush_ack({0xdead'beef'0000'0001ull, 42});
   return w.take();
 }
 
@@ -89,7 +92,8 @@ TEST(ShardProtocol, EveryFrameTypeRoundTrips) {
   const Batch b = decode_batch(bytes);
   EXPECT_EQ(b.src, kCoordinator);
   EXPECT_EQ(b.dst, 3);
-  ASSERT_EQ(b.frames.size(), 19u);
+  EXPECT_EQ(b.version, kVersion);
+  ASSERT_EQ(b.frames.size(), 21u);
 
   EXPECT_EQ(b.frames[0].type, FrameType::Hello);
   EXPECT_EQ(b.frames[0].hello.fingerprint, 0x1234'5678'9abc'def0ull);
@@ -134,9 +138,16 @@ TEST(ShardProtocol, EveryFrameTypeRoundTrips) {
   EXPECT_EQ(b.frames[15].type, FrameType::StatsQuery);
   EXPECT_EQ(b.frames[16].type, FrameType::StatsReply);
   EXPECT_EQ(b.frames[16].stats.vtime, 4'000'000'000ull);
+  EXPECT_EQ(b.frames[16].stats.replicated_keeps, 55u);
   EXPECT_EQ(b.frames[17].type, FrameType::BatchDone);
   EXPECT_EQ(b.frames[17].done.vtime_delta, 12345u);
   EXPECT_EQ(b.frames[18].type, FrameType::Shutdown);
+  EXPECT_EQ(b.frames[19].type, FrameType::FlushMark);
+  EXPECT_EQ(b.frames[19].flush.cycle, 0xdead'beef'0000'0001ull);
+  EXPECT_EQ(b.frames[19].flush.epoch, 42u);
+  EXPECT_EQ(b.frames[20].type, FrameType::FlushAck);
+  EXPECT_EQ(b.frames[20].flush.cycle, 0xdead'beef'0000'0001ull);
+  EXPECT_EQ(b.frames[20].flush.epoch, 42u);
 }
 
 TEST(ShardProtocol, TrailingFramesDecodeToo) {
@@ -205,7 +216,12 @@ TEST(ShardProtocol, BadMagicVersionAndSignsAreRejected) {
   }
   {
     std::string bad = good;
-    bad[4] = 2;  // version
+    bad[4] = kVersion + 1;  // future version
+    EXPECT_THROW(decode_batch(bad), ProtocolError);
+  }
+  {
+    std::string bad = good;
+    bad[4] = 0;  // below kMinVersion
     EXPECT_THROW(decode_batch(bad), ProtocolError);
   }
   {
@@ -226,6 +242,55 @@ TEST(ShardProtocol, BadMagicVersionAndSignsAreRejected) {
     bad[13 + 1 + 4] = 3;  // header + type + session -> sign
     EXPECT_THROW(decode_batch(bad), ProtocolError);
   }
+}
+
+TEST(ShardProtocol, VersionOneStreamsStillDecode) {
+  // A writer pinned to version 1 emits the exact v1 wire layout —
+  // StatsReply without the trailing replicated_keeps — and the decoder
+  // accepts it, reporting the field as zero.
+  BatchWriter v1(0, kCoordinator, /*version=*/1);
+  StatsReplyFrame sr;
+  sr.tasks = 100;
+  sr.forwarded = 20;
+  sr.dropped = 30;
+  sr.vtime = 7;
+  sr.replicated_keeps = 99;  // must NOT reach the wire at v1
+  v1.stats_reply(sr);
+  v1.batch_done({12, 3});
+  const std::string v1_bytes = v1.take();
+
+  BatchWriter v2(0, kCoordinator);
+  v2.stats_reply(sr);
+  v2.batch_done({12, 3});
+  const std::string v2_bytes = v2.take();
+  // Same frames, one version byte apart: v2 carries exactly the 8 extra
+  // payload bytes of the new StatsReply field.
+  EXPECT_EQ(v1_bytes.size() + 8, v2_bytes.size());
+
+  const Batch b = decode_batch(v1_bytes);
+  EXPECT_EQ(b.version, 1);
+  ASSERT_EQ(b.frames.size(), 2u);
+  EXPECT_EQ(b.frames[0].stats.tasks, 100u);
+  EXPECT_EQ(b.frames[0].stats.vtime, 7u);
+  EXPECT_EQ(b.frames[0].stats.replicated_keeps, 0u);
+  EXPECT_EQ(decode_batch(v2_bytes).frames[0].stats.replicated_keeps, 99u);
+}
+
+TEST(ShardProtocol, FlushFramesAreVersionTwoOnly) {
+  // The writer refuses to put a flush frame into a v1 batch...
+  BatchWriter v1(0, kCoordinator, /*version=*/1);
+  EXPECT_THROW(v1.flush_mark({1, 1}), ProtocolError);
+  EXPECT_THROW(v1.flush_ack({1, 1}), ProtocolError);
+  // ...and the decoder rejects one that got there anyway (a v2 flush
+  // batch with the version byte patched down to 1).
+  BatchWriter v2(0, kCoordinator);
+  v2.flush_mark({1, 1});
+  std::string bytes = v2.take();
+  bytes[4] = 1;
+  EXPECT_THROW(decode_batch(bytes), ProtocolError);
+  // An out-of-range version in the writer is rejected up front.
+  EXPECT_THROW(BatchWriter(0, kCoordinator, 0), ProtocolError);
+  EXPECT_THROW(BatchWriter(0, kCoordinator, kVersion + 1), ProtocolError);
 }
 
 TEST(ShardPartition, JumpHashIsStableAndMinimallyMoving) {

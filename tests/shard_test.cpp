@@ -1,9 +1,10 @@
 // ShardGroup behavior tests: partitioned runs reproduce the sequential
-// engine's firing traces on both transports, cross-partition and keyless
-// joins land on single owners, checkpoints drain/migrate across groups
-// with different shard counts AND transports, resets rebuild clean
-// state, and protocol-level violations (fingerprint mismatch, foreign
-// sessions) are rejected as ProtocolError.
+// engine's firing traces on both transports, keyless joins are correct
+// under BOTH policies (single-owner fallback and replication),
+// checkpoints drain/migrate across groups with different shard counts
+// AND transports, resets rebuild clean state, and protocol-level
+// violations (fingerprint mismatch, foreign sessions, non-increasing
+// flush epochs) are rejected as ProtocolError.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -29,11 +30,15 @@ std::vector<FiringRecord> sequential_trace(
 }
 
 ShardGroupConfig cfg_of(std::uint16_t shards, std::uint32_t sessions,
-                        TransportKind t) {
+                        TransportKind t,
+                        KeylessPolicy keyless = KeylessPolicy::Replicate,
+                        bool overlap = true) {
   ShardGroupConfig cfg;
   cfg.shards = shards;
   cfg.sessions = sessions;
   cfg.transport = t;
+  cfg.keyless = keyless;
+  cfg.overlap = overlap;
   return cfg;
 }
 
@@ -78,11 +83,41 @@ TEST(ShardGroup, KeylessAndNegatedJoinsStaySingleOwner) {
                                          "(step ^n 2)", "(step ^n 3)"};
   const std::vector<FiringRecord> ref = sequential_trace(program, wmes);
   EngineOptions opt;
-  ShardGroup group(program, opt, cfg_of(4, 1, TransportKind::InProc));
+  ShardGroup group(program, opt,
+                   cfg_of(4, 1, TransportKind::InProc, KeylessPolicy::Owner,
+                          /*overlap=*/false));
   for (const std::string& w : wmes) group.make(0, w);
   group.run_all();
   EXPECT_EQ(group.trace(0), ref);
   EXPECT_EQ(group.result(0).reason, StopReason::Halt);
+  const GroupStats gs = group.group_stats();
+  EXPECT_EQ(gs.replicated_nodes, 0u);
+  EXPECT_EQ(gs.replicated_keeps, 0u);
+  EXPECT_EQ(gs.overlap_rounds, 0u);
+}
+
+TEST(ShardGroup, KeylessReplicationMatchesSequentialAndKeepsLocal) {
+  // Same keyless + negated program under KeylessPolicy::Replicate: the
+  // wme-side memories replicate (every shard applies the writes), left
+  // probes stay local, and the trace is still exactly sequential.
+  const auto program = ops5::Program::from_source(kCounter);
+  const std::vector<std::string> wmes = {"(acc ^total 0)", "(step ^n 1)",
+                                         "(step ^n 2)", "(step ^n 3)"};
+  const std::vector<FiringRecord> ref = sequential_trace(program, wmes);
+  for (const bool overlap : {false, true}) {
+    EngineOptions opt;
+    ShardGroup group(program, opt,
+                     cfg_of(4, 1, TransportKind::InProc,
+                            KeylessPolicy::Replicate, overlap));
+    for (const std::string& w : wmes) group.make(0, w);
+    group.run_all();
+    EXPECT_EQ(group.trace(0), ref) << "overlap=" << overlap;
+    EXPECT_EQ(group.result(0).reason, StopReason::Halt);
+    const GroupStats gs = group.group_stats();
+    EXPECT_GT(gs.replicated_nodes, 0u);
+    EXPECT_GT(gs.replicated_keeps, 0u);
+    if (overlap) EXPECT_EQ(gs.overlap_rounds, gs.rounds);
+  }
 }
 
 TEST(ShardGroup, MaxCyclesAndRerunsWork) {
@@ -275,6 +310,40 @@ TEST(ShardState, ForeignSessionAndUnknownTagsAreRejected) {
     w.task_fwd(f);
     EXPECT_THROW(shard.handle(w.take()), ProtocolError);
   }
+}
+
+TEST(ShardState, FlushMarkEpochsMustIncrease) {
+  const auto wl = workloads::rubik(4);
+  const auto program = ops5::Program::from_source(wl.source);
+  const auto net = rete::build_network(program);
+  ShardConfig sc;
+  sc.self = 0;
+  sc.shards = 1;
+  sc.sessions = 1;
+  sc.fingerprint = serve::Checkpoint::fingerprint_of(program);
+  ShardState shard(program, *net, EngineOptions{}, sc);
+
+  // A marked batch drains and echoes the mark back before BatchDone.
+  BatchWriter w(kCoordinator, 0);
+  w.flush_mark({7, 5});
+  const Batch reply = decode_batch(shard.handle(w.take()));
+  ASSERT_EQ(reply.frames.size(), 2u);
+  EXPECT_EQ(reply.frames[0].type, FrameType::FlushAck);
+  EXPECT_EQ(reply.frames[0].flush.cycle, 7u);
+  EXPECT_EQ(reply.frames[0].flush.epoch, 5u);
+  EXPECT_EQ(reply.frames[1].type, FrameType::BatchDone);
+
+  // Epochs are strictly increasing over the connection: a replayed or
+  // reordered mark is a protocol violation, not a silent no-op.
+  BatchWriter replay(kCoordinator, 0);
+  replay.flush_mark({8, 5});
+  EXPECT_THROW(shard.handle(replay.take()), ProtocolError);
+  BatchWriter stale(kCoordinator, 0);
+  stale.flush_mark({8, 3});
+  EXPECT_THROW(shard.handle(stale.take()), ProtocolError);
+  BatchWriter next(kCoordinator, 0);
+  next.flush_mark({8, 6});
+  EXPECT_NO_THROW(shard.handle(next.take()));
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+// The tools' leading comment blocks double as their --help text: both
+// psme_cli and psme_serve point users at "the header of tools/<name>"
+// from usage(). That only works if the header documents exactly the
+// options the parser accepts, so this test diffs the `--x` tokens in
+// each tool's leading `//` block against the `arg == "--x"` literals in
+// its option loop — BOTH directions (undocumented options and stale
+// docs both fail). `--help` itself is exempt: it is the discovery
+// mechanism, not a documented option.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#ifndef PSME_SOURCE_DIR
+#error "PSME_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace {
+
+std::string read_tool(const std::string& name) {
+  const std::string path =
+      std::string(PSME_SOURCE_DIR) + "/tools/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The contiguous run of '//' lines the file starts with.
+std::string leading_comment(const std::string& src) {
+  std::string block;
+  std::istringstream in(src);
+  std::string line;
+  while (std::getline(in, line) && line.rfind("//", 0) == 0)
+    block += line + "\n";
+  return block;
+}
+
+// Every `--token` in `text` (a letter must follow the dashes, so OPS5's
+// `-->` arrow and em-dash runs don't match).
+std::set<std::string> option_tokens(const std::string& text) {
+  std::set<std::string> tokens;
+  for (std::size_t pos = 0; (pos = text.find("--", pos)) != std::string::npos;
+       pos += 2) {
+    std::size_t end = pos + 2;
+    if (end >= text.size() || !std::islower(static_cast<unsigned char>(text[end])))
+      continue;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            text[end] == '-'))
+      ++end;
+    tokens.insert(text.substr(pos, end - pos));
+  }
+  return tokens;
+}
+
+// Every option the tool's parser compares against: `arg == "--x"`.
+std::set<std::string> parsed_options(const std::string& src) {
+  std::set<std::string> options;
+  const std::string pat = "== \"--";
+  for (std::size_t pos = 0; (pos = src.find(pat, pos)) != std::string::npos;
+       pos += pat.size()) {
+    const std::size_t start = pos + 4;  // at the first '-'
+    const std::size_t end = src.find('"', start);
+    if (end == std::string::npos) break;
+    options.insert(src.substr(start, end - start));
+  }
+  return options;
+}
+
+void expect_header_matches_parser(const std::string& tool) {
+  const std::string src = read_tool(tool);
+  const std::set<std::string> documented =
+      option_tokens(leading_comment(src));
+  std::set<std::string> parsed = parsed_options(src);
+  parsed.erase("--help");
+  ASSERT_FALSE(parsed.empty()) << tool << ": no parsed options found";
+
+  std::string undocumented, stale;
+  for (const std::string& opt : parsed)
+    if (!documented.count(opt)) undocumented += "  " + opt + "\n";
+  for (const std::string& opt : documented)
+    if (!parsed.count(opt)) stale += "  " + opt + "\n";
+  EXPECT_TRUE(undocumented.empty())
+      << tool << ": options parsed but missing from the header comment "
+      << "(usage() points users there):\n"
+      << undocumented;
+  EXPECT_TRUE(stale.empty())
+      << tool << ": options documented in the header comment but not "
+      << "parsed:\n"
+      << stale;
+}
+
+TEST(ToolsHelp, PsmeCliHeaderDocumentsEveryOption) {
+  expect_header_matches_parser("psme_cli.cpp");
+}
+
+TEST(ToolsHelp, PsmeServeHeaderDocumentsEveryOption) {
+  expect_header_matches_parser("psme_serve.cpp");
+}
+
+}  // namespace

@@ -6,8 +6,12 @@ Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
 Four row schemas are understood, auto-detected from CURRENT:
 
   - shard sweeps (`shard_compare`): rows keyed by the composite
-    (`workload`, `transport`, `shards`), metric `sessions_per_sec`
-    (virtual, interconnect-priced — deterministic), higher is better;
+    (`workload`, `transport`, `shards`, `keyless`, `overlap`), metric
+    `sessions_per_sec` (virtual, interconnect-priced — deterministic),
+    higher is better. Baselines predating the keyless/overlap matrix
+    lack those fields; they default to `owner`/`off`, the exact
+    configuration those old rows measured, so old baselines keep gating
+    the matching rows of a new dump;
   - lock-discipline sweeps (`lock_compare`): rows keyed by the composite
     (`workload`, `scheme`, `workers`), metric `ns_per_task`, lower is
     better;
@@ -40,20 +44,22 @@ import json
 import os
 import sys
 
-# (key field or tuple of key fields, metric field, True if higher is better)
+# (key field or tuple of key fields, metric field, True if higher is
+# better, per-field defaults for rows written before the field existed)
 # Order matters: composite schemas come before the single-key ones they
 # would otherwise be shadowed by (every row carries a stamped `worlds`).
 SCHEMAS = [
-    (("workload", "transport", "shards"), "sessions_per_sec", True),
-    (("workload", "scheme", "workers"), "ns_per_task", False),
-    ("worlds", "sessions_per_sec", True),
-    ("depth", "ns_per_task", False),
+    (("workload", "transport", "shards", "keyless", "overlap"),
+     "sessions_per_sec", True, {"keyless": "owner", "overlap": "off"}),
+    (("workload", "scheme", "workers"), "ns_per_task", False, {}),
+    ("worlds", "sessions_per_sec", True, {}),
+    ("depth", "ns_per_task", False, {}),
 ]
 
 
-def row_key(row, field):
+def row_key(row, field, defaults):
     """One component of a row key: ints stay ints, strings stay strings."""
-    v = row[field]
+    v = row.get(field, defaults.get(field))
     return int(v) if isinstance(v, (int, float)) else str(v)
 
 
@@ -65,13 +71,16 @@ def load_doc(path):
     return doc
 
 
-def extract_rows(doc, key, metric):
+def extract_rows(doc, key, metric, defaults=None):
+    defaults = defaults or {}
     rows = {}
     fields = key if isinstance(key, tuple) else (key,)
     for row in doc.get("results", []):
-        if metric not in row or not all(f in row for f in fields):
+        if metric not in row or not all(
+            f in row or f in defaults for f in fields
+        ):
             continue
-        k = tuple(row_key(row, f) for f in fields)
+        k = tuple(row_key(row, f, defaults) for f in fields)
         rows[k if isinstance(key, tuple) else k[0]] = float(row[metric])
     return rows
 
@@ -81,10 +90,10 @@ def fmt_key(k):
 
 
 def detect_schema(doc, path):
-    for key, metric, higher in SCHEMAS:
-        rows = extract_rows(doc, key, metric)
+    for key, metric, higher, defaults in SCHEMAS:
+        rows = extract_rows(doc, key, metric, defaults)
         if rows:
-            return key, metric, higher, rows
+            return key, metric, higher, defaults, rows
     sys.exit(f"{path}: no rows matching any known bench schema")
 
 
@@ -100,9 +109,9 @@ def main():
     )
     args = ap.parse_args()
 
-    key, metric, higher, current = detect_schema(load_doc(args.current),
-                                                 args.current)
-    baseline = extract_rows(load_doc(args.baseline), key, metric)
+    key, metric, higher, defaults, current = detect_schema(
+        load_doc(args.current), args.current)
+    baseline = extract_rows(load_doc(args.baseline), key, metric, defaults)
     if not baseline:
         print(
             f"NOTE: {args.baseline} has no ({key}, {metric}) rows — "

@@ -29,6 +29,17 @@
 //   --transport {inproc|socket}   shard interconnect: in-process threads
 //                    or forked processes over socketpairs (default
 //                    inproc). Needs --shards.
+//   --keyless {owner|replicate}   keyless-join placement under --shards:
+//                    hash every keyless node to one owner shard, or
+//                    replicate its wme-side memory to all shards so
+//                    probes stay local (default replicate). Needs
+//                    --shards.
+//   --overlap {on|off}   overlap priced shard exchanges: forward frames
+//                    while shards still compute and price each round at
+//                    max(compute, comm) instead of their sum (default
+//                    on). `--keyless owner --overlap off` reproduces the
+//                    strictly synchronous single-owner rounds. Needs
+//                    --shards.
 //   --no-vm          interpret the join tests instead of running the
 //                    compiled register bytecode (A/B comparison)
 //   --seed S         workload seed: selects --workload random's program and
@@ -66,7 +77,8 @@ namespace {
   if (msg) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: psme_cli PROGRAM.ops [options]\n"
                "       psme_cli --workload NAME [options]\n"
-               "run psme_cli --help for the option list\n";
+               "see the header comment of tools/psme_cli.cpp for the "
+               "option list\n";
   std::exit(msg ? 1 : 0);
 }
 
@@ -110,6 +122,9 @@ int main(int argc, char** argv) {
   std::uint32_t worlds = 0;
   std::uint16_t shards = 0;
   std::string transport = "inproc";
+  std::string keyless = "replicate";
+  std::string overlap = "on";
+  bool keyless_set = false, overlap_set = false;
   std::string mode = "seq";
 
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +171,8 @@ int main(int argc, char** argv) {
     else if (arg == "--shards") shards =
         static_cast<std::uint16_t>(std::stoul(next()));
     else if (arg == "--transport") transport = next();
+    else if (arg == "--keyless") { keyless = next(); keyless_set = true; }
+    else if (arg == "--overlap") { overlap = next(); overlap_set = true; }
     else if (arg == "--no-vm") config.options.match_vm = false;
     else if (arg == "--network") print_net = true;
     else if (arg == "--dump-bytecode") dump_bytecode = true;
@@ -196,6 +213,12 @@ int main(int argc, char** argv) {
     usage("unknown transport (inproc|socket)");
   if (shards == 0 && transport != "inproc")
     usage("--transport needs --shards");
+  if (keyless != "owner" && keyless != "replicate")
+    usage("unknown keyless policy (owner|replicate)");
+  if (overlap != "on" && overlap != "off")
+    usage("unknown overlap setting (on|off)");
+  if (shards == 0 && (keyless_set || overlap_set))
+    usage("--keyless/--overlap need --shards");
   if (shards > 0 && config.options.memory != psme::match::MemoryStrategy::Hash)
     usage("--shards routes on hashed join keys; use --mode seq, not vs1");
 
@@ -264,6 +287,9 @@ int main(int argc, char** argv) {
     scfg.transport = transport == "socket"
                          ? psme::shard::TransportKind::Socket
                          : psme::shard::TransportKind::InProc;
+    scfg.keyless = keyless == "owner" ? psme::shard::KeylessPolicy::Owner
+                                      : psme::shard::KeylessPolicy::Replicate;
+    scfg.overlap = overlap == "on";
     psme::EngineOptions sopt = config.options;
     if (sessions > 1) sopt.watch = 0;  // same interleaving concern as --worlds
     psme::shard::ShardGroup group(program, sopt, scfg);
@@ -273,8 +299,9 @@ int main(int argc, char** argv) {
       group.set_max_cycles(s, config.options.max_cycles);
     }
     group.run_all();
-    std::cout << "; " << shards << " shards (" << transport << "), "
-              << sessions << " session(s), one compiled network\n";
+    std::cout << "; " << shards << " shards (" << transport << ", keyless "
+              << keyless << ", overlap " << overlap << "), " << sessions
+              << " session(s), one compiled network\n";
     for (std::uint32_t s = 0; s < sessions; ++s) {
       const psme::RunResult r = group.result(s);
       const char* why =
@@ -293,6 +320,11 @@ int main(int argc, char** argv) {
               << " forwards, " << gs.dropped << " dropped\n"
               << "; virtual time: compute " << gs.compute_vtime << ", comm "
               << gs.comm_vtime << ", makespan " << gs.makespan_vtime << "\n";
+    if (gs.overlap_rounds > 0 || gs.replicated_nodes > 0)
+      std::cout << "; overlap: " << gs.overlap_rounds << " round(s), saved "
+                << gs.overlap_saved_vtime << " vtime; replicated "
+                << gs.replicated_nodes << " keyless node(s), "
+                << gs.replicated_keeps << " local keeps\n";
     if (!metrics_path.empty()) {
       psme::obs::Registry registry;
       group.export_obs(registry);

@@ -36,6 +36,11 @@
 //                     into any topology                       (default 0)
 //   --transport T     stdin: shard interconnect, inproc|socket; needs
 //                     --shards                           (default inproc)
+//   --keyless P       stdin: keyless-join placement, owner|replicate
+//                     (docs/sharding.md); needs --shards
+//                                                     (default replicate)
+//   --overlap O       stdin: overlap priced shard exchanges, on|off;
+//                     needs --shards                        (default on)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -85,6 +90,9 @@ int main(int argc, char** argv) {
   int procs = 4;
   int shards = 0;
   std::string transport = "inproc";
+  std::string keyless = "replicate";
+  std::string overlap = "on";
+  bool keyless_set = false, overlap_set = false;
   psme::serve::ServerConfig server_config;
   psme::serve::LoadGenConfig gen;
 
@@ -116,6 +124,8 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json_path = next();
     else if (arg == "--shards") shards = std::stoi(next());
     else if (arg == "--transport") transport = next();
+    else if (arg == "--keyless") { keyless = next(); keyless_set = true; }
+    else if (arg == "--overlap") { overlap = next(); overlap_set = true; }
     else if (arg == "--workload") workload_name = next();
     else if (!arg.empty() && arg[0] == '-')
       usage(("unknown option " + arg).c_str());
@@ -129,6 +139,12 @@ int main(int argc, char** argv) {
     usage("unknown transport (inproc|socket)");
   if (shards == 0 && transport != "inproc")
     usage("--transport needs --shards");
+  if (keyless != "owner" && keyless != "replicate")
+    usage("unknown keyless policy (owner|replicate)");
+  if (overlap != "on" && overlap != "off")
+    usage("unknown overlap setting (on|off)");
+  if (shards == 0 && (keyless_set || overlap_set))
+    usage("--keyless/--overlap need --shards");
 
   psme::EngineConfig config;
   if (mode == "seq") {
@@ -185,6 +201,10 @@ int main(int argc, char** argv) {
         scfg.transport = transport == "socket"
                              ? psme::shard::TransportKind::Socket
                              : psme::shard::TransportKind::InProc;
+        scfg.keyless = keyless == "owner"
+                           ? psme::shard::KeylessPolicy::Owner
+                           : psme::shard::KeylessPolicy::Replicate;
+        scfg.overlap = overlap == "on";
         psme::shard::ShardGroup group(program, config.options, scfg);
         psme::serve::Session session(program, &group, 0);
         return repl(session, initial_wmes);
